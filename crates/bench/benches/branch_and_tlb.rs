@@ -1,0 +1,85 @@
+//! Micro-benchmarks for the branch-prediction unit, the TLB hierarchy and
+//! the MSHR / bus plumbing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipsim_cpu::{BranchUnit, Bus, Tlb};
+use ipsim_cache::Mshr;
+use ipsim_types::config::{BranchConfig, TlbConfig};
+use ipsim_types::instr::{CtiClass, OpKind, TraceOp};
+use ipsim_types::{Addr, LineAddr, Rng64};
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("units");
+
+    group.bench_function("branch_process_cond", |b| {
+        let mut unit = BranchUnit::new(&BranchConfig::default(), 16);
+        let mut rng = Rng64::new(3);
+        b.iter(|| {
+            let op = TraceOp {
+                pc: Addr(0x1000 + (rng.range(256)) * 4),
+                kind: OpKind::Cti {
+                    class: CtiClass::CondBranch,
+                    taken: rng.chance(0.6),
+                    target: Addr(0x4000),
+                },
+            };
+            black_box(unit.process(&op))
+        });
+    });
+
+    group.bench_function("branch_process_call_return", |b| {
+        let mut unit = BranchUnit::new(&BranchConfig::default(), 16);
+        b.iter(|| {
+            let call = TraceOp {
+                pc: Addr(0x1000),
+                kind: OpKind::Cti {
+                    class: CtiClass::Call,
+                    taken: true,
+                    target: Addr(0x9000),
+                },
+            };
+            let ret = TraceOp {
+                pc: Addr(0x9100),
+                kind: OpKind::Cti {
+                    class: CtiClass::Return,
+                    taken: true,
+                    target: Addr(0x1004),
+                },
+            };
+            unit.process(&call);
+            black_box(unit.process(&ret))
+        });
+    });
+
+    group.bench_function("tlb_access", |b| {
+        let mut tlb = Tlb::new(&TlbConfig::paper());
+        let mut rng = Rng64::new(5);
+        b.iter(|| black_box(tlb.access(Addr(rng.range(1 << 24)))));
+    });
+
+    group.bench_function("mshr_insert_retire", |b| {
+        let mut mshr = Mshr::new(16);
+        let mut now = 0u64;
+        let mut line = 0u64;
+        b.iter(|| {
+            now += 10;
+            line += 1;
+            mshr.insert(LineAddr(line), now + 400, true);
+            black_box(mshr.retire_ready(now).len())
+        });
+    });
+
+    group.bench_function("bus_request", |b| {
+        let mut bus = Bus::new(9.6);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 25;
+            black_box(bus.request(now, 400))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

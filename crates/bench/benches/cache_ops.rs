@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the set-associative cache: hit path, miss+fill
+//! path, and prefetch-probe path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipsim_cache::{FillKind, SetAssocCache};
+use ipsim_types::{CacheConfig, LineAddr, Rng64};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+
+    group.bench_function("hit_path", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default_l1());
+        for l in 0..512u64 {
+            cache.fill(LineAddr(l), FillKind::Demand);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(LineAddr(i)))
+        });
+    });
+
+    group.bench_function("miss_and_fill", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default_l1());
+        let mut rng = Rng64::new(1);
+        b.iter(|| {
+            let line = LineAddr(rng.next_u64() & 0xFFFF);
+            if !cache.access(line).is_hit() {
+                black_box(cache.fill(line, FillKind::Demand));
+            }
+        });
+    });
+
+    group.bench_function("probe", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default_l1());
+        for l in 0..512u64 {
+            cache.fill(LineAddr(l), FillKind::Demand);
+        }
+        let mut rng = Rng64::new(2);
+        b.iter(|| black_box(cache.probe(LineAddr(rng.next_u64() & 0x3FF))));
+    });
+
+    group.bench_function("l2_scale_access", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default_l2());
+        let mut rng = Rng64::new(3);
+        b.iter(|| {
+            let line = LineAddr(rng.next_u64() & 0xF_FFFF);
+            if !cache.access(line).is_hit() {
+                black_box(cache.fill(line, FillKind::Demand));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the prefetch engines and their infrastructure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipsim_core::{
+    DiscontinuityConfig, DiscontinuityPrefetcher, FetchEvent, NextNLinePrefetcher,
+    PrefetchEngine, PrefetchQueue, PrefetchRequest, RecentFetchFilter,
+};
+use ipsim_types::{LineAddr, Rng64};
+
+fn synthetic_events(n: usize) -> Vec<FetchEvent> {
+    // A plausible fetch stream: mostly sequential advances with occasional
+    // jumps, ~20% misses.
+    let mut rng = Rng64::new(7);
+    let mut line = LineAddr(1000);
+    let mut events = Vec::with_capacity(n);
+    let mut prev = None;
+    for _ in 0..n {
+        let next = if rng.chance(0.15) {
+            LineAddr(1000 + rng.range(4096))
+        } else {
+            line.next()
+        };
+        events.push(FetchEvent {
+            line: next,
+            miss: rng.chance(0.2),
+            first_use_of_prefetch: rng.chance(0.15),
+            prev_line: prev,
+        });
+        prev = Some(next);
+        line = next;
+    }
+    events
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let events = synthetic_events(4096);
+    let mut group = c.benchmark_group("prefetcher");
+
+    group.bench_function("next_4_line_on_fetch", |b| {
+        let mut pf = NextNLinePrefetcher::new(4);
+        let mut out = Vec::with_capacity(16);
+        let mut i = 0;
+        b.iter(|| {
+            out.clear();
+            pf.on_fetch(&events[i % events.len()], &mut out);
+            i += 1;
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("discontinuity_on_fetch", |b| {
+        let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
+        let mut out = Vec::with_capacity(16);
+        let mut i = 0;
+        b.iter(|| {
+            out.clear();
+            pf.on_fetch(&events[i % events.len()], &mut out);
+            i += 1;
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("queue_push_pop", |b| {
+        let mut q = PrefetchQueue::new(32);
+        let mut rng = Rng64::new(9);
+        b.iter(|| {
+            q.push(PrefetchRequest::sequential(LineAddr(rng.range(256))));
+            black_box(q.pop_issue())
+        });
+    });
+
+    group.bench_function("filter_record_contains", |b| {
+        let mut f = RecentFetchFilter::new(32);
+        let mut rng = Rng64::new(11);
+        b.iter(|| {
+            let l = LineAddr(rng.range(128));
+            f.record(l);
+            black_box(f.contains(LineAddr(rng.range(128))))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

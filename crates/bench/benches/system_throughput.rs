@@ -1,0 +1,62 @@
+//! End-to-end simulator throughput: simulated instructions per second for
+//! the baseline and the flagship prefetching configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{OpSource, SystemBuilder};
+use ipsim_trace::{TraceWalker, Workload};
+
+const INSTRS: u64 = 100_000;
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.throughput(Throughput::Elements(INSTRS));
+    group.sample_size(10);
+
+    let prog = Workload::Web.build_program(1);
+
+    group.bench_function("single_core_baseline_100k", |b| {
+        b.iter(|| {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut walker = TraceWalker::new(&prog, Workload::Web.profile(), 0, 5);
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+            system.run(&mut sources, INSTRS);
+            black_box(system.metrics().instructions())
+        });
+    });
+
+    group.bench_function("single_core_discontinuity_100k", |b| {
+        b.iter(|| {
+            let mut system = SystemBuilder::single_core()
+                .prefetcher(PrefetcherKind::discontinuity_default())
+                .install_policy(InstallPolicy::BypassL2UntilUseful)
+                .build()
+                .unwrap();
+            let mut walker = TraceWalker::new(&prog, Workload::Web.profile(), 0, 5);
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+            system.run(&mut sources, INSTRS);
+            black_box(system.metrics().instructions())
+        });
+    });
+
+    group.bench_function("cmp4_baseline_100k_per_core", |b| {
+        b.iter(|| {
+            let mut system = SystemBuilder::cmp4().build().unwrap();
+            let mut walkers: Vec<TraceWalker<'_>> = (0..4)
+                .map(|i| TraceWalker::new(&prog, Workload::Web.profile(), i, 5))
+                .collect();
+            let mut sources: Vec<&mut dyn OpSource> = walkers
+                .iter_mut()
+                .map(|w| w as &mut dyn OpSource)
+                .collect();
+            system.run(&mut sources, INSTRS / 4);
+            black_box(system.metrics().instructions())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmarks for synthetic workload generation: program synthesis
+//! and trace-walking throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipsim_trace::{TraceWalker, Workload};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+
+    group.bench_function("build_web_program", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Workload::Web.build_program(seed).code_bytes())
+        });
+    });
+
+    let prog = Workload::Db.build_program(1);
+    group.bench_function("walker_next_op", |b| {
+        let mut walker = TraceWalker::new(&prog, Workload::Db.profile(), 0, 42);
+        b.iter(|| black_box(walker.next_op()));
+    });
+
+    group.bench_function("walker_1k_ops", |b| {
+        let mut walker = TraceWalker::new(&prog, Workload::Db.profile(), 0, 43);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= walker.next_op().pc.0;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

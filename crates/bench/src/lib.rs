@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks live in `benches/`; this library is empty.

@@ -1,0 +1,352 @@
+//! The set-associative cache model.
+
+use ipsim_types::{CacheConfig, LineAddr};
+
+use crate::set::{Entry, Set};
+use crate::stats::CacheStats;
+
+/// Result of a demand access to a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit {
+        /// `true` when the line was brought in by a prefetch and this is the
+        /// first demand reference to it — the trigger condition for *tagged*
+        /// sequential prefetching and the moment a prefetch becomes
+        /// "useful" for accuracy accounting.
+        first_use_of_prefetch: bool,
+    },
+    /// The line was not resident.
+    Miss,
+}
+
+impl Access {
+    /// `true` for any hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Access::Hit { .. })
+    }
+}
+
+/// Who is installing a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillKind {
+    /// Fill triggered by a demand miss.
+    Demand,
+    /// Fill triggered by a prefetcher.
+    Prefetch,
+}
+
+/// A line evicted by a fill, with the flags needed by the paper's selective
+/// L2-install policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// It was originally brought in by a prefetch.
+    pub prefetched: bool,
+    /// It was demand-referenced while resident.
+    pub used: bool,
+    /// It was written while resident.
+    pub dirty: bool,
+}
+
+/// An LRU set-associative cache over line addresses.
+///
+/// The cache stores no data — only presence and per-line flags — which is all
+/// a trace-driven simulator needs. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        let n_sets = config.sets() as usize;
+        SetAssocCache {
+            config,
+            sets: (0..n_sets).map(|_| Set::new(config.assoc() as usize)).collect(),
+            set_mask: n_sets as u64 - 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. at the end of cache warm-up) without
+    /// touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// A demand read access: updates LRU and the `used` flag, and counts in
+    /// the statistics.
+    pub fn access(&mut self, line: LineAddr) -> Access {
+        self.access_inner(line, false)
+    }
+
+    /// A demand write access (stores): like [`SetAssocCache::access`] but
+    /// also sets the `dirty` flag on a hit.
+    pub fn access_write(&mut self, line: LineAddr) -> Access {
+        self.access_inner(line, true)
+    }
+
+    fn access_inner(&mut self, line: LineAddr, write: bool) -> Access {
+        self.stats.accesses += 1;
+        let idx = self.set_index(line);
+        match self.sets[idx].touch(line) {
+            Some(e) => {
+                let first_use = e.prefetched && !e.used;
+                e.used = true;
+                if write {
+                    e.dirty = true;
+                }
+                if first_use {
+                    self.stats.prefetch_first_uses += 1;
+                }
+                Access::Hit {
+                    first_use_of_prefetch: first_use,
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                Access::Miss
+            }
+        }
+    }
+
+    /// A tag probe that does not disturb LRU order or statistics — what the
+    /// prefetcher's filtered tag inspections do.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].peek(line).is_some()
+    }
+
+    /// Installs `line`, evicting the set's LRU entry when the set is full.
+    ///
+    /// A [`FillKind::Prefetch`] fill marks the line `prefetched` and not yet
+    /// `used`; a [`FillKind::Demand`] fill marks it `used` immediately.
+    /// Filling an already-resident line only promotes it (this happens when
+    /// a fill completes after a duplicate was installed; it is counted in
+    /// [`CacheStats::redundant_fills`]).
+    pub fn fill(&mut self, line: LineAddr, kind: FillKind) -> Option<Evicted> {
+        let idx = self.set_index(line);
+        if self.sets[idx].peek(line).is_some() {
+            self.stats.redundant_fills += 1;
+            // Promote, and upgrade a resident prefetched line to demand on a
+            // demand fill (the demand stream has caught up with it).
+            let e = self.sets[idx].touch(line).expect("peeked entry exists");
+            if kind == FillKind::Demand {
+                e.used = true;
+            }
+            return None;
+        }
+        match kind {
+            FillKind::Demand => self.stats.demand_fills += 1,
+            FillKind::Prefetch => self.stats.prefetch_fills += 1,
+        }
+        let victim = self.sets[idx].insert(Entry {
+            line,
+            prefetched: kind == FillKind::Prefetch,
+            used: kind == FillKind::Demand,
+            dirty: false,
+        });
+        victim.map(|v| {
+            self.stats.evictions += 1;
+            if v.prefetched && !v.used {
+                self.stats.useless_prefetch_evictions += 1;
+            }
+            Evicted {
+                line: v.line,
+                prefetched: v.prefetched,
+                used: v.used,
+                dirty: v.dirty,
+            }
+        })
+    }
+
+    /// Removes `line` if resident, returning its flags.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let idx = self.set_index(line);
+        self.sets[idx].invalidate(line).map(|v| Evicted {
+            line: v.line,
+            prefetched: v.prefetched,
+            used: v.used,
+            dirty: v.dirty,
+        })
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates all resident lines (diagnostics / tests).
+    pub fn iter_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flat_map(|s| s.iter().map(|e| e.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_types::CacheConfig;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(LineAddr(5)), Access::Miss);
+        assert!(c.fill(LineAddr(5), FillKind::Demand).is_none());
+        assert_eq!(
+            c.access(LineAddr(5)),
+            Access::Hit {
+                first_use_of_prefetch: false
+            }
+        );
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_reports_first_use_once() {
+        let mut c = tiny();
+        c.fill(LineAddr(5), FillKind::Prefetch);
+        assert_eq!(
+            c.access(LineAddr(5)),
+            Access::Hit {
+                first_use_of_prefetch: true
+            }
+        );
+        assert_eq!(
+            c.access(LineAddr(5)),
+            Access::Hit {
+                first_use_of_prefetch: false
+            }
+        );
+        assert_eq!(c.stats().prefetch_first_uses, 1);
+    }
+
+    #[test]
+    fn eviction_reports_prefetch_usefulness() {
+        let mut c = tiny();
+        // Set 0 holds lines with line.0 % 4 == 0.
+        c.fill(LineAddr(0), FillKind::Prefetch);
+        c.fill(LineAddr(4), FillKind::Demand);
+        // Line 0 untouched: evicting it flags a useless prefetch.
+        let v = c.fill(LineAddr(8), FillKind::Demand).unwrap();
+        assert_eq!(v.line, LineAddr(0));
+        assert!(v.prefetched);
+        assert!(!v.used);
+        assert_eq!(c.stats().useless_prefetch_evictions, 1);
+    }
+
+    #[test]
+    fn used_prefetched_line_evicts_as_useful() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Prefetch);
+        c.access(LineAddr(0));
+        c.fill(LineAddr(4), FillKind::Demand);
+        c.access(LineAddr(4)); // line 0 is LRU
+        let v = c.fill(LineAddr(8), FillKind::Demand).unwrap();
+        assert_eq!(v.line, LineAddr(0));
+        assert!(v.prefetched && v.used);
+        assert_eq!(c.stats().useless_prefetch_evictions, 0);
+    }
+
+    #[test]
+    fn probe_does_not_affect_lru_or_stats() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.fill(LineAddr(4), FillKind::Demand);
+        assert!(c.probe(LineAddr(0)));
+        assert!(!c.probe(LineAddr(8)));
+        assert_eq!(c.stats().accesses, 0);
+        // 0 must still be LRU.
+        let v = c.fill(LineAddr(8), FillKind::Demand).unwrap();
+        assert_eq!(v.line, LineAddr(0));
+    }
+
+    #[test]
+    fn redundant_fill_is_counted_not_duplicated() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.fill(LineAddr(0), FillKind::Prefetch);
+        assert_eq!(c.resident_lines(), 1);
+        assert_eq!(c.stats().redundant_fills, 1);
+    }
+
+    #[test]
+    fn demand_refill_of_prefetched_line_marks_used() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Prefetch);
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.fill(LineAddr(4), FillKind::Demand);
+        c.access(LineAddr(4));
+        c.access(LineAddr(0));
+        c.fill(LineAddr(8), FillKind::Demand); // evicts 4
+        let v = c.fill(LineAddr(12), FillKind::Demand).unwrap();
+        assert_eq!(v.line, LineAddr(0));
+        assert!(v.used, "demand fill upgraded the line to used");
+    }
+
+    #[test]
+    fn write_sets_dirty() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.access_write(LineAddr(0));
+        let v = c.invalidate(LineAddr(0)).unwrap();
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn set_mapping_is_modulo_sets() {
+        let mut c = tiny(); // 4 sets, 2 ways
+        // These all map to set 1.
+        for l in [1u64, 5, 9] {
+            c.fill(LineAddr(l), FillKind::Demand);
+        }
+        assert_eq!(c.resident_lines(), 2);
+        assert!(!c.probe(LineAddr(1)), "LRU of set 1 was evicted");
+        assert!(c.probe(LineAddr(5)));
+        assert!(c.probe(LineAddr(9)));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for l in 0..1000u64 {
+            c.fill(LineAddr(l), FillKind::Demand);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), FillKind::Demand);
+        c.access(LineAddr(0));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.probe(LineAddr(0)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Set-associative cache models with prefetch-aware bookkeeping.
+//!
+//! This crate provides the cache substrate for the `ipsim` simulator:
+//!
+//! * [`SetAssocCache`] — an LRU set-associative cache operating on
+//!   [`LineAddr`](ipsim_types::LineAddr)s, tracking per-line `prefetched`,
+//!   `used` and `dirty` flags. The flags implement the paper's *prefetch
+//!   tagging* (a hit on a not-yet-used prefetched line triggers further
+//!   sequential prefetches) and its *selective L2 install* policy (a
+//!   prefetched line is installed into the L2 on L1I eviction only if it was
+//!   actually used).
+//! * [`Mshr`] — miss-status-holding registers: the set of in-flight line
+//!   fills with their completion times, so demand fetches can merge with
+//!   outstanding prefetches and observe partial latencies.
+//! * [`InstallPolicy`] — where instruction-prefetch fills are installed
+//!   (both levels, or L1-only until proven useful).
+//!
+//! # Examples
+//!
+//! ```
+//! use ipsim_cache::{Access, FillKind, SetAssocCache};
+//! use ipsim_types::{CacheConfig, LineAddr};
+//!
+//! let mut l1i = SetAssocCache::new(CacheConfig::default_l1());
+//! assert_eq!(l1i.access(LineAddr(7)), Access::Miss);
+//! l1i.fill(LineAddr(7), FillKind::Prefetch);
+//! assert_eq!(
+//!     l1i.access(LineAddr(7)),
+//!     Access::Hit { first_use_of_prefetch: true }
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod mshr;
+mod policy;
+mod set;
+mod stats;
+
+pub use cache::{Access, Evicted, FillKind, SetAssocCache};
+pub use mshr::{Mshr, MshrEntry};
+pub use policy::InstallPolicy;
+pub use stats::CacheStats;

@@ -1,0 +1,53 @@
+//! Prefetch-install policies (Section 7 of the paper).
+
+/// Where instruction-prefetch fills are installed in the hierarchy.
+///
+/// The paper shows that installing speculative instruction prefetches into
+/// the shared L2 evicts useful *data* lines, inflating the L2 data miss rate
+/// by up to ~1.35× and erasing much of the prefetch benefit on a CMP
+/// (Figures 6–7). Its fix — [`InstallPolicy::BypassL2UntilUseful`] — installs
+/// prefetches only in the L1 instruction cache; when a prefetched line is
+/// later evicted from the L1I, it is installed into the L2 *iff* it was
+/// actually used (Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InstallPolicy {
+    /// Conventional behaviour: prefetch fills are installed into both the
+    /// L1I and the L2 (the polluting regime of Figures 6–7).
+    #[default]
+    InstallBoth,
+    /// The paper's proposal: prefetch fills bypass the L2 and are installed
+    /// into it only on L1I eviction of a line whose `used` flag is set.
+    BypassL2UntilUseful,
+}
+
+impl InstallPolicy {
+    /// `true` when a prefetch fill should be installed into the L2
+    /// immediately.
+    pub fn installs_prefetch_in_l2(self) -> bool {
+        matches!(self, InstallPolicy::InstallBoth)
+    }
+
+    /// `true` when a used prefetched line should be installed into the L2
+    /// when evicted from the L1I.
+    pub fn installs_on_useful_eviction(self) -> bool {
+        matches!(self, InstallPolicy::BypassL2UntilUseful)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_are_mutually_exclusive() {
+        assert!(InstallPolicy::InstallBoth.installs_prefetch_in_l2());
+        assert!(!InstallPolicy::InstallBoth.installs_on_useful_eviction());
+        assert!(!InstallPolicy::BypassL2UntilUseful.installs_prefetch_in_l2());
+        assert!(InstallPolicy::BypassL2UntilUseful.installs_on_useful_eviction());
+    }
+
+    #[test]
+    fn default_is_conventional() {
+        assert_eq!(InstallPolicy::default(), InstallPolicy::InstallBoth);
+    }
+}

@@ -1,0 +1,143 @@
+//! A single cache set with true-LRU replacement.
+
+use ipsim_types::LineAddr;
+
+/// One resident cache line's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    /// Full line address (we store the whole line address instead of a tag;
+    /// the set index is implied by the container).
+    pub line: LineAddr,
+    /// Filled by a prefetch (any level) rather than a demand miss.
+    pub prefetched: bool,
+    /// Demand-referenced since it was filled.
+    pub used: bool,
+    /// Written since it was filled.
+    pub dirty: bool,
+}
+
+/// A cache set: a small vector of entries kept in LRU order
+/// (index 0 = most recently used, last = least recently used).
+#[derive(Debug, Clone)]
+pub(crate) struct Set {
+    entries: Vec<Entry>,
+    ways: usize,
+}
+
+impl Set {
+    pub(crate) fn new(ways: usize) -> Set {
+        Set {
+            entries: Vec::with_capacity(ways),
+            ways,
+        }
+    }
+
+    /// Finds `line` without touching LRU order.
+    pub(crate) fn peek(&self, line: LineAddr) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// Finds `line` and promotes it to MRU, returning a mutable reference.
+    pub(crate) fn touch(&mut self, line: LineAddr) -> Option<&mut Entry> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&mut self.entries[0])
+    }
+
+    /// Inserts `entry` at MRU, evicting the LRU entry if the set is full.
+    /// Must not be called when `entry.line` is already resident.
+    pub(crate) fn insert(&mut self, entry: Entry) -> Option<Entry> {
+        debug_assert!(
+            self.peek(entry.line).is_none(),
+            "inserting already-resident line {}",
+            entry.line
+        );
+        let victim = if self.entries.len() == self.ways {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, entry);
+        victim
+    }
+
+    /// Removes `line` if resident.
+    pub(crate) fn invalidate(&mut self, line: LineAddr) -> Option<Entry> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.remove(pos))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(l: u64) -> Entry {
+        Entry {
+            line: LineAddr(l),
+            prefetched: false,
+            used: false,
+            dirty: false,
+        }
+    }
+
+    #[test]
+    fn insert_until_full_then_evict_lru() {
+        let mut s = Set::new(2);
+        assert_eq!(s.insert(entry(1)), None);
+        assert_eq!(s.insert(entry(2)), None);
+        // 2 is MRU, 1 is LRU; inserting 3 evicts 1.
+        let v = s.insert(entry(3)).unwrap();
+        assert_eq!(v.line, LineAddr(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut s = Set::new(2);
+        s.insert(entry(1));
+        s.insert(entry(2));
+        s.touch(LineAddr(1)).unwrap();
+        // Now 2 is LRU.
+        let v = s.insert(entry(3)).unwrap();
+        assert_eq!(v.line, LineAddr(2));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut s = Set::new(2);
+        s.insert(entry(1));
+        s.insert(entry(2));
+        assert!(s.peek(LineAddr(1)).is_some());
+        let v = s.insert(entry(3)).unwrap();
+        assert_eq!(v.line, LineAddr(1), "peek must not promote");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut s = Set::new(4);
+        s.insert(entry(1));
+        s.insert(entry(2));
+        assert!(s.invalidate(LineAddr(1)).is_some());
+        assert!(s.peek(LineAddr(1)).is_none());
+        assert!(s.invalidate(LineAddr(1)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_set_replaces_immediately() {
+        let mut s = Set::new(1);
+        s.insert(entry(1));
+        let v = s.insert(entry(2)).unwrap();
+        assert_eq!(v.line, LineAddr(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Cache access statistics.
+
+/// Counters accumulated by a [`SetAssocCache`](crate::SetAssocCache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Demand accesses (reads + writes).
+    pub accesses: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines installed by demand fills.
+    pub demand_fills: u64,
+    /// Lines installed by prefetch fills.
+    pub prefetch_fills: u64,
+    /// Fills that found the line already resident.
+    pub redundant_fills: u64,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evictions of prefetched lines that were never demand-referenced.
+    pub useless_prefetch_evictions: u64,
+    /// First demand references to prefetched lines (prefetch proved useful).
+    pub prefetch_first_uses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over demand accesses (0 when there were none).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.demand_fills += other.demand_fills;
+        self.prefetch_fills += other.prefetch_fills;
+        self.redundant_fills += other.redundant_fills;
+        self.evictions += other.evictions;
+        self.useless_prefetch_evictions += other.useless_prefetch_evictions;
+        self.prefetch_first_uses += other.prefetch_first_uses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        let s = CacheStats {
+            accesses: 4,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.miss_ratio(), 0.25);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CacheStats {
+            accesses: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            accesses: 9,
+            misses: 2,
+            prefetch_first_uses: 3,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 10);
+        assert_eq!(a.misses, 3);
+        assert_eq!(a.prefetch_first_uses, 3);
+    }
+}

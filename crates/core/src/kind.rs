@@ -1,0 +1,237 @@
+//! A descriptive enum of prefetcher configurations, used by experiments to
+//! sweep schemes.
+
+use crate::discontinuity::{DiscontinuityConfig, DiscontinuityPrefetcher};
+use crate::engine::{NoPrefetcher, PrefetchEngine};
+use crate::markov::MarkovPrefetcher;
+use crate::wrongpath::WrongPathPrefetcher;
+use crate::sequential::{LookaheadPrefetcher, NextLineMode, NextLinePrefetcher, NextNLinePrefetcher};
+use crate::target::TargetPrefetcher;
+
+/// A prefetcher configuration that can be instantiated per core.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_core::PrefetcherKind;
+///
+/// let engine = PrefetcherKind::discontinuity_default().build();
+/// assert_eq!(engine.name(), "discontinuity");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetching (baseline).
+    None,
+    /// Next-line, issued on every fetch.
+    NextLineAlways,
+    /// Next-line, issued on a miss.
+    NextLineOnMiss,
+    /// Next-line, tagged.
+    NextLineTagged,
+    /// Next-N-line, tagged.
+    NextNLineTagged {
+        /// Prefetch-ahead distance.
+        n: u32,
+    },
+    /// Single-line lookahead at distance N.
+    Lookahead {
+        /// Lookahead distance.
+        n: u32,
+    },
+    /// The paper's discontinuity prefetcher + next-N-line partner.
+    Discontinuity {
+        /// Prediction-table entries (power of two).
+        table_entries: usize,
+        /// Prefetch-ahead distance.
+        ahead: u32,
+    },
+    /// The confidence-gated discontinuity extension: entries predict only
+    /// while their counter is at least `min_confidence`, and useless
+    /// prefetch evictions weaken the counter.
+    DiscontinuityGated {
+        /// Prediction-table entries (power of two).
+        table_entries: usize,
+        /// Prefetch-ahead distance.
+        ahead: u32,
+        /// Confidence threshold (≥ 1).
+        min_confidence: u8,
+    },
+    /// Classic history-based target prefetcher.
+    Target {
+        /// Table entries (power of two).
+        table_entries: usize,
+    },
+    /// Wrong-path prefetching (Pierce & Mudge): prefetch the untaken
+    /// outcome of conditional branches.
+    WrongPath {
+        /// Also prefetch the next line on misses.
+        next_line: bool,
+    },
+    /// Multi-target (Markov) discontinuity predictor: like
+    /// [`PrefetcherKind::Discontinuity`] but with two targets per entry.
+    Markov {
+        /// Table entries (power of two).
+        table_entries: usize,
+        /// Prefetch-ahead distance.
+        ahead: u32,
+    },
+}
+
+impl PrefetcherKind {
+    /// The four schemes compared throughout the paper's Figures 5–8.
+    pub const PAPER_SCHEMES: [PrefetcherKind; 4] = [
+        PrefetcherKind::NextLineOnMiss,
+        PrefetcherKind::NextLineTagged,
+        PrefetcherKind::NextNLineTagged { n: 4 },
+        PrefetcherKind::Discontinuity {
+            table_entries: 8192,
+            ahead: 4,
+        },
+    ];
+
+    /// The paper's default discontinuity configuration (8K entries,
+    /// next-4-line).
+    pub fn discontinuity_default() -> PrefetcherKind {
+        PrefetcherKind::Discontinuity {
+            table_entries: 8192,
+            ahead: 4,
+        }
+    }
+
+    /// The higher-accuracy next-2-line discontinuity variant of Figure 9.
+    pub fn discontinuity_2nl() -> PrefetcherKind {
+        PrefetcherKind::Discontinuity {
+            table_entries: 8192,
+            ahead: 2,
+        }
+    }
+
+    /// Instantiates a fresh engine of this kind (one per core).
+    pub fn build(&self) -> Box<dyn PrefetchEngine> {
+        match *self {
+            PrefetcherKind::None => Box::new(NoPrefetcher::new()),
+            PrefetcherKind::NextLineAlways => {
+                Box::new(NextLinePrefetcher::new(NextLineMode::Always))
+            }
+            PrefetcherKind::NextLineOnMiss => {
+                Box::new(NextLinePrefetcher::new(NextLineMode::OnMiss))
+            }
+            PrefetcherKind::NextLineTagged => {
+                Box::new(NextLinePrefetcher::new(NextLineMode::Tagged))
+            }
+            PrefetcherKind::NextNLineTagged { n } => Box::new(NextNLinePrefetcher::new(n)),
+            PrefetcherKind::Lookahead { n } => Box::new(LookaheadPrefetcher::new(n)),
+            PrefetcherKind::Discontinuity {
+                table_entries,
+                ahead,
+            } => Box::new(DiscontinuityPrefetcher::new(DiscontinuityConfig {
+                table_entries,
+                ahead,
+                min_confidence: 0,
+            })),
+            PrefetcherKind::DiscontinuityGated {
+                table_entries,
+                ahead,
+                min_confidence,
+            } => Box::new(DiscontinuityPrefetcher::new(DiscontinuityConfig {
+                table_entries,
+                ahead,
+                min_confidence,
+            })),
+            PrefetcherKind::Target { table_entries } => {
+                Box::new(TargetPrefetcher::new(table_entries))
+            }
+            PrefetcherKind::WrongPath { next_line } => Box::new(if next_line {
+                WrongPathPrefetcher::with_next_line()
+            } else {
+                WrongPathPrefetcher::new()
+            }),
+            PrefetcherKind::Markov {
+                table_entries,
+                ahead,
+            } => Box::new(MarkovPrefetcher::new(table_entries, ahead)),
+        }
+    }
+
+    /// Human-readable label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match *self {
+            PrefetcherKind::None => "no prefetch".to_string(),
+            PrefetcherKind::NextLineAlways => "next-line (always)".to_string(),
+            PrefetcherKind::NextLineOnMiss => "next-line (on miss)".to_string(),
+            PrefetcherKind::NextLineTagged => "next-line (tagged)".to_string(),
+            PrefetcherKind::NextNLineTagged { n } => format!("next-{n}-lines (tagged)"),
+            PrefetcherKind::Lookahead { n } => format!("lookahead-{n}"),
+            PrefetcherKind::Discontinuity {
+                table_entries,
+                ahead,
+            } => {
+                if ahead == 2 {
+                    format!("discont (2NL, {table_entries})")
+                } else if table_entries == 8192 {
+                    "discontinuity".to_string()
+                } else {
+                    format!("discontinuity ({table_entries})")
+                }
+            }
+            PrefetcherKind::DiscontinuityGated { min_confidence, .. } => {
+                format!("discontinuity (gated >={min_confidence})")
+            }
+            PrefetcherKind::Target { table_entries } => format!("target ({table_entries})"),
+            PrefetcherKind::WrongPath { next_line } => if next_line {
+                "wrong-path + next-line".to_string()
+            } else {
+                "wrong-path".to_string()
+            },
+            PrefetcherKind::Markov {
+                table_entries,
+                ahead,
+            } => format!("markov 2-target ({table_entries}, N{ahead})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLineAlways,
+            PrefetcherKind::NextLineOnMiss,
+            PrefetcherKind::NextLineTagged,
+            PrefetcherKind::NextNLineTagged { n: 4 },
+            PrefetcherKind::Lookahead { n: 4 },
+            PrefetcherKind::discontinuity_default(),
+            PrefetcherKind::discontinuity_2nl(),
+            PrefetcherKind::Target { table_entries: 4096 },
+            PrefetcherKind::WrongPath { next_line: true },
+            PrefetcherKind::WrongPath { next_line: false },
+            PrefetcherKind::Markov { table_entries: 8192, ahead: 4 },
+        ];
+        for k in kinds {
+            let engine = k.build();
+            assert!(!engine.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_schemes_match_figures() {
+        let labels: Vec<String> = PrefetcherKind::PAPER_SCHEMES
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "next-line (on miss)",
+                "next-line (tagged)",
+                "next-4-lines (tagged)",
+                "discontinuity",
+            ]
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! A multi-target ("Markov") discontinuity predictor — the design point
+//! the paper argues *against* (Joseph & Grunwald's Markov prefetching,
+//! and the multi-target tables of call-graph prefetching).
+//!
+//! Structurally identical to the single-target
+//! [`DiscontinuityPrefetcher`](crate::DiscontinuityPrefetcher) — same
+//! allocation rule, same probe-ahead, same sequential partner — except that
+//! each entry stores up to [`MARKOV_WAYS`] targets in MRU order and predicts
+//! all of them. The paper's observation is that, at line granularity, most
+//! triggers have a single target, so the extra ways mostly waste storage
+//! and bandwidth; this implementation exists to let the ablation harness
+//! verify exactly that trade-off.
+
+use ipsim_types::LineAddr;
+
+use crate::engine::{FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource};
+
+/// Targets stored per entry.
+pub const MARKOV_WAYS: usize = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    trigger: LineAddr,
+    /// Targets in MRU order; `None` in unused ways.
+    targets: [Option<LineAddr>; MARKOV_WAYS],
+}
+
+/// Multi-target discontinuity predictor with a next-N-line partner.
+#[derive(Debug, Clone)]
+pub struct MarkovPrefetcher {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+    ahead: u32,
+    frontier: Option<LineAddr>,
+}
+
+impl MarkovPrefetcher {
+    /// Creates a predictor with `table_entries` slots and prefetch-ahead
+    /// distance `ahead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `table_entries` is a non-zero power of two and `ahead`
+    /// is non-zero.
+    pub fn new(table_entries: usize, ahead: u32) -> MarkovPrefetcher {
+        assert!(
+            table_entries > 0 && table_entries.is_power_of_two(),
+            "table entries must be a non-zero power of two"
+        );
+        assert!(ahead > 0, "prefetch-ahead distance must be non-zero");
+        MarkovPrefetcher {
+            entries: vec![None; table_entries],
+            mask: table_entries as u64 - 1,
+            ahead,
+            frontier: None,
+        }
+    }
+
+    #[inline]
+    fn index(&self, line: LineAddr) -> usize {
+        (line.0 & self.mask) as usize
+    }
+
+    fn allocate(&mut self, trigger: LineAddr, target: LineAddr) {
+        let idx = self.index(trigger);
+        match &mut self.entries[idx] {
+            Some(e) if e.trigger == trigger => {
+                // Promote the target to MRU, inserting it if new.
+                if e.targets[0] == Some(target) {
+                    return;
+                }
+                e.targets[1] = e.targets[0];
+                e.targets[0] = Some(target);
+            }
+            slot => {
+                *slot = Some(Entry {
+                    trigger,
+                    targets: [Some(target), None],
+                });
+            }
+        }
+    }
+}
+
+impl PrefetchEngine for MarkovPrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        if ev.miss && ev.is_discontinuity() {
+            if let Some(prev) = ev.prev_line {
+                self.allocate(prev, ev.line);
+            }
+        }
+
+        let window_end = ev.line.ahead(self.ahead as u64);
+        if ev.miss || ev.first_use_of_prefetch {
+            for d in 1..=self.ahead as u64 {
+                out.push(PrefetchRequest::sequential(ev.line.ahead(d)));
+            }
+        }
+
+        let covered_span = 4 * self.ahead as u64;
+        let probe_from = match self.frontier {
+            Some(f) if ev.line.0 <= f.0 && f.0 - ev.line.0 <= covered_span => {
+                if f.0 >= window_end.0 {
+                    return;
+                }
+                f.next()
+            }
+            _ => ev.line,
+        };
+        self.frontier = Some(window_end);
+
+        let mut probe = probe_from;
+        while probe.0 <= window_end.0 {
+            let idx = self.index(probe);
+            if let Some(e) = &self.entries[idx] {
+                if e.trigger == probe {
+                    let remainder = window_end.0 - probe.0;
+                    for target in e.targets.iter().flatten() {
+                        out.push(PrefetchRequest {
+                            line: *target,
+                            source: PrefetchSource::Target,
+                        });
+                        for k in 1..=remainder {
+                            out.push(PrefetchRequest::sequential(target.ahead(k)));
+                        }
+                    }
+                }
+            }
+            probe = probe.next();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "markov (2-target)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch(pf: &mut MarkovPrefetcher, ev: FetchEvent) -> Vec<u64> {
+        let mut out = Vec::new();
+        pf.on_fetch(&ev, &mut out);
+        out.iter().map(|r| r.line.0).collect()
+    }
+
+    #[test]
+    fn predicts_both_observed_targets() {
+        let mut pf = MarkovPrefetcher::new(64, 4);
+        // Trigger line 10 was seen jumping to 500 and then to 900.
+        fetch(&mut pf, FetchEvent::miss(LineAddr(500), Some(LineAddr(10))));
+        fetch(&mut pf, FetchEvent::miss(LineAddr(900), Some(LineAddr(10))));
+        // A miss at 10 probes the window [10, 14] and predicts both.
+        let lines = fetch(&mut pf, FetchEvent::miss(LineAddr(10), Some(LineAddr(9))));
+        assert!(lines.contains(&900), "{lines:?}");
+        assert!(lines.contains(&500), "{lines:?}");
+    }
+
+    #[test]
+    fn third_target_evicts_lru() {
+        let mut pf = MarkovPrefetcher::new(64, 4);
+        for t in [500u64, 900, 700] {
+            fetch(&mut pf, FetchEvent::miss(LineAddr(t), Some(LineAddr(10))));
+            // Reset the stream away from the trigger between misses.
+            fetch(&mut pf, FetchEvent::hit(LineAddr(2000), Some(LineAddr(t))));
+        }
+        let lines = fetch(&mut pf, FetchEvent::miss(LineAddr(10), Some(LineAddr(9))));
+        assert!(lines.contains(&700));
+        assert!(lines.contains(&900));
+        assert!(!lines.contains(&500), "LRU target evicted: {lines:?}");
+    }
+
+    #[test]
+    fn repeated_target_is_not_duplicated() {
+        let mut pf = MarkovPrefetcher::new(64, 4);
+        fetch(&mut pf, FetchEvent::miss(LineAddr(500), Some(LineAddr(10))));
+        fetch(&mut pf, FetchEvent::miss(LineAddr(500), Some(LineAddr(10))));
+        let lines = fetch(&mut pf, FetchEvent::miss(LineAddr(10), Some(LineAddr(9))));
+        assert_eq!(lines.iter().filter(|&&l| l == 500).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        MarkovPrefetcher::new(100, 4);
+    }
+}

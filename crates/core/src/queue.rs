@@ -1,0 +1,298 @@
+//! The per-core prefetch queue (Section 4.1 of the paper).
+
+use std::collections::VecDeque;
+
+use ipsim_types::LineAddr;
+
+use crate::engine::PrefetchRequest;
+
+/// Lifecycle state of a queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Awaiting a tag-probe/issue slot.
+    Waiting,
+    /// Already issued; retained as a record so duplicates can be dropped.
+    Issued,
+    /// Invalidated by a matching demand fetch; retained as a record.
+    Invalid,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    req: PrefetchRequest,
+    state: SlotState,
+}
+
+/// Counters maintained by the [`PrefetchQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Requests accepted into the queue.
+    pub pushed: u64,
+    /// Requests dropped because a matching issued/invalidated record
+    /// existed.
+    pub dropped_record: u64,
+    /// Requests that matched a waiting entry and hoisted it to the head.
+    pub hoisted: u64,
+    /// Waiting prefetches dropped by overflow (oldest first).
+    pub dropped_overflow: u64,
+    /// Waiting prefetches invalidated by demand fetches.
+    pub invalidated: u64,
+    /// Prefetches handed to the issue path.
+    pub issued: u64,
+}
+
+/// The paper's prefetch queue: finite, managed **last-in first-out** so
+/// fresh prefetches de-emphasise stale ones, with
+///
+/// * no duplicates — a request matching a *waiting* entry hoists that entry
+///   to the head instead of enqueueing; one matching an *issued* or
+///   *invalidated* record is dropped;
+/// * demand-fetch invalidation — every demand fetch marks matching waiting
+///   entries invalid;
+/// * record retention — unused slots keep issued/invalidated line records,
+///   extending the dedup horizon;
+/// * overflow — when full of waiting entries, the **oldest** waiting
+///   prefetch is dropped (records are reclaimed first).
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_core::{PrefetchQueue, PrefetchRequest};
+/// use ipsim_types::LineAddr;
+///
+/// let mut q = PrefetchQueue::new(32);
+/// q.push_batch(&[
+///     PrefetchRequest::sequential(LineAddr(1)),
+///     PrefetchRequest::sequential(LineAddr(2)),
+/// ]);
+/// // Batch order is issue-priority order.
+/// assert_eq!(q.pop_issue().unwrap().line, LineAddr(1));
+/// assert_eq!(q.pop_issue().unwrap().line, LineAddr(2));
+/// assert!(q.pop_issue().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchQueue {
+    /// Front = head (most recent / highest priority).
+    slots: VecDeque<Slot>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl PrefetchQueue {
+    /// Creates a queue with `capacity` slots (the paper uses 32 per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PrefetchQueue {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        PrefetchQueue {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Queue statistics.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Number of waiting (issuable) entries.
+    pub fn waiting(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Waiting)
+            .count()
+    }
+
+    /// The state of the slot holding `line`, if any.
+    pub fn slot_state(&self, line: LineAddr) -> Option<SlotState> {
+        self.slots
+            .iter()
+            .find(|s| s.req.line == line)
+            .map(|s| s.state)
+    }
+
+    /// Pushes one request, applying dedup / hoisting / overflow rules.
+    pub fn push(&mut self, req: PrefetchRequest) {
+        if let Some(pos) = self.slots.iter().position(|s| s.req.line == req.line) {
+            match self.slots[pos].state {
+                SlotState::Waiting => {
+                    // Hoist the existing entry to the head.
+                    let slot = self.slots.remove(pos).expect("position exists");
+                    self.slots.push_front(slot);
+                    self.stats.hoisted += 1;
+                }
+                SlotState::Issued | SlotState::Invalid => {
+                    self.stats.dropped_record += 1;
+                }
+            }
+            return;
+        }
+        if self.slots.len() == self.capacity {
+            // Reclaim the oldest record first; only drop a real (waiting)
+            // prefetch — the oldest — when no record remains.
+            if let Some(pos) = self
+                .slots
+                .iter()
+                .rposition(|s| s.state != SlotState::Waiting)
+            {
+                self.slots.remove(pos);
+            } else {
+                self.slots.pop_back();
+                self.stats.dropped_overflow += 1;
+            }
+        }
+        self.slots.push_front(Slot {
+            req,
+            state: SlotState::Waiting,
+        });
+        self.stats.pushed += 1;
+    }
+
+    /// Pushes a batch whose order is *issue-priority* order: `batch[0]`
+    /// will be issued first (the batch is enqueued back-to-front so LIFO
+    /// issue preserves the intended priority).
+    pub fn push_batch(&mut self, batch: &[PrefetchRequest]) {
+        for req in batch.iter().rev() {
+            self.push(*req);
+        }
+    }
+
+    /// Takes the highest-priority waiting prefetch for issue, leaving an
+    /// issued record behind.
+    pub fn pop_issue(&mut self) -> Option<PrefetchRequest> {
+        let pos = self
+            .slots
+            .iter()
+            .position(|s| s.state == SlotState::Waiting)?;
+        self.slots[pos].state = SlotState::Issued;
+        self.stats.issued += 1;
+        Some(self.slots[pos].req)
+    }
+
+    /// A demand fetch of `line` occurred: invalidate matching waiting
+    /// entries (the prefetch is now pointless — the miss already happened).
+    pub fn on_demand_fetch(&mut self, line: LineAddr) {
+        for s in &mut self.slots {
+            if s.req.line == line && s.state == SlotState::Waiting {
+                s.state = SlotState::Invalid;
+                self.stats.invalidated += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PrefetchSource;
+
+    fn req(l: u64) -> PrefetchRequest {
+        PrefetchRequest::sequential(LineAddr(l))
+    }
+
+    #[test]
+    fn lifo_issue_order_for_separate_pushes() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(req(1));
+        q.push(req(2));
+        q.push(req(3));
+        // Last in, first out.
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(3));
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(2));
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(1));
+        assert!(q.pop_issue().is_none());
+    }
+
+    #[test]
+    fn batch_preserves_priority_order() {
+        let mut q = PrefetchQueue::new(8);
+        q.push_batch(&[req(10), req(11), req(12)]);
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(10));
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(11));
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(12));
+    }
+
+    #[test]
+    fn duplicate_of_waiting_hoists() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(req(1));
+        q.push(req(2));
+        q.push(req(1)); // hoist 1 above 2
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(1));
+        assert_eq!(q.pop_issue().unwrap().line, LineAddr(2));
+        assert_eq!(q.stats().hoisted, 1);
+        assert_eq!(q.stats().pushed, 2);
+    }
+
+    #[test]
+    fn duplicate_of_issued_is_dropped() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(req(1));
+        q.pop_issue();
+        q.push(req(1));
+        assert!(q.pop_issue().is_none());
+        assert_eq!(q.stats().dropped_record, 1);
+    }
+
+    #[test]
+    fn duplicate_of_invalidated_is_dropped() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(req(1));
+        q.on_demand_fetch(LineAddr(1));
+        assert_eq!(q.slot_state(LineAddr(1)), Some(SlotState::Invalid));
+        q.push(req(1));
+        assert!(q.pop_issue().is_none());
+        assert_eq!(q.stats().invalidated, 1);
+        assert_eq!(q.stats().dropped_record, 1);
+    }
+
+    #[test]
+    fn overflow_reclaims_records_before_dropping_waiting() {
+        let mut q = PrefetchQueue::new(3);
+        q.push(req(1));
+        q.pop_issue(); // slot 1 becomes a record
+        q.push(req(2));
+        q.push(req(3));
+        // Queue full: [3, 2, record(1)]. Pushing 4 reclaims the record.
+        q.push(req(4));
+        assert_eq!(q.stats().dropped_overflow, 0);
+        assert!(q.slot_state(LineAddr(1)).is_none());
+        // Now full of waiting entries; pushing 5 drops the oldest (2).
+        q.push(req(5));
+        assert_eq!(q.stats().dropped_overflow, 1);
+        assert!(q.slot_state(LineAddr(2)).is_none());
+        assert_eq!(q.waiting(), 3);
+    }
+
+    #[test]
+    fn no_duplicates_invariant() {
+        let mut q = PrefetchQueue::new(4);
+        for _ in 0..10 {
+            q.push(req(7));
+        }
+        assert_eq!(q.waiting(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        PrefetchQueue::new(0);
+    }
+
+    #[test]
+    fn source_metadata_round_trips() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(PrefetchRequest {
+            line: LineAddr(9),
+            source: PrefetchSource::Discontinuity { table_index: 5 },
+        });
+        let out = q.pop_issue().unwrap();
+        assert_eq!(
+            out.source,
+            PrefetchSource::Discontinuity { table_index: 5 }
+        );
+    }
+}

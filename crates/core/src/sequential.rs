@@ -1,0 +1,222 @@
+//! Sequential prefetchers: next-line (three trigger variants), next-N-line
+//! tagged, and lookahead-N (Section 2.1 of the paper).
+
+use crate::engine::{FetchEvent, PrefetchEngine, PrefetchRequest};
+
+/// When a next-line prefetcher fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextLineMode {
+    /// Prefetch the next line on every demand fetch.
+    Always,
+    /// Prefetch the next line only when the current fetch missed.
+    OnMiss,
+    /// Prefetch on a miss *or* on the first use of a previously prefetched
+    /// line (Smith's tagged scheme) — keeps a sequential run of prefetches
+    /// alive without re-missing.
+    Tagged,
+}
+
+impl NextLineMode {
+    fn triggered(self, ev: &FetchEvent) -> bool {
+        match self {
+            NextLineMode::Always => true,
+            NextLineMode::OnMiss => ev.miss,
+            NextLineMode::Tagged => ev.miss || ev.first_use_of_prefetch,
+        }
+    }
+}
+
+/// Next-line prefetcher: on its trigger, prefetches line `L+1`.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_core::{FetchEvent, NextLineMode, NextLinePrefetcher, PrefetchEngine};
+/// use ipsim_types::LineAddr;
+///
+/// let mut pf = NextLinePrefetcher::new(NextLineMode::OnMiss);
+/// let mut out = Vec::new();
+/// pf.on_fetch(&FetchEvent::miss(LineAddr(9), None), &mut out);
+/// assert_eq!(out[0].line, LineAddr(10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NextLinePrefetcher {
+    mode: NextLineMode,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher with the given trigger mode.
+    pub fn new(mode: NextLineMode) -> NextLinePrefetcher {
+        NextLinePrefetcher { mode }
+    }
+}
+
+impl PrefetchEngine for NextLinePrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        if self.mode.triggered(ev) {
+            out.push(PrefetchRequest::sequential(ev.line.next()));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            NextLineMode::Always => "next-line (always)",
+            NextLineMode::OnMiss => "next-line (on miss)",
+            NextLineMode::Tagged => "next-line (tagged)",
+        }
+    }
+}
+
+/// Next-N-line tagged prefetcher: on a miss or first use of a prefetched
+/// line, prefetches lines `L+1 ..= L+N`.
+///
+/// Increasing N improves timeliness and covers short forward control
+/// transfers whose targets land within the prefetch-ahead window, at the
+/// cost of over-run past the end of sequential segments.
+#[derive(Debug, Clone, Copy)]
+pub struct NextNLinePrefetcher {
+    n: u32,
+}
+
+impl NextNLinePrefetcher {
+    /// Creates a next-N-line tagged prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> NextNLinePrefetcher {
+        assert!(n > 0, "prefetch-ahead distance must be non-zero");
+        NextNLinePrefetcher { n }
+    }
+
+    /// The prefetch-ahead distance.
+    pub fn distance(&self) -> u32 {
+        self.n
+    }
+}
+
+impl PrefetchEngine for NextNLinePrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        if ev.miss || ev.first_use_of_prefetch {
+            for d in 1..=self.n {
+                out.push(PrefetchRequest::sequential(ev.line.ahead(d as u64)));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.n {
+            2 => "next-2-lines (tagged)",
+            4 => "next-4-lines (tagged)",
+            8 => "next-8-lines (tagged)",
+            _ => "next-N-lines (tagged)",
+        }
+    }
+}
+
+/// Lookahead prefetcher: on its trigger, prefetches the *single* line `L+N`
+/// (Han et al.): improves timeliness without issuing N requests per fetch,
+/// but leaves gaps after control transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct LookaheadPrefetcher {
+    n: u32,
+}
+
+impl LookaheadPrefetcher {
+    /// Creates a lookahead-N prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> LookaheadPrefetcher {
+        assert!(n > 0, "lookahead distance must be non-zero");
+        LookaheadPrefetcher { n }
+    }
+}
+
+impl PrefetchEngine for LookaheadPrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        if ev.miss || ev.first_use_of_prefetch {
+            out.push(PrefetchRequest::sequential(ev.line.ahead(self.n as u64)));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lookahead-N"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_types::LineAddr;
+
+    fn fetch(pf: &mut dyn PrefetchEngine, ev: FetchEvent) -> Vec<u64> {
+        let mut out = Vec::new();
+        pf.on_fetch(&ev, &mut out);
+        out.iter().map(|r| r.line.0).collect()
+    }
+
+    #[test]
+    fn on_miss_fires_only_on_miss() {
+        let mut pf = NextLinePrefetcher::new(NextLineMode::OnMiss);
+        assert_eq!(fetch(&mut pf, FetchEvent::miss(LineAddr(5), None)), [6]);
+        assert!(fetch(&mut pf, FetchEvent::hit(LineAddr(5), None)).is_empty());
+        let tagged_hit = FetchEvent {
+            first_use_of_prefetch: true,
+            ..FetchEvent::hit(LineAddr(5), None)
+        };
+        assert!(fetch(&mut pf, tagged_hit).is_empty());
+    }
+
+    #[test]
+    fn always_fires_on_everything() {
+        let mut pf = NextLinePrefetcher::new(NextLineMode::Always);
+        assert_eq!(fetch(&mut pf, FetchEvent::hit(LineAddr(5), None)), [6]);
+        assert_eq!(fetch(&mut pf, FetchEvent::miss(LineAddr(5), None)), [6]);
+    }
+
+    #[test]
+    fn tagged_fires_on_miss_and_first_use() {
+        let mut pf = NextLinePrefetcher::new(NextLineMode::Tagged);
+        assert_eq!(fetch(&mut pf, FetchEvent::miss(LineAddr(5), None)), [6]);
+        let tagged_hit = FetchEvent {
+            first_use_of_prefetch: true,
+            ..FetchEvent::hit(LineAddr(5), None)
+        };
+        assert_eq!(fetch(&mut pf, tagged_hit), [6]);
+        assert!(fetch(&mut pf, FetchEvent::hit(LineAddr(5), None)).is_empty());
+    }
+
+    #[test]
+    fn next_n_emits_full_window_in_order() {
+        let mut pf = NextNLinePrefetcher::new(4);
+        assert_eq!(
+            fetch(&mut pf, FetchEvent::miss(LineAddr(10), None)),
+            [11, 12, 13, 14]
+        );
+        assert!(fetch(&mut pf, FetchEvent::hit(LineAddr(10), None)).is_empty());
+    }
+
+    #[test]
+    fn lookahead_emits_single_distant_line() {
+        let mut pf = LookaheadPrefetcher::new(4);
+        assert_eq!(fetch(&mut pf, FetchEvent::miss(LineAddr(10), None)), [14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_distance_panics() {
+        NextNLinePrefetcher::new(0);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(
+            NextLinePrefetcher::new(NextLineMode::OnMiss).name(),
+            "next-line (on miss)"
+        );
+        assert_eq!(NextNLinePrefetcher::new(4).name(), "next-4-lines (tagged)");
+        assert_eq!(NextNLinePrefetcher::new(2).name(), "next-2-lines (tagged)");
+    }
+}

@@ -1,0 +1,248 @@
+//! The discontinuity prediction table (Section 4 of the paper).
+
+use ipsim_types::LineAddr;
+
+/// Initial / maximum value of the 2-bit saturating eviction counter.
+const COUNTER_MAX: u8 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// The triggering cache line (the line the discontinuity departs from).
+    trigger: LineAddr,
+    /// The observed target line.
+    target: LineAddr,
+    /// 2-bit saturating *eviction* counter: set to max on allocation,
+    /// incremented when the entry's prefetch proves useful, decremented by
+    /// conflicting allocation attempts; the entry may only be replaced when
+    /// it reaches zero. This protects useful entries from being thrashed by
+    /// stray events.
+    counter: u8,
+}
+
+/// Direct-mapped table of fetch-stream discontinuities, one target per
+/// entry.
+///
+/// The paper found that, at cache-line granularity, the vast majority of
+/// discontinuity trigger lines have a *single* target, so a direct-mapped,
+/// one-target-per-entry organisation suffices — substantially smaller than
+/// multi-target predictors.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_core::DiscontinuityTable;
+/// use ipsim_types::LineAddr;
+///
+/// let mut t = DiscontinuityTable::new(256);
+/// t.allocate(LineAddr(100), LineAddr(9000));
+/// assert_eq!(t.lookup(LineAddr(100)).map(|(tgt, _)| tgt), Some(LineAddr(9000)));
+/// assert_eq!(t.lookup(LineAddr(101)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscontinuityTable {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+    allocations: u64,
+    rejections: u64,
+}
+
+impl DiscontinuityTable {
+    /// Creates an empty table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a non-zero power of two.
+    pub fn new(entries: usize) -> DiscontinuityTable {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "table entries must be a non-zero power of two"
+        );
+        DiscontinuityTable {
+            entries: vec![None; entries],
+            mask: entries as u64 - 1,
+            allocations: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Successful allocations so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Allocation attempts rejected because the incumbent's counter had not
+    /// yet reached zero.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    #[inline]
+    fn index(&self, trigger: LineAddr) -> usize {
+        (trigger.0 & self.mask) as usize
+    }
+
+    /// Looks up the predicted target for a discontinuity departing
+    /// `trigger`, returning `(target, table_index)` on a hit.
+    pub fn lookup(&self, trigger: LineAddr) -> Option<(LineAddr, u32)> {
+        let idx = self.index(trigger);
+        match &self.entries[idx] {
+            Some(e) if e.trigger == trigger => Some((e.target, idx as u32)),
+            _ => None,
+        }
+    }
+
+    /// Records that a discontinuity `trigger → target` caused an
+    /// instruction cache miss, making it an insertion candidate.
+    ///
+    /// * Transition already present: nothing to do.
+    /// * Slot empty: insert with the counter at its saturated maximum.
+    /// * Slot held by a different transition: decrement the incumbent's
+    ///   counter; replace it only if the counter has reached zero.
+    ///
+    /// Returns `true` if the transition is present afterwards.
+    pub fn allocate(&mut self, trigger: LineAddr, target: LineAddr) -> bool {
+        let idx = self.index(trigger);
+        match &mut self.entries[idx] {
+            slot @ None => {
+                *slot = Some(Entry {
+                    trigger,
+                    target,
+                    counter: COUNTER_MAX,
+                });
+                self.allocations += 1;
+                true
+            }
+            Some(e) if e.trigger == trigger && e.target == target => true,
+            Some(e) => {
+                if e.counter == 0 {
+                    *e = Entry {
+                        trigger,
+                        target,
+                        counter: COUNTER_MAX,
+                    };
+                    self.allocations += 1;
+                    true
+                } else {
+                    e.counter -= 1;
+                    self.rejections += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reinforces the entry at `table_index`: its prediction produced a
+    /// useful prefetch. Saturating increment.
+    pub fn reinforce(&mut self, table_index: u32) {
+        if let Some(Some(e)) = self.entries.get_mut(table_index as usize) {
+            e.counter = (e.counter + 1).min(COUNTER_MAX);
+        }
+    }
+
+    /// Weakens the entry at `table_index`: its prediction produced a
+    /// prefetch that was evicted unused. Saturating decrement. Used by the
+    /// confidence-gated variant (an extension in the spirit of Haga et
+    /// al.'s confidence filtering; the paper's base design only decrements
+    /// on allocation conflicts).
+    pub fn weaken(&mut self, table_index: u32) {
+        if let Some(Some(e)) = self.entries.get_mut(table_index as usize) {
+            e.counter = e.counter.saturating_sub(1);
+        }
+    }
+
+    /// The confidence counter of the entry at `table_index`, if valid.
+    pub fn confidence(&self, table_index: u32) -> Option<u8> {
+        self.entries
+            .get(table_index as usize)
+            .and_then(|e| e.as_ref())
+            .map(|e| e.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut t = DiscontinuityTable::new(16);
+        assert!(t.allocate(LineAddr(1), LineAddr(100)));
+        assert_eq!(t.lookup(LineAddr(1)), Some((LineAddr(100), 1)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn direct_mapping_conflicts_respect_counter() {
+        let mut t = DiscontinuityTable::new(16);
+        // Lines 1 and 17 collide in a 16-entry table.
+        assert!(t.allocate(LineAddr(1), LineAddr(100)));
+        // Counter starts at 3: three rejected attempts decrement to zero...
+        assert!(!t.allocate(LineAddr(17), LineAddr(200)));
+        assert!(!t.allocate(LineAddr(17), LineAddr(200)));
+        assert!(!t.allocate(LineAddr(17), LineAddr(200)));
+        // ...and the fourth replaces.
+        assert!(t.allocate(LineAddr(17), LineAddr(200)));
+        assert_eq!(t.lookup(LineAddr(17)), Some((LineAddr(200), 1)));
+        assert_eq!(t.lookup(LineAddr(1)), None);
+        assert_eq!(t.rejections(), 3);
+        assert_eq!(t.allocations(), 2);
+    }
+
+    #[test]
+    fn reinforce_protects_entry() {
+        let mut t = DiscontinuityTable::new(16);
+        t.allocate(LineAddr(1), LineAddr(100));
+        // Wear it down by two...
+        t.allocate(LineAddr(17), LineAddr(200));
+        t.allocate(LineAddr(17), LineAddr(200));
+        // ...then two useful prefetches restore it (saturating at 3).
+        t.reinforce(1);
+        t.reinforce(1);
+        t.reinforce(1);
+        for _ in 0..3 {
+            assert!(!t.allocate(LineAddr(17), LineAddr(200)));
+        }
+        assert!(t.allocate(LineAddr(17), LineAddr(200)));
+    }
+
+    #[test]
+    fn same_transition_is_idempotent() {
+        let mut t = DiscontinuityTable::new(16);
+        t.allocate(LineAddr(1), LineAddr(100));
+        assert!(t.allocate(LineAddr(1), LineAddr(100)));
+        assert_eq!(t.allocations(), 1);
+        assert_eq!(t.rejections(), 0);
+    }
+
+    #[test]
+    fn same_trigger_new_target_counts_as_conflict() {
+        let mut t = DiscontinuityTable::new(16);
+        t.allocate(LineAddr(1), LineAddr(100));
+        // A different target for the same trigger line must also fight the
+        // eviction counter (one-target-per-entry design).
+        assert!(!t.allocate(LineAddr(1), LineAddr(300)));
+        assert_eq!(t.lookup(LineAddr(1)), Some((LineAddr(100), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        DiscontinuityTable::new(100);
+    }
+
+    #[test]
+    fn reinforce_out_of_range_is_ignored() {
+        let mut t = DiscontinuityTable::new(4);
+        t.reinforce(99); // must not panic
+    }
+}

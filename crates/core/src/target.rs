@@ -1,0 +1,137 @@
+//! A classic history-based target prefetcher (Smith & Hsu style), included
+//! as a related-work baseline.
+
+use ipsim_types::LineAddr;
+
+use crate::engine::{FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    trigger: LineAddr,
+    next: LineAddr,
+}
+
+/// Predicts the next fetched line from the previous transition history.
+///
+/// Unlike the [`DiscontinuityPrefetcher`](crate::DiscontinuityPrefetcher),
+/// this scheme
+///
+/// * records **every** line transition (sequential ones included), so its
+///   table must be much larger for the same coverage,
+/// * updates on every fetch (not only on misses), so entries churn,
+/// * has no eviction counter — a single stray transition replaces a useful
+///   entry,
+/// * probes only with the current line, so its prefetches are far less
+///   timely against multi-hundred-cycle memory latencies.
+///
+/// Those four differences are exactly what the paper's design improves on.
+#[derive(Debug, Clone)]
+pub struct TargetPrefetcher {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+    last_line: Option<LineAddr>,
+}
+
+impl TargetPrefetcher {
+    /// Creates a target prefetcher with `entries` table slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a non-zero power of two.
+    pub fn new(entries: usize) -> TargetPrefetcher {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "table entries must be a non-zero power of two"
+        );
+        TargetPrefetcher {
+            entries: vec![None; entries],
+            mask: entries as u64 - 1,
+            last_line: None,
+        }
+    }
+
+    #[inline]
+    fn index(&self, line: LineAddr) -> usize {
+        (line.0 & self.mask) as usize
+    }
+}
+
+impl PrefetchEngine for TargetPrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        // Learn the transition that just happened.
+        if let Some(prev) = ev.prev_line {
+            if prev != ev.line {
+                let idx = self.index(prev);
+                self.entries[idx] = Some(Entry {
+                    trigger: prev,
+                    next: ev.line,
+                });
+            }
+        }
+        self.last_line = Some(ev.line);
+        // Predict the line after this one.
+        let idx = self.index(ev.line);
+        if let Some(e) = &self.entries[idx] {
+            if e.trigger == ev.line {
+                out.push(PrefetchRequest {
+                    line: e.next,
+                    source: PrefetchSource::Target,
+                });
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "target"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch(pf: &mut TargetPrefetcher, line: u64, prev: Option<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        pf.on_fetch(
+            &FetchEvent::hit(LineAddr(line), prev.map(LineAddr)),
+            &mut out,
+        );
+        out.iter().map(|r| r.line.0).collect()
+    }
+
+    #[test]
+    fn learns_and_predicts_transitions() {
+        let mut pf = TargetPrefetcher::new(64);
+        fetch(&mut pf, 10, None);
+        fetch(&mut pf, 50, Some(10)); // learn 10 -> 50
+        // Revisiting 10 predicts 50.
+        assert_eq!(fetch(&mut pf, 10, Some(50)), [50]);
+    }
+
+    #[test]
+    fn records_sequential_transitions_too() {
+        let mut pf = TargetPrefetcher::new(64);
+        fetch(&mut pf, 11, Some(10)); // learns 10 -> 11
+        assert_eq!(fetch(&mut pf, 10, Some(11)), [11]);
+    }
+
+    #[test]
+    fn newer_transition_replaces_older() {
+        let mut pf = TargetPrefetcher::new(64);
+        fetch(&mut pf, 50, Some(10));
+        fetch(&mut pf, 60, Some(10)); // replaces 10 -> 50
+        assert_eq!(fetch(&mut pf, 10, Some(60)), [60]);
+    }
+
+    #[test]
+    fn no_prediction_for_unknown_line() {
+        let mut pf = TargetPrefetcher::new(64);
+        assert!(fetch(&mut pf, 123, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        TargetPrefetcher::new(3);
+    }
+}

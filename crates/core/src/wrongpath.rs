@@ -1,0 +1,103 @@
+//! Wrong-path instruction prefetching (Pierce & Mudge, MICRO 1996) — a
+//! related-work baseline the paper discusses in Section 2.3.
+
+use ipsim_types::LineAddr;
+
+use crate::engine::{FetchEvent, PrefetchEngine, PrefetchRequest};
+
+/// Prefetches the *untaken* outcome of every conditional branch.
+///
+/// Pierce & Mudge observed that for many conditional branches both outcomes
+/// execute within a short window, so fetching the wrong path effectively
+/// prefetches it for imminent use. The scheme needs no prediction tables —
+/// just the branch's two successor lines — but covers neither sequential
+/// misses beyond the next line nor call/return transfers, which is why the
+/// paper's discontinuity prefetcher subsumes it on commercial workloads.
+///
+/// The optional next-line component (on by default via
+/// [`WrongPathPrefetcher::with_next_line`]) matches the original paper's
+/// pairing with simple sequential prefetching.
+#[derive(Debug, Clone, Copy)]
+pub struct WrongPathPrefetcher {
+    next_line: bool,
+}
+
+impl WrongPathPrefetcher {
+    /// Wrong-path prefetching only.
+    pub fn new() -> WrongPathPrefetcher {
+        WrongPathPrefetcher { next_line: false }
+    }
+
+    /// Wrong-path prefetching plus next-line-on-miss, as originally
+    /// evaluated.
+    pub fn with_next_line() -> WrongPathPrefetcher {
+        WrongPathPrefetcher { next_line: true }
+    }
+}
+
+impl Default for WrongPathPrefetcher {
+    fn default() -> Self {
+        WrongPathPrefetcher::with_next_line()
+    }
+}
+
+impl PrefetchEngine for WrongPathPrefetcher {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        if self.next_line && ev.miss {
+            out.push(PrefetchRequest::sequential(ev.line.next()));
+        }
+    }
+
+    fn on_cond_branch(&mut self, alternate: LineAddr, out: &mut Vec<PrefetchRequest>) {
+        out.push(PrefetchRequest::sequential(alternate));
+    }
+
+    fn name(&self) -> &'static str {
+        if self.next_line {
+            "wrong-path + next-line"
+        } else {
+            "wrong-path"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_the_alternate_path() {
+        let mut pf = WrongPathPrefetcher::new();
+        let mut out = Vec::new();
+        pf.on_cond_branch(LineAddr(77), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, LineAddr(77));
+    }
+
+    #[test]
+    fn pure_variant_ignores_fetches() {
+        let mut pf = WrongPathPrefetcher::new();
+        let mut out = Vec::new();
+        pf.on_fetch(&FetchEvent::miss(LineAddr(5), None), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn next_line_variant_covers_misses_too() {
+        let mut pf = WrongPathPrefetcher::with_next_line();
+        let mut out = Vec::new();
+        pf.on_fetch(&FetchEvent::miss(LineAddr(5), None), &mut out);
+        assert_eq!(out[0].line, LineAddr(6));
+        pf.on_fetch(&FetchEvent::hit(LineAddr(5), None), &mut out);
+        assert_eq!(out.len(), 1, "hits do not trigger the next-line part");
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(WrongPathPrefetcher::new().name(), "wrong-path");
+        assert_eq!(
+            WrongPathPrefetcher::with_next_line().name(),
+            "wrong-path + next-line"
+        );
+    }
+}

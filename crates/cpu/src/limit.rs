@@ -1,0 +1,126 @@
+//! Limit-study support: perfect elimination of chosen miss classes
+//! (the paper's Figure 4).
+
+use ipsim_types::stats::MissGroup;
+use ipsim_types::MissCategory;
+
+/// Which instruction-miss groups a limit-study run eliminates perfectly.
+///
+/// An eliminated miss behaves as a hit: no stall, the line appears in the
+/// L1I and L2 for free. The paper uses the six combinations in
+/// [`LimitSpec::FIG4_SETS`] to show that sequential-only prefetching leaves
+/// most of the opportunity on the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LimitSpec {
+    /// Eliminate sequential misses.
+    pub sequential: bool,
+    /// Eliminate branch-caused misses (conditional and unconditional).
+    pub branch: bool,
+    /// Eliminate function-call misses (call / jump / return).
+    pub function_call: bool,
+}
+
+impl LimitSpec {
+    /// The six elimination sets of Figure 4, in legend order.
+    pub const FIG4_SETS: [LimitSpec; 6] = [
+        LimitSpec {
+            sequential: true,
+            branch: false,
+            function_call: false,
+        },
+        LimitSpec {
+            sequential: false,
+            branch: true,
+            function_call: false,
+        },
+        LimitSpec {
+            sequential: false,
+            branch: false,
+            function_call: true,
+        },
+        LimitSpec {
+            sequential: true,
+            branch: true,
+            function_call: false,
+        },
+        LimitSpec {
+            sequential: true,
+            branch: false,
+            function_call: true,
+        },
+        LimitSpec {
+            sequential: true,
+            branch: true,
+            function_call: true,
+        },
+    ];
+
+    /// `true` when misses of `category` are eliminated by this spec.
+    pub fn eliminates(&self, category: MissCategory) -> bool {
+        match category.group() {
+            MissGroup::Sequential => self.sequential,
+            MissGroup::Branch => self.branch,
+            MissGroup::FunctionCall => self.function_call,
+            MissGroup::Trap => false,
+        }
+    }
+
+    /// Legend label matching the paper's Figure 4.
+    pub fn label(&self) -> &'static str {
+        match (self.sequential, self.branch, self.function_call) {
+            (true, false, false) => "Sequential only",
+            (false, true, false) => "Branch only",
+            (false, false, true) => "Function only",
+            (true, true, false) => "Sequential + Branch",
+            (true, false, true) => "Sequential + Function",
+            (true, true, true) => "Sequential + Branch + Function",
+            (false, false, false) => "none",
+            _ => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elimination_follows_groups() {
+        let seq_only = LimitSpec::FIG4_SETS[0];
+        assert!(seq_only.eliminates(MissCategory::Sequential));
+        assert!(!seq_only.eliminates(MissCategory::Call));
+        assert!(!seq_only.eliminates(MissCategory::CondTakenFwd));
+        assert!(!seq_only.eliminates(MissCategory::Trap));
+
+        let all = LimitSpec::FIG4_SETS[5];
+        assert!(all.eliminates(MissCategory::Sequential));
+        assert!(all.eliminates(MissCategory::UncondBranch));
+        assert!(all.eliminates(MissCategory::Return));
+        assert!(!all.eliminates(MissCategory::Trap), "traps are never eliminated");
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        let labels: Vec<&str> = LimitSpec::FIG4_SETS.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "Sequential only",
+                "Branch only",
+                "Function only",
+                "Sequential + Branch",
+                "Sequential + Function",
+                "Sequential + Branch + Function",
+            ]
+        );
+    }
+
+    #[test]
+    fn default_eliminates_nothing() {
+        let d = LimitSpec::default();
+        for c in MissCategory::ALL {
+            assert!(!d.eliminates(c));
+        }
+        assert_eq!(d.label(), "none");
+    }
+}

@@ -1,0 +1,255 @@
+//! Run metrics: what a simulation reports.
+
+use ipsim_core::PrefetchStats;
+use ipsim_types::stats::CategoryCounts;
+use ipsim_types::Cycle;
+
+use crate::branch::BranchStats;
+use crate::memsys::MemStats;
+
+/// Per-core results over the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct CoreMetrics {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed on this core.
+    pub cycles: Cycle,
+    /// Instruction-line fetches (line transitions of the fetch PC).
+    pub line_fetches: u64,
+    /// L1I demand misses, by transition category.
+    pub l1i_misses: CategoryCounts,
+    /// L1I misses eliminated by a limit-study spec.
+    pub eliminated_misses: u64,
+    /// L1D demand accesses (loads + stores).
+    pub l1d_accesses: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// Branch-prediction statistics.
+    pub branch: BranchStats,
+    /// Prefetch pipeline statistics.
+    pub prefetch: PrefetchStats,
+}
+
+impl CoreMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1I misses per retired instruction (the paper's "% per instruction"
+    /// divided by 100).
+    pub fn l1i_miss_per_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1i_misses.total() as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Whole-system results over the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct SystemMetrics {
+    /// Per-core metrics.
+    pub cores: Vec<CoreMetrics>,
+    /// Shared memory-system counters.
+    pub mem: MemStats,
+    /// Off-chip line transfers during measurement.
+    pub bus_transfers: u64,
+    /// Cycles spent queueing for the bus during measurement.
+    pub bus_queue_cycles: f64,
+}
+
+impl SystemMetrics {
+    /// Total instructions retired across cores.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate throughput: the sum of per-core IPCs. For a single core
+    /// this is simply its IPC; for a CMP it is the chip's instruction
+    /// throughput per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc()).sum()
+    }
+
+    /// L1I misses per instruction, aggregated over cores.
+    pub fn l1i_miss_per_instr(&self) -> f64 {
+        let instrs = self.instructions();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.l1i_miss_breakdown().total() as f64 / instrs as f64
+        }
+    }
+
+    /// L1I miss breakdown by category, merged over cores.
+    pub fn l1i_miss_breakdown(&self) -> CategoryCounts {
+        let mut total = CategoryCounts::new();
+        for c in &self.cores {
+            total.merge(&c.l1i_misses);
+        }
+        total
+    }
+
+    /// L2 demand-instruction misses per instruction.
+    pub fn l2_instr_miss_per_instr(&self) -> f64 {
+        let instrs = self.instructions();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.mem.l2_instr_misses.total() as f64 / instrs as f64
+        }
+    }
+
+    /// L2 instruction-miss breakdown by category.
+    pub fn l2_instr_miss_breakdown(&self) -> &CategoryCounts {
+        &self.mem.l2_instr_misses
+    }
+
+    /// L2 demand-data misses per instruction.
+    pub fn l2_data_miss_per_instr(&self) -> f64 {
+        let instrs = self.instructions();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.mem.l2_data_misses as f64 / instrs as f64
+        }
+    }
+
+    /// L1D misses per instruction, aggregated over cores.
+    pub fn l1d_miss_per_instr(&self) -> f64 {
+        let instrs = self.instructions();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.cores.iter().map(|c| c.l1d_misses).sum::<u64>() as f64 / instrs as f64
+        }
+    }
+
+    /// Prefetch statistics merged over cores.
+    pub fn prefetch(&self) -> PrefetchStats {
+        let mut total = PrefetchStats::default();
+        for c in &self.cores {
+            total.merge(&c.prefetch);
+        }
+        total
+    }
+
+    /// Merged prefetch accuracy (Figure 9(i)).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.prefetch().accuracy()
+    }
+
+    /// Speedup of `self` over a `baseline` run of the same workload
+    /// (IPC ratio) — the metric of Figures 4, 6 and 8.
+    pub fn speedup_over(&self, baseline: &SystemMetrics) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.ipc() / base
+        }
+    }
+
+    /// Miss-rate ratio helpers for the normalised Figures 5 and 7.
+    pub fn l1i_miss_ratio_vs(&self, baseline: &SystemMetrics) -> f64 {
+        ratio(self.l1i_miss_per_instr(), baseline.l1i_miss_per_instr())
+    }
+
+    /// L2 instruction-miss rate relative to `baseline`.
+    pub fn l2_instr_miss_ratio_vs(&self, baseline: &SystemMetrics) -> f64 {
+        ratio(
+            self.l2_instr_miss_per_instr(),
+            baseline.l2_instr_miss_per_instr(),
+        )
+    }
+
+    /// L2 data-miss rate relative to `baseline`.
+    pub fn l2_data_miss_ratio_vs(&self, baseline: &SystemMetrics) -> f64 {
+        ratio(
+            self.l2_data_miss_per_instr(),
+            baseline.l2_data_miss_per_instr(),
+        )
+    }
+
+    /// Miss coverage relative to `baseline`: the fraction of baseline L1I
+    /// misses this run eliminated (Figure 10).
+    pub fn l1i_coverage_vs(&self, baseline: &SystemMetrics) -> f64 {
+        1.0 - self.l1i_miss_ratio_vs(baseline)
+    }
+
+    /// L2 instruction-miss coverage relative to `baseline`.
+    pub fn l2_instr_coverage_vs(&self, baseline: &SystemMetrics) -> f64 {
+        1.0 - self.l2_instr_miss_ratio_vs(baseline)
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_types::MissCategory;
+
+    fn core(instrs: u64, cycles: u64, misses: u64) -> CoreMetrics {
+        let mut m = CoreMetrics {
+            instructions: instrs,
+            cycles,
+            ..CoreMetrics::default()
+        };
+        m.l1i_misses[MissCategory::Sequential] = misses;
+        m
+    }
+
+    #[test]
+    fn ipc_is_sum_of_core_ipcs() {
+        let m = SystemMetrics {
+            cores: vec![core(100, 100, 0), core(100, 200, 0)],
+            ..SystemMetrics::default()
+        };
+        assert!((m.ipc() - 1.5).abs() < 1e-12);
+        assert_eq!(m.instructions(), 200);
+    }
+
+    #[test]
+    fn miss_rates_aggregate_over_cores() {
+        let m = SystemMetrics {
+            cores: vec![core(100, 100, 2), core(100, 100, 4)],
+            ..SystemMetrics::default()
+        };
+        assert!((m.l1i_miss_per_instr() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_coverage() {
+        let base = SystemMetrics {
+            cores: vec![core(100, 200, 10)],
+            ..SystemMetrics::default()
+        };
+        let better = SystemMetrics {
+            cores: vec![core(100, 100, 2)],
+            ..SystemMetrics::default()
+        };
+        assert!((better.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((better.l1i_coverage_vs(&base) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let empty = SystemMetrics::default();
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.l1i_miss_per_instr(), 0.0);
+        assert_eq!(empty.speedup_over(&empty), 0.0);
+    }
+}

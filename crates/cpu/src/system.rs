@@ -1,0 +1,369 @@
+//! The full system: N cores over a shared memory system, plus the builder
+//! and the workload-assignment helper.
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_trace::{TraceWalker, Workload};
+use ipsim_types::{ConfigError, SystemConfig, TraceOp};
+
+use crate::core_model::Core;
+use crate::limit::LimitSpec;
+use crate::memsys::MemSystem;
+use crate::metrics::SystemMetrics;
+
+/// Instructions each core executes before the scheduler re-picks the
+/// laggard core. Small enough that shared-L2/bus interleaving stays
+/// faithful, large enough to amortise scheduling.
+const SCHED_QUANTUM: u64 = 16;
+
+/// Anything that can feed a core one instruction at a time.
+pub trait OpSource {
+    /// Produces the next dynamic instruction.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+impl OpSource for TraceWalker<'_> {
+    fn next_op(&mut self) -> TraceOp {
+        TraceWalker::next_op(self)
+    }
+}
+
+/// Which workload each core runs.
+///
+/// * [`WorkloadSet::homogeneous`] — every core runs the same application
+///   (same binary, different transaction mixes), the paper's per-app CMP
+///   configuration;
+/// * [`WorkloadSet::mixed`] — one application per core, the paper's
+///   multiprogrammed "Mix".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSet {
+    /// Workload for core `i` (`per_core[i % per_core.len()]`).
+    pub per_core: Vec<Workload>,
+    /// Seed for static program synthesis (one program per distinct
+    /// workload).
+    pub program_seed: u64,
+    /// Base seed for per-core walkers.
+    pub walker_seed: u64,
+}
+
+impl WorkloadSet {
+    /// Every core runs `workload`.
+    pub fn homogeneous(workload: Workload) -> WorkloadSet {
+        WorkloadSet {
+            per_core: vec![workload],
+            program_seed: 0x5EED_0001,
+            walker_seed: 0x5EED_1001,
+        }
+    }
+
+    /// The paper's multiprogrammed mix: DB, TPC-W, jApp and Web, one per
+    /// core.
+    pub fn mixed() -> WorkloadSet {
+        WorkloadSet {
+            per_core: Workload::ALL.to_vec(),
+            program_seed: 0x5EED_0001,
+            walker_seed: 0x5EED_1001,
+        }
+    }
+
+    /// Display name ("DB", "Mixed", …).
+    pub fn name(&self) -> String {
+        if self.per_core.len() == 1 {
+            self.per_core[0].name().to_string()
+        } else {
+            "Mixed".to_string()
+        }
+    }
+
+    /// The workload core `i` runs.
+    pub fn workload_for_core(&self, core: u32) -> Workload {
+        self.per_core[core as usize % self.per_core.len()]
+    }
+}
+
+/// Builds a [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_cpu::SystemBuilder;
+/// use ipsim_core::PrefetcherKind;
+/// use ipsim_cache::InstallPolicy;
+///
+/// let system = SystemBuilder::cmp4()
+///     .prefetcher(PrefetcherKind::discontinuity_default())
+///     .install_policy(InstallPolicy::BypassL2UntilUseful)
+///     .build()?;
+/// assert_eq!(system.n_cores(), 4);
+/// # Ok::<(), ipsim_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    prefetcher: PrefetcherKind,
+    policy: InstallPolicy,
+    limit: Option<LimitSpec>,
+}
+
+impl SystemBuilder {
+    /// Starts from an explicit configuration.
+    pub fn new(config: SystemConfig) -> SystemBuilder {
+        SystemBuilder {
+            config,
+            prefetcher: PrefetcherKind::None,
+            policy: InstallPolicy::InstallBoth,
+            limit: None,
+        }
+    }
+
+    /// The paper's single-core baseline (private 2 MB L2, 10 GB/s).
+    pub fn single_core() -> SystemBuilder {
+        SystemBuilder::new(SystemConfig::single_core())
+    }
+
+    /// The paper's 4-way CMP (shared 2 MB L2, 20 GB/s).
+    pub fn cmp4() -> SystemBuilder {
+        SystemBuilder::new(SystemConfig::cmp4())
+    }
+
+    /// Sets the per-core instruction prefetcher.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> SystemBuilder {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Sets the L2 install policy for instruction prefetches.
+    pub fn install_policy(mut self, policy: InstallPolicy) -> SystemBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables a limit-study run (perfect elimination of chosen miss
+    /// classes).
+    pub fn limit(mut self, spec: LimitSpec) -> SystemBuilder {
+        self.limit = Some(spec);
+        self
+    }
+
+    /// Replaces the L1 instruction-cache geometry (Figure 1 sweeps).
+    pub fn l1i_cache(mut self, cache: ipsim_types::CacheConfig) -> SystemBuilder {
+        self.config.core.l1i = cache;
+        self
+    }
+
+    /// Replaces the shared L2 geometry (Figure 2 sweeps).
+    pub fn l2_cache(mut self, cache: ipsim_types::CacheConfig) -> SystemBuilder {
+        self.config.mem.l2 = cache;
+        self
+    }
+
+    /// Access to the full configuration for less common overrides.
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration fails validation
+    /// (see [`SystemConfig::validate`]).
+    pub fn build(self) -> Result<System, ConfigError> {
+        self.config.validate()?;
+        let cores = (0..self.config.n_cores)
+            .map(|id| Core::new(id, &self.config.core, self.prefetcher, self.limit))
+            .collect();
+        Ok(System {
+            cores,
+            mem: MemSystem::new(&self.config.mem, self.policy),
+            config: self.config,
+        })
+    }
+}
+
+/// N cores over one shared memory system.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    mem: MemSystem,
+    config: SystemConfig,
+}
+
+impl System {
+    /// Number of cores.
+    pub fn n_cores(&self) -> u32 {
+        self.cores.len() as u32
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The shared memory system (diagnostics / tests).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Runs every core for `instrs_per_core` further instructions, feeding
+    /// core `i` from `sources[i]`. Cores are interleaved smallest-clock
+    /// first, so shared-resource contention is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sources.len()` equals the core count.
+    pub fn run(&mut self, sources: &mut [&mut dyn OpSource], instrs_per_core: u64) {
+        assert_eq!(
+            sources.len(),
+            self.cores.len(),
+            "need exactly one op source per core"
+        );
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.executed() + instrs_per_core)
+            .collect();
+        loop {
+            // Pick the unfinished core with the smallest local clock.
+            let mut next: Option<usize> = None;
+            for (i, core) in self.cores.iter().enumerate() {
+                if core.executed() < targets[i]
+                    && next.is_none_or(|n| core.clock() < self.cores[n].clock())
+                {
+                    next = Some(i);
+                }
+            }
+            let Some(i) = next else {
+                break;
+            };
+            let core = &mut self.cores[i];
+            let quantum = SCHED_QUANTUM.min(targets[i] - core.executed());
+            for _ in 0..quantum {
+                core.step(sources[i].next_op(), &mut self.mem);
+            }
+        }
+    }
+
+    /// Builds walkers for `workloads`, warms the system for `warm_instrs`
+    /// per core, then measures for `measure_instrs` per core and returns
+    /// the metrics. This is the main experiment entry point.
+    pub fn run_workload(
+        &mut self,
+        workloads: &WorkloadSet,
+        warm_instrs: u64,
+        measure_instrs: u64,
+    ) -> SystemMetrics {
+        // One program per distinct workload (cores running the same app
+        // share the binary, hence share code lines in the L2).
+        let distinct: Vec<Workload> = {
+            let mut v = Vec::new();
+            for c in 0..self.n_cores() {
+                let w = workloads.workload_for_core(c);
+                if !v.contains(&w) {
+                    v.push(w);
+                }
+            }
+            v
+        };
+        let programs: Vec<(Workload, ipsim_trace::Program)> = distinct
+            .iter()
+            .map(|w| (*w, w.build_program(workloads.program_seed)))
+            .collect();
+        let mut walkers: Vec<TraceWalker<'_>> = (0..self.n_cores())
+            .map(|c| {
+                let w = workloads.workload_for_core(c);
+                let prog = &programs
+                    .iter()
+                    .find(|(pw, _)| *pw == w)
+                    .expect("program built for workload")
+                    .1;
+                TraceWalker::new(
+                    prog,
+                    w.profile(),
+                    c,
+                    workloads.walker_seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+        let mut sources: Vec<&mut dyn OpSource> = walkers
+            .iter_mut()
+            .map(|w| w as &mut dyn OpSource)
+            .collect();
+        if warm_instrs > 0 {
+            self.run(&mut sources, warm_instrs);
+        }
+        self.reset_stats();
+        self.run(&mut sources, measure_instrs);
+        self.metrics()
+    }
+
+    /// Resets all measurement counters; caches, predictors and prefetcher
+    /// state stay warm.
+    pub fn reset_stats(&mut self) {
+        for core in &mut self.cores {
+            core.reset_stats();
+        }
+        self.mem.reset_stats();
+    }
+
+    /// Metrics over the current measurement window.
+    pub fn metrics(&self) -> SystemMetrics {
+        SystemMetrics {
+            cores: self.cores.iter().map(|c| c.metrics()).collect(),
+            mem: self.mem.stats().clone(),
+            bus_transfers: self.mem.bus_transfers(),
+            bus_queue_cycles: self.mem.bus().queue_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_set_names_and_assignment() {
+        let h = WorkloadSet::homogeneous(Workload::Db);
+        assert_eq!(h.name(), "DB");
+        assert_eq!(h.workload_for_core(0), Workload::Db);
+        assert_eq!(h.workload_for_core(3), Workload::Db);
+
+        let m = WorkloadSet::mixed();
+        assert_eq!(m.name(), "Mixed");
+        assert_eq!(m.workload_for_core(0), Workload::Db);
+        assert_eq!(m.workload_for_core(3), Workload::Web);
+    }
+
+    #[test]
+    fn builder_validates() {
+        let mut b = SystemBuilder::single_core();
+        b.config_mut().core.issue_width = 0;
+        assert!(b.build().is_err());
+        assert!(SystemBuilder::cmp4().build().is_ok());
+    }
+
+    #[test]
+    fn small_run_produces_consistent_metrics() {
+        let mut sys = SystemBuilder::single_core().build().unwrap();
+        let m = sys.run_workload(&WorkloadSet::homogeneous(Workload::Web), 2_000, 10_000);
+        assert_eq!(m.instructions(), 10_000);
+        assert!(m.ipc() > 0.0 && m.ipc() < 3.0, "ipc {}", m.ipc());
+        assert!(m.l1i_miss_per_instr() > 0.0);
+        assert_eq!(m.cores.len(), 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sys = SystemBuilder::cmp4().build().unwrap();
+            let m = sys.run_workload(&WorkloadSet::mixed(), 2_000, 5_000);
+            (
+                m.instructions(),
+                m.cores.iter().map(|c| c.cycles).collect::<Vec<_>>(),
+                m.l1i_miss_breakdown().total(),
+                m.mem.l2_instr_misses.total(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

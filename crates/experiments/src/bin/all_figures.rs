@@ -1,0 +1,51 @@
+//! Runs every figure harness in sequence, teeing each figure's output into
+//! `results/figNN.txt`. Thanks to the shared run cache (`results/cache/`),
+//! configurations appearing in several figures are simulated once.
+
+use std::fs;
+use std::process::Command;
+
+const FIGURES: [&str; 13] = [
+    "fig01_l1_miss_rates",
+    "fig02_l2_miss_rates",
+    "fig03_miss_breakdown",
+    "fig04_limit_study",
+    "fig05_prefetch_miss_rates",
+    "fig06_prefetch_speedup",
+    "fig07_l2_data_pollution",
+    "fig08_bypass_speedup",
+    "fig09_accuracy_2nl",
+    "fig10_table_size",
+    "fig11_ablations",
+    "fig12_bandwidth",
+    "fig13_latency",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    fs::create_dir_all("results").expect("can create results directory");
+    let exe_dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable directory")
+        .to_path_buf();
+
+    for fig in FIGURES {
+        println!("==> {fig}");
+        let mut cmd = Command::new(exe_dir.join(fig));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("failed to run {fig}: {e}"));
+        if !out.status.success() {
+            eprintln!("{fig} failed:\n{}", String::from_utf8_lossy(&out.stderr));
+            std::process::exit(1);
+        }
+        let text = String::from_utf8_lossy(&out.stdout);
+        let short = fig.split('_').next().unwrap_or(fig);
+        fs::write(format!("results/{short}.txt"), text.as_bytes())
+            .expect("can write results file");
+        println!("{text}");
+    }
+    println!("all figures written to results/");
+}

@@ -1,0 +1,65 @@
+//! Calibration snapshot: prints the key baseline statistics for every
+//! workload against the paper's published targets. Not a paper figure —
+//! a development tool used to tune the workload profiles.
+
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{SystemBuilder, WorkloadSet};
+use ipsim_experiments::{pct, print_table, run, RunLengths};
+use ipsim_trace::Workload;
+use ipsim_types::stats::MissGroup;
+
+fn main() {
+    let lengths = RunLengths::from_args();
+    println!("== single-core baseline (no prefetch) ==");
+    println!("paper targets: L1I miss 1.32-3.16%/instr (jApp max); breakdown seq 40-60%, branch 20-40%, call 15-20%\n");
+
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        let m = run(
+            SystemBuilder::single_core().prefetcher(PrefetcherKind::None),
+            &WorkloadSet::homogeneous(w),
+            lengths,
+        );
+        let bd = m.l1i_miss_breakdown();
+        let total = bd.total().max(1) as f64;
+        rows.push(vec![
+            w.name().to_string(),
+            pct(m.l1i_miss_per_instr()),
+            pct(m.l2_instr_miss_per_instr()),
+            pct(m.l2_data_miss_per_instr()),
+            pct(m.l1d_miss_per_instr()),
+            format!("{:.0}%", bd.group_total(MissGroup::Sequential) as f64 / total * 100.0),
+            format!("{:.0}%", bd.group_total(MissGroup::Branch) as f64 / total * 100.0),
+            format!("{:.0}%", bd.group_total(MissGroup::FunctionCall) as f64 / total * 100.0),
+            format!("{:.3}", m.ipc()),
+        ]);
+    }
+    print_table(
+        &["workload", "L1I", "L2I", "L2D", "L1D", "seq", "br", "call", "IPC"],
+        &rows,
+    );
+
+    println!("\n== 4-way CMP baseline (no prefetch) ==");
+    println!("paper targets: L2 instr miss 0.07-0.44%/instr (2MB), Mixed worst and > apps\n");
+    let mut rows = Vec::new();
+    let mut sets: Vec<WorkloadSet> = Workload::ALL
+        .iter()
+        .map(|w| WorkloadSet::homogeneous(*w))
+        .collect();
+    sets.push(WorkloadSet::mixed());
+    for ws in &sets {
+        let m = run(
+            SystemBuilder::cmp4().prefetcher(PrefetcherKind::None),
+            ws,
+            lengths,
+        );
+        rows.push(vec![
+            ws.name(),
+            pct(m.l1i_miss_per_instr()),
+            pct(m.l2_instr_miss_per_instr()),
+            pct(m.l2_data_miss_per_instr()),
+            format!("{:.3}", m.ipc()),
+        ]);
+    }
+    print_table(&["workload", "L1I", "L2I", "L2D", "IPC"], &rows);
+}

@@ -1,0 +1,58 @@
+//! Calibration snapshot for the prefetchers: miss-rate reduction,
+//! accuracy, pollution and speedup for each scheme on the 4-way CMP.
+//! Development tool; the paper figures have dedicated binaries.
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{SystemBuilder, WorkloadSet};
+use ipsim_experiments::{pct, print_table, run, RunLengths};
+use ipsim_trace::Workload;
+
+fn main() {
+    let lengths = RunLengths::from_args();
+    let ws = WorkloadSet::homogeneous(
+        match std::env::args().nth(1).as_deref() {
+            Some("db") => Workload::Db,
+            Some("tpcw") => Workload::TpcW,
+            Some("web") => Workload::Web,
+            _ => Workload::JApp,
+        },
+    );
+    println!("workload: {}", ws.name());
+
+    let base = run(SystemBuilder::cmp4(), &ws, lengths);
+    println!(
+        "baseline: L1I {}  L2I {}  L2D {}  IPC {:.3}\n",
+        pct(base.l1i_miss_per_instr()),
+        pct(base.l2_instr_miss_per_instr()),
+        pct(base.l2_data_miss_per_instr()),
+        base.ipc()
+    );
+
+    let mut rows = Vec::new();
+    for kind in PrefetcherKind::PAPER_SCHEMES {
+        for policy in [InstallPolicy::InstallBoth, InstallPolicy::BypassL2UntilUseful] {
+            let m = run(
+                SystemBuilder::cmp4().prefetcher(kind).install_policy(policy),
+                &ws,
+                lengths,
+            );
+            rows.push(vec![
+                kind.label(),
+                match policy {
+                    InstallPolicy::InstallBoth => "install".to_string(),
+                    InstallPolicy::BypassL2UntilUseful => "bypass".to_string(),
+                },
+                format!("{:.2}", m.l1i_miss_ratio_vs(&base)),
+                format!("{:.2}", m.l2_instr_miss_ratio_vs(&base)),
+                format!("{:.2}", m.l2_data_miss_ratio_vs(&base)),
+                format!("{:.0}%", m.prefetch_accuracy() * 100.0),
+                format!("{:.3}", m.speedup_over(&base)),
+            ]);
+        }
+    }
+    print_table(
+        &["scheme", "policy", "L1I ratio", "L2I ratio", "L2D ratio", "acc", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Calibration helper: sweeps the hot-tier size and probability of one
+//! workload's code-popularity model and prints baseline miss rates.
+//!
+//! Usage: `sweep_zipf <db|tpcw|japp|web> [hot_prob_percent]`
+
+use ipsim_cpu::{OpSource, SystemBuilder};
+use ipsim_experiments::pct;
+use ipsim_trace::{ProgramBuilder, TraceWalker, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w = match args.get(1).map(String::as_str) {
+        Some("db") => Workload::Db,
+        Some("tpcw") => Workload::TpcW,
+        Some("japp") => Workload::JApp,
+        Some("web") => Workload::Web,
+        _ => {
+            eprintln!("usage: sweep_zipf <db|tpcw|japp|web> [hot_prob_percent]");
+            std::process::exit(2);
+        }
+    };
+    let hot_prob: Option<f64> = args
+        .get(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|v| v / 100.0);
+
+    println!("workload {} (hot_prob = {:?})", w.name(), hot_prob);
+    println!("{:>8} {:>8} {:>8}", "hot_fns", "L1I", "L2I");
+    for hot_fns in [100u32, 150, 200, 300, 400, 600, 800, 1200] {
+        let mut profile = w.profile();
+        profile.code_hot_fns = hot_fns;
+        if let Some(h) = hot_prob {
+            profile.dispatch_hot_prob = h;
+        }
+        let prog = ProgramBuilder::new(profile.clone(), 0x5EED_0001).build();
+        let mut system = SystemBuilder::single_core().build().unwrap();
+        let mut walker = TraceWalker::new(&prog, profile, 0, 0x5EED_1001);
+        let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+        system.run(&mut sources, 2_000_000);
+        system.reset_stats();
+        system.run(&mut sources, 3_000_000);
+        let m = system.metrics();
+        println!(
+            "{:>8} {:>8} {:>8}",
+            hot_fns,
+            pct(m.l1i_miss_per_instr()),
+            pct(m.l2_instr_miss_per_instr()),
+        );
+    }
+}

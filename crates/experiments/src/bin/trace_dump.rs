@@ -1,0 +1,97 @@
+//! Development tool: dumps the synthesised static program's structure —
+//! a workload's code-layout summary and the CFG of chosen functions.
+//!
+//! Usage: `trace_dump <db|tpcw|japp|web> [func_id ...]`
+
+use ipsim_trace::{FuncId, Terminator, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w = match args.get(1).map(String::as_str) {
+        Some("db") => Workload::Db,
+        Some("tpcw") => Workload::TpcW,
+        Some("japp") => Workload::JApp,
+        Some("web") => Workload::Web,
+        _ => {
+            eprintln!("usage: trace_dump <db|tpcw|japp|web> [func_id ...]");
+            std::process::exit(2);
+        }
+    };
+    let prog = w.build_program(0x5EED_0001);
+    println!(
+        "{}: {} functions (+{} trap handlers), {:.2} MB of code at {}",
+        w.name(),
+        prog.n_regular(),
+        prog.n_functions() - prog.n_regular(),
+        prog.code_bytes() as f64 / (1 << 20) as f64,
+        prog.code_start(),
+    );
+
+    // Aggregate shape statistics.
+    let mut blocks = 0u64;
+    let mut instrs = 0u64;
+    let mut terminators = [0u64; 6]; // fallthrough, cond, uncond, call, indirect, return
+    for f in 0..prog.n_regular() {
+        let func = prog.function(FuncId(f));
+        blocks += func.blocks.len() as u64;
+        instrs += func.n_instrs() as u64;
+        for b in &func.blocks {
+            let idx = match b.terminator {
+                Terminator::FallThrough => 0,
+                Terminator::CondBranch { .. } => 1,
+                Terminator::UncondBranch { .. } => 2,
+                Terminator::Call { .. } => 3,
+                Terminator::IndirectCall { .. } => 4,
+                Terminator::Return => 5,
+            };
+            terminators[idx] += 1;
+        }
+    }
+    println!(
+        "mean {:.1} blocks/function, {:.1} instrs/block",
+        blocks as f64 / prog.n_regular() as f64,
+        instrs as f64 / blocks as f64
+    );
+    let labels = ["fallthrough", "cond", "uncond", "call", "indirect", "return"];
+    for (label, count) in labels.iter().zip(terminators) {
+        println!(
+            "  {:<12} {:>5.1}%",
+            label,
+            count as f64 / blocks as f64 * 100.0
+        );
+    }
+
+    // Per-function CFG dumps.
+    for arg in args.iter().skip(2) {
+        let Ok(id) = arg.parse::<u32>() else {
+            eprintln!("bad function id '{arg}'");
+            continue;
+        };
+        if id >= prog.n_functions() {
+            eprintln!("function {id} out of range");
+            continue;
+        }
+        let func = prog.function(FuncId(id));
+        println!("\nfunction {} @ {} ({} instrs):", id, func.entry(), func.n_instrs());
+        for (i, b) in func.blocks.iter().enumerate() {
+            let term = match &b.terminator {
+                Terminator::FallThrough => "fall-through".to_string(),
+                Terminator::CondBranch { target, taken_prob } => {
+                    format!("cond -> B{target} (p={taken_prob:.2})")
+                }
+                Terminator::UncondBranch { target } => format!("goto B{target}"),
+                Terminator::Call { callee } => format!("call F{}", callee.0),
+                Terminator::IndirectCall { callees } => format!(
+                    "jmpl {{{}}}",
+                    callees
+                        .iter()
+                        .map(|(c, _)| format!("F{}", c.0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Terminator::Return => "return".to_string(),
+            };
+            println!("  B{i:<3} @ {}  {:>2} instrs  {}", b.start, b.n_instrs, term);
+        }
+    }
+}

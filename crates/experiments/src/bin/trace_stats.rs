@@ -1,0 +1,51 @@
+//! Development tool: dynamic-stream statistics for one workload — CTI
+//! frequencies, transaction lengths, stack depth, footprint.
+
+use std::collections::HashSet;
+
+use ipsim_trace::{TraceWalker, Workload};
+use ipsim_types::instr::{CtiClass, OpKind};
+use ipsim_types::LineSize;
+
+fn main() {
+    let w = match std::env::args().nth(1).as_deref() {
+        Some("db") => Workload::Db,
+        Some("tpcw") => Workload::TpcW,
+        Some("web") => Workload::Web,
+        _ => Workload::JApp,
+    };
+    let prog = w.build_program(0x5EED_0001);
+    let mut walker = TraceWalker::new(&prog, w.profile(), 0, 0x5EED_1001);
+    let n = 2_000_000u64;
+    let ls = LineSize::default();
+
+    let mut counts = std::collections::HashMap::new();
+    let mut lines = HashSet::new();
+    let mut dispatches = 0u64; // jump while stack empty
+    let mut depth_sum = 0u64;
+    let mut max_depth = 0usize;
+    for _ in 0..n {
+        let was_empty = walker.stack_depth() == 0;
+        let op = walker.next_op();
+        lines.insert(op.pc.line(ls));
+        depth_sum += walker.stack_depth() as u64;
+        max_depth = max_depth.max(walker.stack_depth());
+        if let OpKind::Cti { class, taken, .. } = op.kind {
+            *counts.entry(format!("{class:?} taken={taken}")).or_insert(0u64) += 1;
+            if class == CtiClass::Jump && was_empty {
+                dispatches += 1;
+            }
+        }
+    }
+    println!("workload {} over {}k instrs:", w.name(), n / 1000);
+    let mut keys: Vec<_> = counts.iter().collect();
+    keys.sort();
+    for (k, v) in keys {
+        println!("  {:<28} {:>8.2}/1k", k, *v as f64 / n as f64 * 1000.0);
+    }
+    println!("  dispatch jumps               {:>8.2}/1k (mean txn {} instrs)",
+        dispatches as f64 / n as f64 * 1000.0,
+        n.checked_div(dispatches).unwrap_or(0));
+    println!("  mean stack depth {:.1}, max {}", depth_sum as f64 / n as f64, max_depth);
+    println!("  touched {} lines ({} KB)", lines.len(), lines.len() * 64 / 1024);
+}

@@ -1,0 +1,207 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper; run them
+//! as
+//!
+//! ```text
+//! cargo run --release -p ipsim-experiments --bin fig01_l1_miss_rates [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the warm-up/measurement windows ~5× for smoke runs;
+//! default windows are 10 M warm + 20 M measured instructions per core
+//! (the paper used 50 M + 100 M on real traces).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod summary;
+
+pub use runner::RunSpec;
+pub use summary::Summary;
+
+use ipsim_cpu::{SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim_trace::Workload;
+
+/// Run-length configuration for the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLengths {
+    /// Warm-up instructions per core (caches and predictors fill; not
+    /// measured).
+    pub warm: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+}
+
+impl RunLengths {
+    /// The default experiment windows.
+    pub fn full() -> RunLengths {
+        RunLengths {
+            warm: 10_000_000,
+            measure: 20_000_000,
+        }
+    }
+
+    /// Fast smoke-run windows.
+    pub fn quick() -> RunLengths {
+        RunLengths {
+            warm: 2_000_000,
+            measure: 4_000_000,
+        }
+    }
+
+    /// Parses process arguments: `--quick` selects [`RunLengths::quick`].
+    pub fn from_args() -> RunLengths {
+        if std::env::args().any(|a| a == "--quick") {
+            RunLengths::quick()
+        } else {
+            RunLengths::full()
+        }
+    }
+}
+
+/// The five workload columns of the paper's CMP figures
+/// (DB, TPC-W, jApp, Web, Mixed).
+pub fn cmp_workload_sets() -> Vec<WorkloadSet> {
+    let mut v: Vec<WorkloadSet> = Workload::ALL
+        .iter()
+        .map(|w| WorkloadSet::homogeneous(*w))
+        .collect();
+    v.push(WorkloadSet::mixed());
+    v
+}
+
+/// The four workload columns of the single-core figures.
+pub fn single_workload_sets() -> Vec<WorkloadSet> {
+    Workload::ALL
+        .iter()
+        .map(|w| WorkloadSet::homogeneous(*w))
+        .collect()
+}
+
+/// Runs one configuration to completion and returns its metrics.
+///
+/// # Panics
+///
+/// Panics if the builder's configuration is invalid — experiment configs
+/// are static and a bad one is a programming error.
+pub fn run(builder: SystemBuilder, workloads: &WorkloadSet, lengths: RunLengths) -> SystemMetrics {
+    let mut system = builder.build().expect("experiment configuration is valid");
+    system.run_workload(workloads, lengths.warm, lengths.measure)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Runs the paper's four prefetch schemes over a set of workloads under a
+/// given system configuration and install policy, returning per-scheme
+/// summaries plus the no-prefetch baselines. Shared by Figures 5-9.
+pub fn scheme_matrix(
+    config: &ipsim_types::SystemConfig,
+    sets: &[WorkloadSet],
+    schemes: &[ipsim_core::PrefetcherKind],
+    policy: ipsim_cache::InstallPolicy,
+    lengths: RunLengths,
+) -> (Vec<Summary>, Vec<(String, Vec<Summary>)>) {
+    let baselines: Vec<Summary> = sets
+        .iter()
+        .map(|ws| RunSpec::new(config.clone(), ws.clone(), lengths).run())
+        .collect();
+    let per_scheme = schemes
+        .iter()
+        .map(|kind| {
+            let summaries = sets
+                .iter()
+                .map(|ws| {
+                    RunSpec::new(config.clone(), ws.clone(), lengths)
+                        .prefetcher(*kind)
+                        .policy(policy)
+                        .run()
+                })
+                .collect();
+            (kind.label(), summaries)
+        })
+        .collect();
+    (baselines, per_scheme)
+}
+
+/// The workload columns for one part of a figure: the four applications,
+/// plus Mixed when `include_mix`.
+pub fn workload_columns(include_mix: bool) -> Vec<WorkloadSet> {
+    let mut sets: Vec<WorkloadSet> = Workload::ALL
+        .iter()
+        .map(|w| WorkloadSet::homogeneous(*w))
+        .collect();
+    if include_mix {
+        sets.push(WorkloadSet::mixed());
+    }
+    sets
+}
+
+/// Header row: a label column followed by workload names.
+pub fn workload_header(label: &'static str, sets: &[WorkloadSet]) -> Vec<String> {
+    let mut h = vec![label.to_string()];
+    for ws in sets {
+        h.push(ws.name());
+    }
+    h
+}
+
+/// Prints a table whose header cells are owned strings.
+pub fn print_table_owned(header: &[String], rows: &[Vec<String>]) {
+    let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&refs, rows);
+}
+
+/// Prints a simple aligned table: a header row then data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{:<w$}", c, w = widths[i] + 2));
+            } else {
+                out.push_str(&format!("{:>w$}", c, w = widths[i] + 2));
+            }
+        }
+        out
+    };
+    println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sets_cover_the_paper_columns() {
+        let cmp = cmp_workload_sets();
+        assert_eq!(cmp.len(), 5);
+        assert_eq!(cmp[4].name(), "Mixed");
+        assert_eq!(single_workload_sets().len(), 4);
+    }
+
+    #[test]
+    fn quick_is_shorter_than_full() {
+        assert!(RunLengths::quick().measure < RunLengths::full().measure);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

@@ -1,0 +1,174 @@
+//! Cached experiment execution: identical configurations are simulated
+//! once and reused across figure binaries.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{LimitSpec, SystemBuilder, WorkloadSet};
+use ipsim_types::SystemConfig;
+
+use crate::summary::Summary;
+use crate::RunLengths;
+
+/// A fully specified experiment run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// System configuration (cores, caches, memory).
+    pub config: SystemConfig,
+    /// Per-core prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// L2 install policy for instruction prefetches.
+    pub policy: InstallPolicy,
+    /// Optional limit-study spec.
+    pub limit: Option<LimitSpec>,
+    /// Workload assignment.
+    pub workloads: WorkloadSet,
+    /// Warm-up / measurement windows.
+    pub lengths: RunLengths,
+}
+
+impl RunSpec {
+    /// A baseline spec: the paper's default system with no prefetcher.
+    pub fn new(config: SystemConfig, workloads: WorkloadSet, lengths: RunLengths) -> RunSpec {
+        RunSpec {
+            config,
+            prefetcher: PrefetcherKind::None,
+            policy: InstallPolicy::InstallBoth,
+            limit: None,
+            workloads,
+            lengths,
+        }
+    }
+
+    /// Sets the prefetcher.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> RunSpec {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Sets the install policy.
+    pub fn policy(mut self, policy: InstallPolicy) -> RunSpec {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets a limit-study spec.
+    pub fn limit(mut self, limit: LimitSpec) -> RunSpec {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// A stable cache key covering every parameter that affects results.
+    fn cache_key(&self) -> String {
+        let c = &self.config;
+        let descr = format!(
+            "v3|cores={}|l1i={}x{}x{}|l1d={}x{}x{}|l2={}x{}x{}|lat={},{},{}|bw={:.4}|\
+             fw={},iw={},rob={},pd={},mshr={}|gsh={},btb={},ras={}|pf={:?}|pol={:?}|lim={:?}|\
+             ws={:?}/{}/{}|warm={}|meas={}",
+            c.n_cores,
+            c.core.l1i.size_bytes(),
+            c.core.l1i.assoc(),
+            c.core.l1i.line().bytes(),
+            c.core.l1d.size_bytes(),
+            c.core.l1d.assoc(),
+            c.core.l1d.line().bytes(),
+            c.mem.l2.size_bytes(),
+            c.mem.l2.assoc(),
+            c.mem.l2.line().bytes(),
+            c.core.l1_latency,
+            c.mem.l2_latency,
+            c.mem.mem_latency,
+            c.mem.offchip_bytes_per_cycle,
+            c.core.fetch_width,
+            c.core.issue_width,
+            c.core.rob_entries,
+            c.core.pipeline_depth,
+            c.core.mshrs,
+            c.core.branch.gshare_entries,
+            c.core.branch.btb_entries,
+            c.core.branch.ras_entries,
+            self.prefetcher,
+            self.policy,
+            self.limit,
+            self.workloads.per_core,
+            self.workloads.program_seed,
+            self.workloads.walker_seed,
+            self.lengths.warm,
+            self.lengths.measure,
+        );
+        let mut descr = descr;
+        if c.core.tlb.enabled {
+            descr.push_str(&format!("|tlb={:?}", c.core.tlb));
+        }
+        let mut h = DefaultHasher::new();
+        descr.hash(&mut h);
+        format!("{:016x}", h.finish())
+    }
+
+    /// Executes the run, consulting and updating the on-disk cache
+    /// (`results/cache/`). Delete that directory to force re-simulation.
+    pub fn run(&self) -> Summary {
+        let path = cache_path(&self.cache_key());
+        if let Ok(contents) = fs::read_to_string(&path) {
+            if let Some(s) = Summary::from_tsv(&contents) {
+                return s;
+            }
+        }
+        let builder = SystemBuilder::new(self.config.clone())
+            .prefetcher(self.prefetcher)
+            .install_policy(self.policy);
+        let builder = match self.limit {
+            Some(l) => builder.limit(l),
+            None => builder,
+        };
+        let mut system = builder.build().expect("experiment configuration is valid");
+        let metrics =
+            system.run_workload(&self.workloads, self.lengths.warm, self.lengths.measure);
+        let summary = Summary::from_metrics(&metrics);
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(&path, summary.to_tsv());
+        summary
+    }
+}
+
+fn cache_path(key: &str) -> PathBuf {
+    PathBuf::from("results").join("cache").join(format!("{key}.tsv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_trace::Workload;
+
+    #[test]
+    fn cache_keys_distinguish_configs() {
+        let lengths = RunLengths {
+            warm: 1,
+            measure: 2,
+        };
+        let a = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let b = a.clone().prefetcher(PrefetcherKind::NextLineTagged);
+        let c = a.clone().policy(InstallPolicy::BypassL2UntilUseful);
+        let d = RunSpec::new(
+            SystemConfig::cmp4(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let keys = [a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key()];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The static synthetic program: functions, basic blocks and control-flow
+//! structure, laid out in a flat address space.
+
+use ipsim_types::instr::INSTR_BYTES;
+use ipsim_types::{Addr, Rng64};
+
+/// Three-tier popularity sampler over function ranks: a small uniform hot
+/// tier (the L1I-scale working set), a warm tier (L2-scale) and a cold
+/// tail. Mirrors the data generator's locality hierarchy and gives the
+/// workload profiles direct, well-behaved knobs over working-set sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TierSampler {
+    pub(crate) hot: u32,
+    pub(crate) warm: u32,
+    pub(crate) total: u32,
+    pub(crate) hot_prob: f64,
+    pub(crate) warm_prob: f64,
+}
+
+impl TierSampler {
+    /// Draws a popularity rank (0 = hottest region).
+    pub(crate) fn sample(&self, rng: &mut Rng64) -> u32 {
+        let r = rng.f64();
+        if r < self.hot_prob {
+            rng.range(self.hot as u64) as u32
+        } else if r < self.hot_prob + self.warm_prob {
+            self.hot + rng.range(self.warm as u64) as u32
+        } else {
+            let cold = self.total - self.hot - self.warm;
+            if cold == 0 {
+                rng.range(self.total as u64) as u32
+            } else {
+                self.hot + self.warm + rng.range(cold as u64) as u32
+            }
+        }
+    }
+}
+
+/// Identifies a function by its layout position (function 0 sits at the
+/// lowest code address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// The block simply continues into the next block (the "terminator"
+    /// slot holds an ordinary instruction).
+    FallThrough,
+    /// A conditional PC-relative branch to `target` (a block index within
+    /// the same function), taken with probability `taken_prob` on each
+    /// dynamic execution.
+    CondBranch {
+        /// Target block index within the same function.
+        target: u32,
+        /// Per-execution probability the branch is taken.
+        taken_prob: f32,
+    },
+    /// An unconditional PC-relative branch to block `target`.
+    UncondBranch {
+        /// Target block index within the same function.
+        target: u32,
+    },
+    /// A direct call; execution resumes at the next block on return.
+    Call {
+        /// The (single, fixed) callee — direct call targets are embedded in
+        /// the instruction, the property that makes most discontinuities
+        /// single-target.
+        callee: FuncId,
+    },
+    /// An indirect call (SPARC `jmpl`) through a register: one of several
+    /// possible callees, chosen per dynamic execution.
+    IndirectCall {
+        /// Candidate callees with selection weights.
+        callees: Vec<(FuncId, f32)>,
+    },
+    /// Return to the caller.
+    Return,
+}
+
+/// A basic block: `n_instrs` instructions at `start`, the last being the
+/// terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Address of the block's first instruction.
+    pub start: Addr,
+    /// Instruction count including the terminator slot (always ≥ 1).
+    pub n_instrs: u32,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Address of the instruction at `idx` within this block.
+    #[inline]
+    pub fn instr_addr(&self, idx: u32) -> Addr {
+        debug_assert!(idx < self.n_instrs);
+        self.start.offset(idx as u64 * INSTR_BYTES)
+    }
+}
+
+/// One function: contiguous basic blocks; block 0 is the entry, the last
+/// block returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Basic blocks in layout order.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The function's entry address.
+    pub fn entry(&self) -> Addr {
+        self.blocks[0].start
+    }
+
+    /// Total instructions across the function's blocks.
+    pub fn n_instrs(&self) -> u32 {
+        self.blocks.iter().map(|b| b.n_instrs).sum()
+    }
+}
+
+/// A complete synthetic static program.
+///
+/// Built by [`ProgramBuilder`](crate::ProgramBuilder); walked by
+/// [`TraceWalker`](crate::TraceWalker). Several walkers (one per simulated
+/// core) may share one `Program` — that is how we model multiple cores
+/// running the same binary with shared code but independent control flow.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) functions: Vec<Function>,
+    pub(crate) code_start: Addr,
+    pub(crate) code_bytes: u64,
+    /// Number of ordinary (non-trap-handler) functions; handlers occupy the
+    /// tail of `functions`.
+    pub(crate) n_regular: u32,
+    /// Popularity permutation: `by_rank[r]` is the function holding
+    /// popularity rank `r` (rank 0 hottest).
+    pub(crate) by_rank: Vec<FuncId>,
+    /// Sampler over popularity ranks used for transaction dispatch.
+    pub(crate) dispatch: TierSampler,
+}
+
+impl Program {
+    /// The function with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Total number of functions, including trap handlers.
+    pub fn n_functions(&self) -> u32 {
+        self.functions.len() as u32
+    }
+
+    /// Number of ordinary (callable) functions.
+    pub fn n_regular(&self) -> u32 {
+        self.n_regular
+    }
+
+    /// Lowest code address.
+    pub fn code_start(&self) -> Addr {
+        self.code_start
+    }
+
+    /// Total code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.code_bytes
+    }
+
+    /// Draws the entry function for the next top-level transaction.
+    pub fn next_transaction(&self, rng: &mut Rng64) -> FuncId {
+        self.by_rank[self.dispatch.sample(rng) as usize]
+    }
+
+    /// Draws a popularity rank from the dispatch tiers (used by the walker
+    /// to centre a transaction's service window).
+    pub fn dispatch_rank(&self, rng: &mut Rng64) -> u32 {
+        self.dispatch.sample(rng)
+    }
+
+    /// The function holding popularity rank `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn function_at_rank(&self, rank: u32) -> FuncId {
+        self.by_rank[rank as usize]
+    }
+
+    /// Draws a trap-handler function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was built without trap handlers.
+    pub fn trap_handler(&self, rng: &mut Rng64) -> FuncId {
+        let n_handlers = self.functions.len() as u32 - self.n_regular;
+        assert!(n_handlers > 0, "program has no trap handlers");
+        FuncId(self.n_regular + rng.range(n_handlers as u64) as u32)
+    }
+
+    /// Checks structural invariants; used by tests and the builder.
+    ///
+    /// Verified invariants: blocks are laid out contiguously and in order;
+    /// every branch target is a valid block index in its function; every
+    /// call target is a valid function; the last block of every function
+    /// returns; code addresses start at `code_start` and span `code_bytes`.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut cursor = self.code_start;
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.blocks.is_empty() {
+                return Err(format!("function {fi} has no blocks"));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                if b.start != cursor {
+                    return Err(format!(
+                        "function {fi} block {bi}: start {} != cursor {}",
+                        b.start, cursor
+                    ));
+                }
+                if b.n_instrs == 0 {
+                    return Err(format!("function {fi} block {bi} empty"));
+                }
+                cursor = cursor.offset(b.n_instrs as u64 * INSTR_BYTES);
+                let nb = f.blocks.len() as u32;
+                match &b.terminator {
+                    Terminator::CondBranch { target, taken_prob } => {
+                        if *target >= nb {
+                            return Err(format!("function {fi} block {bi}: bad target"));
+                        }
+                        if !(0.0..=1.0).contains(taken_prob) {
+                            return Err(format!("function {fi} block {bi}: bad prob"));
+                        }
+                    }
+                    Terminator::UncondBranch { target } => {
+                        if *target >= nb {
+                            return Err(format!("function {fi} block {bi}: bad target"));
+                        }
+                    }
+                    Terminator::Call { callee } => {
+                        if callee.0 >= self.n_regular {
+                            return Err(format!("function {fi} block {bi}: bad callee"));
+                        }
+                    }
+                    Terminator::IndirectCall { callees } => {
+                        if callees.is_empty() {
+                            return Err(format!("function {fi} block {bi}: no callees"));
+                        }
+                        for (c, w) in callees {
+                            if c.0 >= self.n_regular || *w <= 0.0 {
+                                return Err(format!("function {fi} block {bi}: bad callee"));
+                            }
+                        }
+                    }
+                    Terminator::FallThrough | Terminator::Return => {}
+                }
+                // Non-final fall-through/branch blocks need a successor.
+                let is_last = bi as u32 == nb - 1;
+                if is_last && !matches!(b.terminator, Terminator::Return) {
+                    return Err(format!("function {fi}: last block does not return"));
+                }
+            }
+        }
+        let span = cursor.0 - self.code_start.0;
+        if span != self.code_bytes {
+            return Err(format!(
+                "code_bytes {} != laid-out span {span}",
+                self.code_bytes
+            ));
+        }
+        if self.by_rank.len() != self.n_regular as usize {
+            return Err("popularity permutation size mismatch".to_string());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,168 @@
+//! Statistical shape checks on the synthetic workloads: the structural
+//! properties the calibration relies on must hold for every preset.
+
+use std::collections::HashSet;
+
+use ipsim_trace::{TraceWalker, Workload};
+use ipsim_types::instr::{CtiClass, OpKind};
+use ipsim_types::LineSize;
+
+const OPS: u64 = 1_000_000;
+
+struct StreamShape {
+    cond_per_ki: f64,
+    call_per_ki: f64,
+    discontinuities_per_ki: f64,
+    single_target_frac: f64,
+    code_lines: usize,
+    load_frac: f64,
+    store_frac: f64,
+}
+
+fn measure(w: Workload) -> StreamShape {
+    let prog = w.build_program(11);
+    let mut walker = TraceWalker::new(&prog, w.profile(), 0, 13);
+    let ls = LineSize::default();
+    let mut cond = 0u64;
+    let mut call = 0u64;
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut lines = HashSet::new();
+    // Map discontinuity trigger line -> set of observed target lines.
+    let mut targets: std::collections::HashMap<u64, HashSet<u64>> =
+        std::collections::HashMap::new();
+    let mut discontinuities = 0u64;
+    let mut prev_line = None;
+    for _ in 0..OPS {
+        let op = walker.next_op();
+        let line = op.pc.line(ls);
+        if let Some(prev) = prev_line {
+            if line != prev && !line.is_sequential_after(prev) {
+                discontinuities += 1;
+                targets
+                    .entry({
+                        let p: ipsim_types::LineAddr = prev;
+                        p.0
+                    })
+                    .or_default()
+                    .insert(line.0);
+            }
+        }
+        prev_line = Some(line);
+        lines.insert(line);
+        match op.kind {
+            OpKind::Load { .. } => loads += 1,
+            OpKind::Store { .. } => stores += 1,
+            OpKind::Cti { class, .. } => match class {
+                CtiClass::CondBranch => cond += 1,
+                CtiClass::Call => call += 1,
+                _ => {}
+            },
+            OpKind::Other => {}
+        }
+    }
+    let single = targets.values().filter(|t| t.len() == 1).count();
+    StreamShape {
+        cond_per_ki: cond as f64 / OPS as f64 * 1000.0,
+        call_per_ki: call as f64 / OPS as f64 * 1000.0,
+        discontinuities_per_ki: discontinuities as f64 / OPS as f64 * 1000.0,
+        single_target_frac: single as f64 / targets.len().max(1) as f64,
+        code_lines: lines.len(),
+        load_frac: loads as f64 / OPS as f64,
+        store_frac: stores as f64 / OPS as f64,
+    }
+}
+
+#[test]
+fn conditional_branches_are_frequent() {
+    // Small basic blocks => a conditional branch every ~10-20 instructions.
+    for w in Workload::ALL {
+        let s = measure(w);
+        assert!(
+            (40.0..150.0).contains(&s.cond_per_ki),
+            "{}: {} cond/1k",
+            w.name(),
+            s.cond_per_ki
+        );
+    }
+}
+
+#[test]
+fn calls_are_present_but_subcritical() {
+    for w in Workload::ALL {
+        let s = measure(w);
+        assert!(
+            (5.0..60.0).contains(&s.call_per_ki),
+            "{}: {} calls/1k",
+            w.name(),
+            s.call_per_ki
+        );
+    }
+}
+
+#[test]
+fn most_discontinuity_triggers_have_a_single_target() {
+    // The paper's key enabling observation for the one-target-per-entry
+    // table: at line granularity, the majority of discontinuity trigger
+    // lines have exactly one target.
+    for w in Workload::ALL {
+        let s = measure(w);
+        assert!(
+            s.single_target_frac > 0.5,
+            "{}: only {:.0}% of triggers single-target",
+            w.name(),
+            s.single_target_frac * 100.0
+        );
+        assert!(
+            s.discontinuities_per_ki > 10.0,
+            "{}: {} discontinuities/1k",
+            w.name(),
+            s.discontinuities_per_ki
+        );
+    }
+}
+
+#[test]
+fn touched_code_exceeds_the_l1i_by_a_wide_margin() {
+    for w in Workload::ALL {
+        let s = measure(w);
+        // 32 KB L1I = 512 lines; the active footprint must dwarf it.
+        assert!(
+            s.code_lines > 2_000,
+            "{}: touched only {} lines",
+            w.name(),
+            s.code_lines
+        );
+    }
+}
+
+#[test]
+fn memory_op_mix_matches_profiles() {
+    for w in Workload::ALL {
+        let p = w.profile();
+        let s = measure(w);
+        // Terminator slots dilute the body-instruction fractions slightly.
+        assert!(
+            (s.load_frac - p.load_frac).abs() < 0.06,
+            "{}: load fraction {} vs profile {}",
+            w.name(),
+            s.load_frac,
+            p.load_frac
+        );
+        assert!(
+            (s.store_frac - p.store_frac).abs() < 0.04,
+            "{}: store fraction {} vs profile {}",
+            w.name(),
+            s.store_frac,
+            p.store_frac
+        );
+        assert!(s.load_frac > s.store_frac, "{}", w.name());
+    }
+}
+
+#[test]
+fn japp_touches_the_most_code() {
+    let japp = measure(Workload::JApp).code_lines;
+    let web = measure(Workload::Web).code_lines;
+    assert!(japp > web, "jApp {japp} lines vs Web {web}");
+}

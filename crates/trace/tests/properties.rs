@@ -1,0 +1,59 @@
+//! Property-based tests over the trace generator: for any seed and any
+//! workload, the synthesised program is structurally valid and the dynamic
+//! stream is self-consistent.
+
+use ipsim_trace::{TraceWalker, Workload};
+use proptest::prelude::*;
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::Db),
+        Just(Workload::TpcW),
+        Just(Workload::JApp),
+        Just(Workload::Web),
+    ]
+}
+
+proptest! {
+    // Program construction is the expensive part; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every (workload, seed) pair yields a structurally valid program.
+    #[test]
+    fn programs_validate(w in any_workload(), seed in 0u64..1000) {
+        let prog = w.build_program(seed);
+        prop_assert_eq!(prog.validate(), Ok(()));
+    }
+
+    /// The dynamic stream is self-consistent for arbitrary seeds: every
+    /// op's PC equals the previous op's successor.
+    #[test]
+    fn streams_are_self_consistent(
+        w in any_workload(),
+        prog_seed in 0u64..100,
+        walk_seed in 0u64..1000,
+        core in 0u32..4,
+    ) {
+        let prog = w.build_program(prog_seed);
+        let mut walker = TraceWalker::new(&prog, w.profile(), core, walk_seed);
+        let mut prev = walker.next_op();
+        for _ in 0..30_000 {
+            let op = walker.next_op();
+            prop_assert_eq!(op.pc, prev.next_pc());
+            prev = op;
+        }
+    }
+
+    /// All PCs stay inside the program's code segment.
+    #[test]
+    fn pcs_stay_in_code_segment(w in any_workload(), seed in 0u64..100) {
+        let prog = w.build_program(seed);
+        let lo = prog.code_start().0;
+        let hi = lo + prog.code_bytes();
+        let mut walker = TraceWalker::new(&prog, w.profile(), 0, seed ^ 0xABCD);
+        for _ in 0..30_000 {
+            let pc = walker.next_op().pc.0;
+            prop_assert!(pc >= lo && pc < hi, "pc {pc:#x} outside [{lo:#x}, {hi:#x})");
+        }
+    }
+}

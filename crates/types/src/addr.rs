@@ -1,0 +1,237 @@
+//! Byte and cache-line address newtypes.
+//!
+//! The simulator works with two address granularities: byte addresses
+//! ([`Addr`], as produced by the trace generator) and cache-line addresses
+//! ([`LineAddr`], as consumed by caches and prefetchers). Keeping them as
+//! distinct newtypes prevents a whole class of off-by-a-shift bugs.
+
+use std::fmt;
+
+use crate::error::ConfigError;
+
+/// A byte address in the simulated (virtual = physical) address space.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_types::addr::{Addr, LineSize};
+///
+/// let a = Addr(0x1200);
+/// assert_eq!(a.offset(4), Addr(0x1204));
+/// assert_eq!(a.line(LineSize::new(64).unwrap()), a.offset(16).line(LineSize::new(64).unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line this byte address falls in, for a given line size.
+    #[inline]
+    pub fn line(self, line_size: LineSize) -> LineAddr {
+        LineAddr(self.0 >> line_size.shift())
+    }
+
+    /// This address plus `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on address-space wrap-around.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Byte distance to `other`, as a signed quantity (`other - self`).
+    #[inline]
+    pub fn distance_to(self, other: Addr) -> i64 {
+        other.0.wrapping_sub(self.0) as i64
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line address: a byte address divided by the line size.
+///
+/// Line addresses support the small amount of arithmetic the prefetchers
+/// need: "next line" ([`LineAddr::next`]), "N lines ahead"
+/// ([`LineAddr::ahead`]) and line-distance comparison.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_types::addr::LineAddr;
+///
+/// let l = LineAddr(100);
+/// assert_eq!(l.next(), LineAddr(101));
+/// assert_eq!(l.ahead(4), LineAddr(104));
+/// assert!(l.next().is_sequential_after(l));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The immediately following line.
+    #[inline]
+    pub fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+
+    /// The line `n` lines ahead of this one.
+    #[inline]
+    pub fn ahead(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+
+    /// `true` when `self` is exactly the line after `prev`.
+    #[inline]
+    pub fn is_sequential_after(self, prev: LineAddr) -> bool {
+        self.0 == prev.0 + 1
+    }
+
+    /// Line distance from `prev` to `self` (`self - prev`), signed.
+    #[inline]
+    pub fn distance_from(self, prev: LineAddr) -> i64 {
+        self.0.wrapping_sub(prev.0) as i64
+    }
+
+    /// First byte address of this line for a given line size.
+    #[inline]
+    pub fn base(self, line_size: LineSize) -> Addr {
+        Addr(self.0 << line_size.shift())
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A validated, power-of-two cache line size in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_types::addr::LineSize;
+///
+/// let ls = LineSize::new(64).unwrap();
+/// assert_eq!(ls.bytes(), 64);
+/// assert_eq!(ls.shift(), 6);
+/// assert!(LineSize::new(48).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineSize {
+    shift: u32,
+}
+
+impl LineSize {
+    /// Creates a line size of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotPowerOfTwo`] unless `bytes` is a power of
+    /// two of at least 4 (one instruction).
+    pub fn new(bytes: u64) -> Result<LineSize, ConfigError> {
+        if bytes < 4 || !bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: bytes,
+            });
+        }
+        Ok(LineSize {
+            shift: bytes.trailing_zeros(),
+        })
+    }
+
+    /// The line size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        1 << self.shift
+    }
+
+    /// log2 of the line size.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+}
+
+impl Default for LineSize {
+    /// The paper's default 64-byte line.
+    fn default() -> Self {
+        LineSize { shift: 6 }
+    }
+}
+
+impl fmt::Display for LineSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_to_line_uses_shift() {
+        let ls = LineSize::new(64).unwrap();
+        assert_eq!(Addr(0).line(ls), LineAddr(0));
+        assert_eq!(Addr(63).line(ls), LineAddr(0));
+        assert_eq!(Addr(64).line(ls), LineAddr(1));
+        assert_eq!(Addr(0x1000).line(ls), LineAddr(0x40));
+    }
+
+    #[test]
+    fn line_size_rejects_non_power_of_two() {
+        assert!(LineSize::new(0).is_err());
+        assert!(LineSize::new(3).is_err());
+        assert!(LineSize::new(96).is_err());
+        assert!(LineSize::new(2).is_err());
+        for s in [4u64, 32, 64, 128, 256] {
+            assert_eq!(LineSize::new(s).unwrap().bytes(), s);
+        }
+    }
+
+    #[test]
+    fn line_arithmetic() {
+        let l = LineAddr(10);
+        assert_eq!(l.next(), LineAddr(11));
+        assert_eq!(l.ahead(0), l);
+        assert_eq!(l.ahead(5), LineAddr(15));
+        assert!(LineAddr(11).is_sequential_after(l));
+        assert!(!LineAddr(12).is_sequential_after(l));
+        assert!(!l.is_sequential_after(l));
+        assert_eq!(LineAddr(7).distance_from(LineAddr(10)), -3);
+    }
+
+    #[test]
+    fn line_base_round_trips() {
+        let ls = LineSize::new(128).unwrap();
+        let l = LineAddr(42);
+        assert_eq!(l.base(ls).line(ls), l);
+        assert_eq!(l.base(ls), Addr(42 * 128));
+    }
+
+    #[test]
+    fn addr_distance_is_signed() {
+        assert_eq!(Addr(100).distance_to(Addr(40)), -60);
+        assert_eq!(Addr(40).distance_to(Addr(100)), 60);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Addr(0x10)), "0x10");
+        assert_eq!(format!("{}", LineAddr(0x10)), "L0x10");
+        assert_eq!(format!("{}", LineSize::default()), "64B");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types returned by configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulator configuration.
+///
+/// Returned by the constructors in [`crate::config`] and by
+/// [`crate::addr::LineSize::new`]. All variants carry enough context to tell
+/// the user exactly which parameter was rejected and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A quantity that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A quantity that must be non-zero was zero.
+    Zero {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+    /// A cache's geometry does not divide evenly (size / assoc / line size).
+    BadGeometry {
+        /// Total capacity in bytes.
+        size: u64,
+        /// Associativity (ways).
+        assoc: u32,
+        /// Line size in bytes.
+        line: u64,
+    },
+    /// A parameter exceeded a supported bound.
+    OutOfRange {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Maximum supported value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::Zero { what } => write!(f, "{what} must be non-zero"),
+            ConfigError::BadGeometry { size, assoc, line } => write!(
+                f,
+                "cache geometry invalid: {size} bytes / {assoc} ways / {line}B lines \
+                 does not yield a power-of-two set count"
+            ),
+            ConfigError::OutOfRange { what, value, max } => {
+                write!(f, "{what} out of range: {value} exceeds {max}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "line size",
+            value: 48,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line size"));
+        assert!(msg.contains("48"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ConfigError::Zero { what: "ways" });
+    }
+}

@@ -1,0 +1,173 @@
+//! The instruction taxonomy shared by the trace generator, the timing model
+//! and the miss categoriser.
+//!
+//! The paper's workloads run on the SPARC ISA: fixed 4-byte instructions,
+//! PC-relative branches (targets trivially computable), direct `call` and
+//! indirect `jump` / `return`. We model exactly the classes the paper's
+//! Figure 3 distinguishes.
+
+use crate::addr::Addr;
+
+/// Size of every simulated instruction, in bytes (SPARC: fixed 4-byte).
+pub const INSTR_BYTES: u64 = 4;
+
+/// The class of a control-transfer instruction (CTI).
+///
+/// Matches the categories of the paper's miss breakdown (Figure 3); the
+/// conditional-branch class is refined further by taken/not-taken and
+/// direction when categorising misses (see [`crate::stats::MissCategory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtiClass {
+    /// Conditional PC-relative branch.
+    CondBranch,
+    /// Unconditional PC-relative branch.
+    UncondBranch,
+    /// Direct function call (`call`): target embedded in the instruction.
+    Call,
+    /// Indirect jump (`jmpl`): target computed from registers.
+    Jump,
+    /// Function return: target from the return-address register.
+    Return,
+    /// Trap into kernel / trap-handler code.
+    Trap,
+}
+
+impl CtiClass {
+    /// `true` for the classes implementing function calls in the SPARC ISA
+    /// (`call`, `jump`, `return`) — the paper groups these as "function
+    /// call" misses.
+    pub fn is_call_class(self) -> bool {
+        matches!(self, CtiClass::Call | CtiClass::Jump | CtiClass::Return)
+    }
+
+    /// `true` for branch classes (conditional or unconditional).
+    pub fn is_branch_class(self) -> bool {
+        matches!(self, CtiClass::CondBranch | CtiClass::UncondBranch)
+    }
+}
+
+/// What a single traced instruction does, beyond occupying its PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A non-memory, non-CTI instruction (ALU and similar).
+    Other,
+    /// A load from `addr`.
+    Load {
+        /// Byte address read.
+        addr: Addr,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address written.
+        addr: Addr,
+    },
+    /// A control-transfer instruction.
+    Cti {
+        /// Which class of CTI this is.
+        class: CtiClass,
+        /// Whether the transfer happened (always `true` for unconditional
+        /// classes; meaningful for [`CtiClass::CondBranch`]).
+        taken: bool,
+        /// The (resolved) target address. For a not-taken conditional branch
+        /// this is still the would-be target, which the branch predictor
+        /// model uses.
+        target: Addr,
+    },
+}
+
+impl OpKind {
+    /// The CTI class, if this op is a control transfer.
+    #[inline]
+    pub fn cti_class(&self) -> Option<CtiClass> {
+        match self {
+            OpKind::Cti { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// `true` when this op redirects the fetch stream (a taken CTI).
+    #[inline]
+    pub fn is_taken_cti(&self) -> bool {
+        matches!(self, OpKind::Cti { taken: true, .. })
+    }
+}
+
+/// One dynamically executed instruction, as emitted by the trace walker.
+///
+/// The walker guarantees the stream is *self-consistent*: the PC of each op
+/// follows from the previous op (sequential `+4`, or the previous op's taken
+/// target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// This instruction's program counter.
+    pub pc: Addr,
+    /// What the instruction does.
+    pub kind: OpKind,
+}
+
+impl TraceOp {
+    /// The PC of the next instruction in the dynamic stream.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        match self.kind {
+            OpKind::Cti {
+                taken: true,
+                target,
+                ..
+            } => target,
+            _ => self.pc.offset(INSTR_BYTES),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pc_sequential_for_plain_ops() {
+        let op = TraceOp {
+            pc: Addr(100),
+            kind: OpKind::Other,
+        };
+        assert_eq!(op.next_pc(), Addr(104));
+    }
+
+    #[test]
+    fn next_pc_follows_taken_cti() {
+        let op = TraceOp {
+            pc: Addr(100),
+            kind: OpKind::Cti {
+                class: CtiClass::Call,
+                taken: true,
+                target: Addr(0x9000),
+            },
+        };
+        assert_eq!(op.next_pc(), Addr(0x9000));
+    }
+
+    #[test]
+    fn next_pc_falls_through_not_taken_branch() {
+        let op = TraceOp {
+            pc: Addr(100),
+            kind: OpKind::Cti {
+                class: CtiClass::CondBranch,
+                taken: false,
+                target: Addr(0x9000),
+            },
+        };
+        assert_eq!(op.next_pc(), Addr(104));
+    }
+
+    #[test]
+    fn class_groupings_match_paper() {
+        assert!(CtiClass::Call.is_call_class());
+        assert!(CtiClass::Jump.is_call_class());
+        assert!(CtiClass::Return.is_call_class());
+        assert!(!CtiClass::CondBranch.is_call_class());
+        assert!(CtiClass::CondBranch.is_branch_class());
+        assert!(CtiClass::UncondBranch.is_branch_class());
+        assert!(!CtiClass::Trap.is_branch_class());
+        assert!(!CtiClass::Trap.is_call_class());
+    }
+}

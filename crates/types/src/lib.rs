@@ -1,0 +1,53 @@
+//! Common foundation types for the `ipsim` instruction-prefetching simulator.
+//!
+//! `ipsim` reproduces *"Effective Instruction Prefetching in Chip
+//! Multiprocessors for Modern Commercial Applications"* (Spracklen, Chou &
+//! Abraham, HPCA 2005). This crate holds the vocabulary shared by every other
+//! crate in the workspace:
+//!
+//! * [`addr`] — byte/cache-line address newtypes and line arithmetic,
+//! * [`instr`] — the instruction taxonomy (control-transfer classes) used by
+//!   the trace generator, the miss categoriser and the prefetchers,
+//! * [`config`] — validated cache / core / memory / system configurations,
+//! * [`stats`] — miss-category accounting and counter plumbing,
+//! * [`rng`] — a small, fast, seedable PRNG so every simulation is
+//!   deterministic and reproducible without external dependencies,
+//! * [`error`] — configuration error types.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipsim_types::addr::{Addr, LineSize};
+//! use ipsim_types::config::CacheConfig;
+//!
+//! let line = LineSize::new(64).unwrap();
+//! let addr = Addr(0x1_0040);
+//! assert_eq!(addr.line(line).0, 0x401);
+//!
+//! let l1i = CacheConfig::new(32 * 1024, 4, 64).unwrap();
+//! assert_eq!(l1i.sets(), 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod instr;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{Addr, LineAddr, LineSize};
+pub use config::{CacheConfig, CoreConfig, MemConfig, SystemConfig};
+pub use error::ConfigError;
+pub use instr::{CtiClass, OpKind, TraceOp};
+pub use rng::Rng64;
+pub use stats::MissCategory;
+
+/// Simulated processor cycles.
+///
+/// Kept as a plain `u64` alias rather than a newtype: cycle arithmetic is
+/// pervasive in the timing model and the quantity is never confused with
+/// another `u64` domain in practice (addresses use the [`Addr`] newtype).
+pub type Cycle = u64;

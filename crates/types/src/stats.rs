@@ -1,0 +1,332 @@
+//! Miss categorisation and counter plumbing.
+//!
+//! The paper's Figure 3 breaks instruction misses down by the transition that
+//! caused them: sequential, conditional branches (taken-forward,
+//! taken-backward, not-taken), unconditional branches, calls, jumps, returns
+//! and traps. [`MissCategory`] reproduces that taxonomy exactly and
+//! [`CategoryCounts`] accumulates per-category totals.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::addr::Addr;
+use crate::instr::{CtiClass, OpKind};
+
+/// Why an instruction fetch transitioned to the line that missed.
+///
+/// A miss is attributed to the dynamically preceding instruction: if it was
+/// a taken CTI the miss belongs to that CTI's class; a not-taken conditional
+/// branch that falls through across a line boundary is counted separately
+/// (the paper's "Cond branch (nt)"); anything else is a sequential miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissCategory {
+    /// Straight-line fall-through into the next line.
+    Sequential,
+    /// Taken conditional branch to a higher address.
+    CondTakenFwd,
+    /// Taken conditional branch to a lower address.
+    CondTakenBwd,
+    /// Not-taken conditional branch falling through across a line boundary.
+    CondNotTaken,
+    /// Unconditional PC-relative branch.
+    UncondBranch,
+    /// Direct call.
+    Call,
+    /// Indirect jump.
+    Jump,
+    /// Function return.
+    Return,
+    /// Trap entry.
+    Trap,
+}
+
+impl MissCategory {
+    /// All categories, in the paper's legend order.
+    pub const ALL: [MissCategory; 9] = [
+        MissCategory::Sequential,
+        MissCategory::CondTakenFwd,
+        MissCategory::CondTakenBwd,
+        MissCategory::CondNotTaken,
+        MissCategory::UncondBranch,
+        MissCategory::Call,
+        MissCategory::Jump,
+        MissCategory::Return,
+        MissCategory::Trap,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for table storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MissCategory::Sequential => 0,
+            MissCategory::CondTakenFwd => 1,
+            MissCategory::CondTakenBwd => 2,
+            MissCategory::CondNotTaken => 3,
+            MissCategory::UncondBranch => 4,
+            MissCategory::Call => 5,
+            MissCategory::Jump => 6,
+            MissCategory::Return => 7,
+            MissCategory::Trap => 8,
+        }
+    }
+
+    /// Label used in reports, matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissCategory::Sequential => "Sequential",
+            MissCategory::CondTakenFwd => "Cond branch (tf)",
+            MissCategory::CondTakenBwd => "Cond branch (tb)",
+            MissCategory::CondNotTaken => "Cond branch (nt)",
+            MissCategory::UncondBranch => "Uncond branch",
+            MissCategory::Call => "Call",
+            MissCategory::Jump => "Jump",
+            MissCategory::Return => "Return",
+            MissCategory::Trap => "Trap",
+        }
+    }
+
+    /// The coarse group used by the paper's limit study (Figure 4):
+    /// sequential / branch / function-call / trap.
+    pub fn group(self) -> MissGroup {
+        match self {
+            MissCategory::Sequential => MissGroup::Sequential,
+            MissCategory::CondTakenFwd
+            | MissCategory::CondTakenBwd
+            | MissCategory::CondNotTaken
+            | MissCategory::UncondBranch => MissGroup::Branch,
+            MissCategory::Call | MissCategory::Jump | MissCategory::Return => {
+                MissGroup::FunctionCall
+            }
+            MissCategory::Trap => MissGroup::Trap,
+        }
+    }
+
+    /// Categorises a miss given the dynamically preceding instruction (if
+    /// any) and whether the missing fetch landed on a new line relative to
+    /// that instruction's own line.
+    ///
+    /// `prev` is the instruction executed immediately before the one whose
+    /// fetch missed; `None` at the very start of a trace yields
+    /// [`MissCategory::Sequential`].
+    pub fn from_transition(prev: Option<&(Addr, OpKind)>) -> MissCategory {
+        match prev {
+            Some((pc, OpKind::Cti {
+                class,
+                taken,
+                target,
+            })) => match (class, taken) {
+                (CtiClass::CondBranch, true) => {
+                    if target.0 > pc.0 {
+                        MissCategory::CondTakenFwd
+                    } else {
+                        MissCategory::CondTakenBwd
+                    }
+                }
+                (CtiClass::CondBranch, false) => MissCategory::CondNotTaken,
+                (CtiClass::UncondBranch, _) => MissCategory::UncondBranch,
+                (CtiClass::Call, _) => MissCategory::Call,
+                (CtiClass::Jump, _) => MissCategory::Jump,
+                (CtiClass::Return, _) => MissCategory::Return,
+                (CtiClass::Trap, _) => MissCategory::Trap,
+            },
+            _ => MissCategory::Sequential,
+        }
+    }
+}
+
+impl fmt::Display for MissCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Coarse miss grouping used by the limit study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissGroup {
+    /// Sequential misses.
+    Sequential,
+    /// All branch-caused misses.
+    Branch,
+    /// Call / jump / return misses.
+    FunctionCall,
+    /// Trap misses.
+    Trap,
+}
+
+/// Per-[`MissCategory`] counters.
+///
+/// # Examples
+///
+/// ```
+/// use ipsim_types::stats::{CategoryCounts, MissCategory};
+///
+/// let mut c = CategoryCounts::default();
+/// c[MissCategory::Sequential] += 3;
+/// c[MissCategory::Call] += 1;
+/// assert_eq!(c.total(), 4);
+/// assert_eq!(c.fraction(MissCategory::Sequential), 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CategoryCounts {
+    counts: [u64; MissCategory::COUNT],
+}
+
+impl CategoryCounts {
+    /// A zeroed counter set.
+    pub fn new() -> CategoryCounts {
+        CategoryCounts::default()
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the total in `cat` (0 when the total is 0).
+    pub fn fraction(&self, cat: MissCategory) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self[cat] as f64 / total as f64
+        }
+    }
+
+    /// Sum over all categories belonging to `group`.
+    pub fn group_total(&self, group: MissGroup) -> u64 {
+        MissCategory::ALL
+            .iter()
+            .filter(|c| c.group() == group)
+            .map(|c| self[*c])
+            .sum()
+    }
+
+    /// Iterates `(category, count)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (MissCategory, u64)> + '_ {
+        MissCategory::ALL.iter().map(move |c| (*c, self[*c]))
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CategoryCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Index<MissCategory> for CategoryCounts {
+    type Output = u64;
+
+    fn index(&self, cat: MissCategory) -> &u64 {
+        &self.counts[cat.index()]
+    }
+}
+
+impl IndexMut<MissCategory> for CategoryCounts {
+    fn index_mut(&mut self, cat: MissCategory) -> &mut u64 {
+        &mut self.counts[cat.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::instr::{CtiClass, OpKind};
+
+    fn cti(pc: u64, class: CtiClass, taken: bool, target: u64) -> (Addr, OpKind) {
+        (
+            Addr(pc),
+            OpKind::Cti {
+                class,
+                taken,
+                target: Addr(target),
+            },
+        )
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, cat) in MissCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+    }
+
+    #[test]
+    fn categorise_taken_cond_directions() {
+        let fwd = cti(100, CtiClass::CondBranch, true, 500);
+        assert_eq!(
+            MissCategory::from_transition(Some(&fwd)),
+            MissCategory::CondTakenFwd
+        );
+        let bwd = cti(500, CtiClass::CondBranch, true, 100);
+        assert_eq!(
+            MissCategory::from_transition(Some(&bwd)),
+            MissCategory::CondTakenBwd
+        );
+    }
+
+    #[test]
+    fn categorise_not_taken_and_plain() {
+        let nt = cti(100, CtiClass::CondBranch, false, 500);
+        assert_eq!(
+            MissCategory::from_transition(Some(&nt)),
+            MissCategory::CondNotTaken
+        );
+        let plain = (Addr(100), OpKind::Other);
+        assert_eq!(
+            MissCategory::from_transition(Some(&plain)),
+            MissCategory::Sequential
+        );
+        assert_eq!(MissCategory::from_transition(None), MissCategory::Sequential);
+    }
+
+    #[test]
+    fn categorise_call_class_and_trap() {
+        for (class, expect) in [
+            (CtiClass::Call, MissCategory::Call),
+            (CtiClass::Jump, MissCategory::Jump),
+            (CtiClass::Return, MissCategory::Return),
+            (CtiClass::Trap, MissCategory::Trap),
+            (CtiClass::UncondBranch, MissCategory::UncondBranch),
+        ] {
+            let op = cti(100, class, true, 900);
+            assert_eq!(MissCategory::from_transition(Some(&op)), expect);
+        }
+    }
+
+    #[test]
+    fn groups_match_paper_aggregation() {
+        assert_eq!(MissCategory::Sequential.group(), MissGroup::Sequential);
+        assert_eq!(MissCategory::CondTakenFwd.group(), MissGroup::Branch);
+        assert_eq!(MissCategory::CondNotTaken.group(), MissGroup::Branch);
+        assert_eq!(MissCategory::Call.group(), MissGroup::FunctionCall);
+        assert_eq!(MissCategory::Return.group(), MissGroup::FunctionCall);
+        assert_eq!(MissCategory::Trap.group(), MissGroup::Trap);
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut a = CategoryCounts::new();
+        a[MissCategory::Sequential] = 6;
+        a[MissCategory::Call] = 2;
+        let mut b = CategoryCounts::new();
+        b[MissCategory::Call] = 3;
+        b[MissCategory::Trap] = 1;
+        a.merge(&b);
+        assert_eq!(a.total(), 12);
+        assert_eq!(a[MissCategory::Call], 5);
+        assert_eq!(a.group_total(MissGroup::FunctionCall), 5);
+        assert_eq!(a.fraction(MissCategory::Sequential), 0.5);
+    }
+
+    #[test]
+    fn fraction_of_empty_counts_is_zero() {
+        let c = CategoryCounts::new();
+        assert_eq!(c.fraction(MissCategory::Call), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+}

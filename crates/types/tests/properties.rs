@@ -1,0 +1,79 @@
+//! Property-based tests for the foundation types.
+
+use ipsim_types::addr::{Addr, LineAddr, LineSize};
+use ipsim_types::stats::CategoryCounts;
+use ipsim_types::{MissCategory, Rng64};
+use proptest::prelude::*;
+
+fn any_line_size() -> impl Strategy<Value = LineSize> {
+    prop_oneof![
+        Just(LineSize::new(32).unwrap()),
+        Just(LineSize::new(64).unwrap()),
+        Just(LineSize::new(128).unwrap()),
+        Just(LineSize::new(256).unwrap()),
+    ]
+}
+
+proptest! {
+    /// line() is consistent with integer division; base() inverts it.
+    #[test]
+    fn addr_line_roundtrip(addr in 0u64..u64::MAX / 2, ls in any_line_size()) {
+        let a = Addr(addr);
+        let line = a.line(ls);
+        prop_assert_eq!(line.0, addr / ls.bytes());
+        prop_assert!(line.base(ls).0 <= addr);
+        prop_assert!(addr - line.base(ls).0 < ls.bytes());
+        prop_assert_eq!(line.base(ls).line(ls), line);
+    }
+
+    /// Line arithmetic is consistent: ahead(n) == n applications of next().
+    #[test]
+    fn line_ahead_matches_next(start in 0u64..1 << 40, n in 0u64..64) {
+        let mut walked = LineAddr(start);
+        for _ in 0..n {
+            walked = walked.next();
+        }
+        prop_assert_eq!(walked, LineAddr(start).ahead(n));
+        prop_assert_eq!(walked.distance_from(LineAddr(start)), n as i64);
+    }
+
+    /// CategoryCounts: totals, fractions and merges are internally
+    /// consistent for arbitrary counter values.
+    #[test]
+    fn category_counts_identities(values in prop::collection::vec(0u64..1_000_000, 9)) {
+        let mut c = CategoryCounts::new();
+        for (cat, v) in MissCategory::ALL.iter().zip(&values) {
+            c[*cat] = *v;
+        }
+        let total: u64 = values.iter().sum();
+        prop_assert_eq!(c.total(), total);
+        let frac_sum: f64 = MissCategory::ALL.iter().map(|cat| c.fraction(*cat)).sum();
+        if total > 0 {
+            prop_assert!((frac_sum - 1.0).abs() < 1e-9, "fractions sum to {}", frac_sum);
+        }
+        let mut doubled = c;
+        doubled.merge(&c);
+        prop_assert_eq!(doubled.total(), 2 * total);
+    }
+
+    /// The PRNG's range() is uniform enough: over many draws every bucket
+    /// of a small modulus is populated.
+    #[test]
+    fn rng_range_covers_buckets(seed in 0u64..10_000, bound in 2u64..17) {
+        let mut rng = Rng64::new(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..(bound * 200) {
+            seen[rng.range(bound) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unpopulated bucket for bound {}", bound);
+    }
+
+    /// Geometric sampling respects its cap for any parameters.
+    #[test]
+    fn geometric_respects_cap(seed in 0u64..1000, p in 0.01f64..1.0, cap in 0u64..100) {
+        let mut rng = Rng64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.geometric(p, cap) <= cap);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Compare every prefetching scheme on one workload — the paper's
+//! Figures 5/6/8 in miniature, plus the related-work baselines.
+//!
+//! ```text
+//! cargo run --release --example compare_prefetchers [db|tpcw|japp|web|mixed]
+//! ```
+
+use ipsim::cache::InstallPolicy;
+use ipsim::cpu::{SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim::prefetch::PrefetcherKind;
+use ipsim::trace::Workload;
+use ipsim::types::ConfigError;
+
+fn run(
+    kind: Option<PrefetcherKind>,
+    policy: InstallPolicy,
+    workload: &WorkloadSet,
+) -> Result<SystemMetrics, ConfigError> {
+    let mut builder = SystemBuilder::cmp4().install_policy(policy);
+    if let Some(k) = kind {
+        builder = builder.prefetcher(k);
+    }
+    let mut system = builder.build()?;
+    Ok(system.run_workload(workload, 2_000_000, 5_000_000))
+}
+
+fn main() -> Result<(), ConfigError> {
+    let workload = match std::env::args().nth(1).as_deref() {
+        Some("db") => WorkloadSet::homogeneous(Workload::Db),
+        Some("tpcw") => WorkloadSet::homogeneous(Workload::TpcW),
+        Some("web") => WorkloadSet::homogeneous(Workload::Web),
+        Some("mixed") => WorkloadSet::mixed(),
+        _ => WorkloadSet::homogeneous(Workload::JApp),
+    };
+    println!("4-way CMP, workload {}, bypass install policy\n", workload.name());
+
+    let base = run(None, InstallPolicy::InstallBoth, &workload)?;
+    println!(
+        "{:<24} IPC {:.3}  L1I {:.2}%  L2I {:.3}%",
+        "no prefetch",
+        base.ipc(),
+        base.l1i_miss_per_instr() * 100.0,
+        base.l2_instr_miss_per_instr() * 100.0,
+    );
+
+    let schemes = [
+        PrefetcherKind::NextLineOnMiss,
+        PrefetcherKind::NextLineAlways,
+        PrefetcherKind::NextLineTagged,
+        PrefetcherKind::NextNLineTagged { n: 4 },
+        PrefetcherKind::Lookahead { n: 4 },
+        PrefetcherKind::Target { table_entries: 8192 },
+        PrefetcherKind::discontinuity_2nl(),
+        PrefetcherKind::discontinuity_default(),
+    ];
+    for kind in schemes {
+        let m = run(Some(kind), InstallPolicy::BypassL2UntilUseful, &workload)?;
+        println!(
+            "{:<24} IPC {:.3}  L1I {:.2}%  L2I {:.3}%  acc {:>3.0}%  speedup {:.3}x",
+            kind.label(),
+            m.ipc(),
+            m.l1i_miss_per_instr() * 100.0,
+            m.l2_instr_miss_per_instr() * 100.0,
+            m.prefetch_accuracy() * 100.0,
+            m.speedup_over(&base),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # ipsim — instruction prefetching in chip multiprocessors
+//!
+//! A from-scratch Rust reproduction of *"Effective Instruction Prefetching
+//! in Chip Multiprocessors for Modern Commercial Applications"*
+//! (Spracklen, Chou & Abraham, HPCA 2005): the paper's **discontinuity
+//! instruction prefetcher**, its prefetch filtering infrastructure and its
+//! **selective L2-install (bypass) policy**, together with every substrate
+//! needed to evaluate them — synthetic commercial workloads, a cache
+//! hierarchy, branch predictors and a bandwidth-aware CMP timing model.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-versus-measured results.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `ipsim-types` | addresses, instruction taxonomy, configs, miss categories |
+//! | [`cache`] | `ipsim-cache` | set-associative caches, MSHRs, install policies |
+//! | [`trace`] | `ipsim-trace` | synthetic commercial-workload generation |
+//! | [`prefetch`] | `ipsim-core` | the paper's prefetchers, queue and filters |
+//! | [`cpu`] | `ipsim-cpu` | cores, shared L2, bus, the CMP system |
+//!
+//! # Quickstart
+//!
+//! Run the paper's flagship configuration — the discontinuity prefetcher
+//! with the bypass policy on a 4-way CMP — against the no-prefetch
+//! baseline:
+//!
+//! ```
+//! use ipsim::cache::InstallPolicy;
+//! use ipsim::cpu::{SystemBuilder, WorkloadSet};
+//! use ipsim::prefetch::PrefetcherKind;
+//! use ipsim::trace::Workload;
+//!
+//! # fn main() -> Result<(), ipsim::types::ConfigError> {
+//! let workload = WorkloadSet::homogeneous(Workload::Web);
+//!
+//! let mut baseline = SystemBuilder::cmp4().build()?;
+//! let base = baseline.run_workload(&workload, 20_000, 100_000);
+//!
+//! let mut system = SystemBuilder::cmp4()
+//!     .prefetcher(PrefetcherKind::discontinuity_default())
+//!     .install_policy(InstallPolicy::BypassL2UntilUseful)
+//!     .build()?;
+//! let metrics = system.run_workload(&workload, 20_000, 100_000);
+//!
+//! assert!(metrics.l1i_miss_per_instr() < base.l1i_miss_per_instr());
+//! println!("speedup: {:.2}x", metrics.speedup_over(&base));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ipsim_cache as cache;
+pub use ipsim_core as prefetch;
+pub use ipsim_cpu as cpu;
+pub use ipsim_trace as trace;
+pub use ipsim_types as types;

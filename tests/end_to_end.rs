@@ -1,0 +1,155 @@
+//! End-to-end integration tests: the full stack (trace → caches → cores →
+//! shared L2 → metrics) must reproduce the paper's qualitative baseline
+//! behaviour on short runs.
+
+use ipsim::cpu::{SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim::trace::Workload;
+use ipsim::types::stats::MissGroup;
+use ipsim::types::{CacheConfig, SystemConfig};
+
+const WARM: u64 = 400_000;
+const MEASURE: u64 = 800_000;
+
+fn baseline(config: SystemConfig, ws: &WorkloadSet) -> SystemMetrics {
+    let mut system = SystemBuilder::new(config).build().expect("valid config");
+    system.run_workload(ws, WARM, MEASURE)
+}
+
+#[test]
+fn all_workloads_have_substantial_l1i_miss_rates() {
+    for w in Workload::ALL {
+        let m = baseline(SystemConfig::single_core(), &WorkloadSet::homogeneous(w));
+        let mpi = m.l1i_miss_per_instr();
+        assert!(
+            (0.008..0.045).contains(&mpi),
+            "{}: L1I miss/instr {mpi} outside the commercial-workload band",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn japp_has_the_highest_l1i_miss_rate() {
+    let rates: Vec<(Workload, f64)> = Workload::ALL
+        .iter()
+        .map(|w| {
+            let m = baseline(SystemConfig::single_core(), &WorkloadSet::homogeneous(*w));
+            (*w, m.l1i_miss_per_instr())
+        })
+        .collect();
+    let japp = rates
+        .iter()
+        .find(|(w, _)| *w == Workload::JApp)
+        .expect("jApp measured")
+        .1;
+    for (w, r) in &rates {
+        assert!(
+            *r <= japp * 1.02,
+            "{} ({r}) exceeds jApp ({japp})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn miss_breakdown_matches_paper_shape() {
+    // Sequential misses 40-60%; branches and calls both significant;
+    // traps negligible (Figure 3).
+    let m = baseline(
+        SystemConfig::single_core(),
+        &WorkloadSet::homogeneous(Workload::Db),
+    );
+    let bd = m.l1i_miss_breakdown();
+    let total = bd.total() as f64;
+    let seq = bd.group_total(MissGroup::Sequential) as f64 / total;
+    let branch = bd.group_total(MissGroup::Branch) as f64 / total;
+    let call = bd.group_total(MissGroup::FunctionCall) as f64 / total;
+    let trap = bd.group_total(MissGroup::Trap) as f64 / total;
+    assert!((0.35..0.70).contains(&seq), "sequential share {seq}");
+    assert!(branch > 0.10, "branch share {branch}");
+    assert!(call > 0.10, "call share {call}");
+    assert!(trap < 0.01, "trap share {trap}");
+}
+
+#[test]
+fn cmp_l2_instruction_misses_exceed_single_core() {
+    // Needs a longer warm-up than the other tests: with short runs the
+    // single-core 2 MB L2 is still cold (4 CMP cores warm the shared L2
+    // four times faster per-core), which inverts the comparison.
+    let baseline = |config: SystemConfig, ws: &WorkloadSet| {
+        let mut system = SystemBuilder::new(config).build().expect("valid config");
+        system.run_workload(ws, 2_500_000, 1_000_000)
+    };
+    for w in [Workload::Db, Workload::JApp] {
+        let single = baseline(SystemConfig::single_core(), &WorkloadSet::homogeneous(w));
+        let cmp = baseline(SystemConfig::cmp4(), &WorkloadSet::homogeneous(w));
+        assert!(
+            cmp.l2_instr_miss_per_instr() >= single.l2_instr_miss_per_instr() * 0.9,
+            "{}: CMP L2I {} vs single {}",
+            w.name(),
+            cmp.l2_instr_miss_per_instr(),
+            single.l2_instr_miss_per_instr()
+        );
+    }
+}
+
+#[test]
+fn mixed_workload_has_the_worst_cmp_l2_instruction_miss_rate() {
+    let mix = baseline(SystemConfig::cmp4(), &WorkloadSet::mixed());
+    for w in Workload::ALL {
+        let app = baseline(SystemConfig::cmp4(), &WorkloadSet::homogeneous(w));
+        assert!(
+            mix.l2_instr_miss_per_instr() >= app.l2_instr_miss_per_instr() * 0.9,
+            "Mixed ({}) not worst vs {} ({})",
+            mix.l2_instr_miss_per_instr(),
+            w.name(),
+            app.l2_instr_miss_per_instr()
+        );
+    }
+}
+
+#[test]
+fn larger_lines_and_capacity_reduce_l1i_misses() {
+    // The Figure 1 sweeps, in miniature.
+    let ws = WorkloadSet::homogeneous(Workload::TpcW);
+    let run_with = |l1i: CacheConfig| {
+        let mut config = SystemConfig::single_core();
+        config.core.l1i = l1i;
+        baseline(config, &ws).l1i_miss_per_instr()
+    };
+    let default = run_with(CacheConfig::new(32 << 10, 4, 64).unwrap());
+    let big_lines = run_with(CacheConfig::new(32 << 10, 4, 256).unwrap());
+    let big_cache = run_with(CacheConfig::new(128 << 10, 4, 64).unwrap());
+    let small_cache = run_with(CacheConfig::new(16 << 10, 4, 64).unwrap());
+    assert!(big_lines < default, "256B lines: {big_lines} vs {default}");
+    assert!(big_cache < default, "128KB: {big_cache} vs {default}");
+    assert!(small_cache > default, "16KB: {small_cache} vs {default}");
+}
+
+#[test]
+fn whole_system_runs_are_deterministic() {
+    let run = || {
+        let m = baseline(SystemConfig::cmp4(), &WorkloadSet::mixed());
+        (
+            m.instructions(),
+            m.cores.iter().map(|c| c.cycles).collect::<Vec<_>>(),
+            m.l1i_miss_breakdown().total(),
+            m.mem.l2_data_misses,
+            m.bus_transfers,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn ipc_is_physically_plausible() {
+    for w in Workload::ALL {
+        let m = baseline(SystemConfig::single_core(), &WorkloadSet::homogeneous(w));
+        let ipc = m.ipc();
+        assert!(
+            (0.05..=3.0).contains(&ipc),
+            "{}: IPC {ipc} outside [0.05, 3.0] (issue width is 3)",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the paper's headline prefetching claims, on short
+//! runs of the full system.
+
+use ipsim::cache::InstallPolicy;
+use ipsim::cpu::{SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim::prefetch::PrefetcherKind;
+use ipsim::trace::Workload;
+use ipsim::types::SystemConfig;
+
+const WARM: u64 = 400_000;
+const MEASURE: u64 = 800_000;
+
+fn run(kind: PrefetcherKind, policy: InstallPolicy, ws: &WorkloadSet) -> SystemMetrics {
+    let mut system = SystemBuilder::cmp4()
+        .prefetcher(kind)
+        .install_policy(policy)
+        .build()
+        .expect("valid config");
+    system.run_workload(ws, WARM, MEASURE)
+}
+
+fn baseline(ws: &WorkloadSet) -> SystemMetrics {
+    run(PrefetcherKind::None, InstallPolicy::InstallBoth, ws)
+}
+
+#[test]
+fn scheme_ordering_matches_figure_5() {
+    // Discontinuity < next-4-line < next-line on L1I misses.
+    let ws = WorkloadSet::homogeneous(Workload::Db);
+    let base = baseline(&ws);
+    let nl = run(PrefetcherKind::NextLineOnMiss, InstallPolicy::InstallBoth, &ws);
+    let n4l = run(
+        PrefetcherKind::NextNLineTagged { n: 4 },
+        InstallPolicy::InstallBoth,
+        &ws,
+    );
+    let disc = run(
+        PrefetcherKind::discontinuity_default(),
+        InstallPolicy::InstallBoth,
+        &ws,
+    );
+    let r = |m: &SystemMetrics| m.l1i_miss_ratio_vs(&base);
+    assert!(r(&disc) < r(&n4l), "discontinuity {} vs n4l {}", r(&disc), r(&n4l));
+    assert!(r(&n4l) < r(&nl), "n4l {} vs next-line {}", r(&n4l), r(&nl));
+    assert!(r(&nl) < 1.0, "next-line must help: {}", r(&nl));
+    assert!(
+        r(&disc) < 0.45,
+        "discontinuity must eliminate most L1I misses: {}",
+        r(&disc)
+    );
+}
+
+#[test]
+fn discontinuity_eliminates_most_l2_instruction_misses() {
+    let ws = WorkloadSet::homogeneous(Workload::JApp);
+    let base = baseline(&ws);
+    let disc = run(
+        PrefetcherKind::discontinuity_default(),
+        InstallPolicy::InstallBoth,
+        &ws,
+    );
+    let ratio = disc.l2_instr_miss_ratio_vs(&base);
+    assert!(ratio < 0.35, "L2I ratio {ratio}");
+}
+
+#[test]
+fn accuracy_falls_with_aggressiveness() {
+    // Figure 9(i): next-line most accurate, discontinuity least; the 2NL
+    // variant recovers accuracy.
+    let ws = WorkloadSet::homogeneous(Workload::Db);
+    let acc = |kind| {
+        run(kind, InstallPolicy::BypassL2UntilUseful, &ws).prefetch_accuracy()
+    };
+    let nl = acc(PrefetcherKind::NextLineOnMiss);
+    let n4l = acc(PrefetcherKind::NextNLineTagged { n: 4 });
+    let disc = acc(PrefetcherKind::discontinuity_default());
+    let disc2 = acc(PrefetcherKind::discontinuity_2nl());
+    assert!(nl > n4l, "next-line {nl} vs n4l {n4l}");
+    assert!(n4l > disc, "n4l {n4l} vs discontinuity {disc}");
+    assert!(disc2 > disc, "2NL {disc2} vs 4NL {disc}");
+}
+
+#[test]
+fn aggressive_prefetching_pollutes_l2_data_and_bypass_cures_it() {
+    let ws = WorkloadSet::homogeneous(Workload::JApp);
+    let base = baseline(&ws);
+    let polluted = run(
+        PrefetcherKind::discontinuity_default(),
+        InstallPolicy::InstallBoth,
+        &ws,
+    );
+    let bypass = run(
+        PrefetcherKind::discontinuity_default(),
+        InstallPolicy::BypassL2UntilUseful,
+        &ws,
+    );
+    let p = polluted.l2_data_miss_ratio_vs(&base);
+    let b = bypass.l2_data_miss_ratio_vs(&base);
+    assert!(p > 1.05, "pollution must be visible: {p}");
+    assert!(b < p, "bypass must reduce pollution: {b} vs {p}");
+    assert!(b < 1.12, "bypass must mostly remove pollution: {b}");
+}
+
+#[test]
+fn every_paper_scheme_improves_performance() {
+    let ws = WorkloadSet::homogeneous(Workload::TpcW);
+    let base = baseline(&ws);
+    for kind in PrefetcherKind::PAPER_SCHEMES {
+        let m = run(kind, InstallPolicy::BypassL2UntilUseful, &ws);
+        let speedup = m.speedup_over(&base);
+        assert!(
+            speedup > 1.02,
+            "{}: speedup {speedup} too small",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn limit_study_ordering_matches_figure_4() {
+    use ipsim::cpu::LimitSpec;
+    let ws = WorkloadSet::homogeneous(Workload::Db);
+    let speedup = |spec: LimitSpec| {
+        let mut system = SystemBuilder::new(SystemConfig::cmp4())
+            .limit(spec)
+            .build()
+            .expect("valid config");
+        let m = system.run_workload(&ws, WARM, MEASURE);
+        m.speedup_over(&baseline(&ws))
+    };
+    let seq = speedup(LimitSpec::FIG4_SETS[0]);
+    let branch = speedup(LimitSpec::FIG4_SETS[1]);
+    let all = speedup(LimitSpec::FIG4_SETS[5]);
+    assert!(all > seq, "all {all} vs sequential-only {seq}");
+    assert!(all > branch, "all {all} vs branch-only {branch}");
+    assert!(seq > 1.0 && branch > 1.0);
+}
+
+#[test]
+fn smaller_tables_retain_significant_coverage() {
+    // Figure 10: 2048 entries close to 8192; 256 still beats next-4-line.
+    let ws = WorkloadSet::homogeneous(Workload::Db);
+    let base = baseline(&ws);
+    let cover = |entries| {
+        let m = run(
+            PrefetcherKind::Discontinuity {
+                table_entries: entries,
+                ahead: 4,
+            },
+            InstallPolicy::BypassL2UntilUseful,
+            &ws,
+        );
+        m.l1i_coverage_vs(&base)
+    };
+    let big = cover(8192);
+    let quarter = cover(2048);
+    let tiny = cover(256);
+    let n4l = run(
+        PrefetcherKind::NextNLineTagged { n: 4 },
+        InstallPolicy::BypassL2UntilUseful,
+        &ws,
+    )
+    .l1i_coverage_vs(&base);
+    assert!(quarter > big - 0.12, "2048 {quarter} vs 8192 {big}");
+    assert!(tiny >= n4l - 0.03, "256-entry {tiny} vs next-4-line {n4l}");
+}
