@@ -1,51 +1,79 @@
-//! Runs every figure harness in sequence, teeing each figure's output into
-//! `results/figNN.txt`. Thanks to the shared run cache (`results/cache/`),
-//! configurations appearing in several figures are simulated once.
+//! Regenerates every figure in one process through the shared scheduler.
+//!
+//! All figures' runs are collected up front, deduplicated globally by cache
+//! key, executed once across a worker pool (`--jobs N`), then each figure
+//! is rendered and teed into `results/figNN.txt`. Output is byte-identical
+//! for any worker count. A failing figure no longer aborts the sweep: every
+//! figure runs, a pass/fail summary is printed at the end, and only then
+//! does the process exit nonzero.
 
-use std::fs;
-use std::process::Command;
+use std::path::PathBuf;
+use std::process::exit;
 
-const FIGURES: [&str; 13] = [
-    "fig01_l1_miss_rates",
-    "fig02_l2_miss_rates",
-    "fig03_miss_breakdown",
-    "fig04_limit_study",
-    "fig05_prefetch_miss_rates",
-    "fig06_prefetch_speedup",
-    "fig07_l2_data_pollution",
-    "fig08_bypass_speedup",
-    "fig09_accuracy_2nl",
-    "fig10_table_size",
-    "fig11_ablations",
-    "fig12_bandwidth",
-    "fig13_latency",
-];
+use ipsim_experiments::figures;
+use ipsim_harness::{run_sweep, Figure, HarnessArgs, SweepOptions};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    fs::create_dir_all("results").expect("can create results directory");
-    let exe_dir = std::env::current_exe()
-        .expect("current executable path")
-        .parent()
-        .expect("executable directory")
-        .to_path_buf();
+    let args = HarnessArgs::from_env_or_exit();
+    let all = figures::all();
+    let selected: Vec<Figure> = match &args.figures {
+        None => all,
+        Some(names) => {
+            let picked: Vec<Figure> = all
+                .iter()
+                .filter(|f| names.iter().any(|n| n == f.name))
+                .copied()
+                .collect();
+            let known: Vec<&str> = all.iter().map(|f| f.name).collect();
+            if let Some(bad) = names.iter().find(|n| !known.contains(&n.as_str())) {
+                eprintln!("unknown figure `{bad}` (known: {})", known.join(", "));
+                exit(2);
+            }
+            picked
+        }
+    };
 
-    for fig in FIGURES {
-        println!("==> {fig}");
-        let mut cmd = Command::new(exe_dir.join(fig));
-        if quick {
-            cmd.arg("--quick");
+    let mut opts = SweepOptions::new(args.lengths, args.workers);
+    opts.results_dir = Some(PathBuf::from("results"));
+    let report = run_sweep(&selected, &opts);
+
+    for fig in &report.figures {
+        println!("==> {}", fig.name);
+        match &fig.outcome {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("FAILED: {e}\n"),
         }
-        let out = cmd.output().unwrap_or_else(|e| panic!("failed to run {fig}: {e}"));
-        if !out.status.success() {
-            eprintln!("{fig} failed:\n{}", String::from_utf8_lossy(&out.stderr));
-            std::process::exit(1);
-        }
-        let text = String::from_utf8_lossy(&out.stdout);
-        let short = fig.split('_').next().unwrap_or(fig);
-        fs::write(format!("results/{short}.txt"), text.as_bytes())
-            .expect("can write results file");
-        println!("{text}");
     }
-    println!("all figures written to results/");
+
+    println!(
+        "{} figures · {} runs ({} unique: {} cached, {} simulated{}) · {:.1}s with {} worker{}",
+        report.figures.len(),
+        report.total_jobs,
+        report.unique_jobs,
+        report.cache_hits,
+        report.cache_misses,
+        if report.quarantined > 0 {
+            format!(", {} corrupt cache entries quarantined", report.quarantined)
+        } else {
+            String::new()
+        },
+        report.wall.as_secs_f64(),
+        args.workers,
+        if args.workers == 1 { "" } else { "s" },
+    );
+    for fig in &report.figures {
+        println!(
+            "  {}  {} — {}",
+            if fig.outcome.is_ok() { "ok  " } else { "FAIL" },
+            fig.name,
+            fig.title,
+        );
+    }
+    if report.all_ok() {
+        println!("all figures written to results/");
+    } else {
+        let failed = report.figures.iter().filter(|f| f.outcome.is_err()).count();
+        eprintln!("{failed} figure(s) failed");
+        exit(1);
+    }
 }

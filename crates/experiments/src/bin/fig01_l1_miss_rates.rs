@@ -1,43 +1,6 @@
-//! Figure 1: instruction cache miss rates (% per retired instruction) as
-//! cache associativity, line size and capacity are varied.
-//!
-//! Default configuration: 32 KB, 4-way, 64 B lines. Single-core system (the
-//! L1I is private, so this applies to the CMP too), no prefetching.
-
-use ipsim_experiments::{pct, print_table, single_workload_sets, RunLengths, RunSpec};
-use ipsim_types::{CacheConfig, SystemConfig};
+//! Figure 1: instruction cache miss rates vs cache geometry.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    // (label, size, assoc, line)
-    let configs: [(&str, u64, u32, u64); 10] = [
-        ("Default", 32 << 10, 4, 64),
-        ("Direct-mapped", 32 << 10, 1, 64),
-        ("2-way", 32 << 10, 2, 64),
-        ("8-way", 32 << 10, 8, 64),
-        ("32B line size", 32 << 10, 4, 32),
-        ("128B line size", 32 << 10, 4, 128),
-        ("256B line size", 32 << 10, 4, 256),
-        ("16KB", 16 << 10, 4, 64),
-        ("64KB", 64 << 10, 4, 64),
-        ("128KB", 128 << 10, 4, 64),
-    ];
-
-    println!("Figure 1: L1I miss rate (% per instruction) vs cache geometry");
-    println!("(paper: default miss rates 1.32-3.16%, jApp highest; larger lines and");
-    println!(" capacity help strongly, associativity modestly)\n");
-
-    let workloads = single_workload_sets();
-    let mut rows = Vec::new();
-    for (label, size, assoc, line) in configs {
-        let mut row = vec![label.to_string()];
-        for ws in &workloads {
-            let mut config = SystemConfig::single_core();
-            config.core.l1i = CacheConfig::new(size, assoc, line).expect("valid geometry");
-            let summary = RunSpec::new(config, ws.clone(), lengths).run();
-            row.push(pct(summary.l1i_mpi));
-        }
-        rows.push(row);
-    }
-    print_table(&["I$ configuration", "DB", "TPC-W", "jApp", "Web"], &rows);
+    ipsim_experiments::figure_main("fig01");
 }

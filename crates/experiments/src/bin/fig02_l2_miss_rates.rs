@@ -1,49 +1,6 @@
-//! Figure 2: L2 cache instruction miss rates (% per retired instruction)
-//! for the single-core processor and the 4-way CMP as L2 capacity varies
-//! (1 MB / 2 MB / 4 MB; default 2 MB, 4-way, 64 B lines).
-
-use ipsim_cpu::WorkloadSet;
-use ipsim_experiments::{pct, print_table, RunLengths, RunSpec};
-use ipsim_trace::Workload;
-use ipsim_types::{CacheConfig, SystemConfig};
+//! Figure 2: L2 instruction miss rates vs L2 capacity.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 2: L2 instruction miss rate (% per instruction) vs L2 capacity");
-    println!("(paper: 2MB CMP rates 0.07-0.44%, Mixed worst; CMP rates exceed single-core;");
-    println!(" 1MB→2MB improves more than 2MB→4MB)\n");
-
-    let mut sets: Vec<WorkloadSet> = Workload::ALL
-        .iter()
-        .map(|w| WorkloadSet::homogeneous(*w))
-        .collect();
-    sets.push(WorkloadSet::mixed());
-
-    let mut rows = Vec::new();
-    for mb in [1u64, 2, 4] {
-        for cmp in [false, true] {
-            let label = format!("{mb}MB {}", if cmp { "4-way CMP" } else { "single core" });
-            let mut row = vec![label];
-            for ws in &sets {
-                if !cmp && ws.per_core.len() > 1 {
-                    // The mixed workload needs one core per application.
-                    row.push("-".to_string());
-                    continue;
-                }
-                let mut config = if cmp {
-                    SystemConfig::cmp4()
-                } else {
-                    SystemConfig::single_core()
-                };
-                config.mem.l2 = CacheConfig::new(mb << 20, 4, 64).expect("valid geometry");
-                let summary = RunSpec::new(config, ws.clone(), lengths).run();
-                row.push(pct(summary.l2i_mpi));
-            }
-            rows.push(row);
-        }
-    }
-    print_table(
-        &["L2 configuration", "DB", "TPC-W", "jApp", "Web", "Mix"],
-        &rows,
-    );
+    ipsim_experiments::figure_main("fig02");
 }

@@ -1,73 +1,6 @@
-//! Figure 3: breakdown of instruction misses by category:
-//! (i) instruction cache (single core), (ii) L2 cache (single core),
-//! (iii) L2 cache (4-way CMP).
-
-use ipsim_cpu::WorkloadSet;
-use ipsim_experiments::{print_table, RunLengths, RunSpec, Summary};
-use ipsim_trace::Workload;
-use ipsim_types::stats::CategoryCounts;
-use ipsim_types::{MissCategory, SystemConfig};
-
-fn breakdown_row(name: &str, counts: &CategoryCounts) -> Vec<String> {
-    let mut row = vec![name.to_string()];
-    for cat in MissCategory::ALL {
-        row.push(format!("{:.1}%", counts.fraction(cat) * 100.0));
-    }
-    row
-}
-
-fn header() -> Vec<&'static str> {
-    let mut h = vec!["workload"];
-    for cat in MissCategory::ALL {
-        h.push(cat.label());
-    }
-    h
-}
+//! Figure 3: instruction miss breakdown by category.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 3: instruction miss breakdown by category");
-    println!("(paper: sequential 40-60%; branches 20-40% with cond-tf most prevalent;");
-    println!(" calls/jumps/returns 15-20% with Call most prevalent; traps negligible)\n");
-
-    let apps: Vec<WorkloadSet> = Workload::ALL
-        .iter()
-        .map(|w| WorkloadSet::homogeneous(*w))
-        .collect();
-
-    let single: Vec<(String, Summary)> = apps
-        .iter()
-        .map(|ws| {
-            (
-                ws.name(),
-                RunSpec::new(SystemConfig::single_core(), ws.clone(), lengths).run(),
-            )
-        })
-        .collect();
-
-    println!("(i) Instruction cache (single core)");
-    let rows: Vec<Vec<String>> = single
-        .iter()
-        .map(|(n, s)| breakdown_row(n, &s.l1i_breakdown))
-        .collect();
-    print_table(&header(), &rows);
-
-    println!("\n(ii) L2 cache (single core)");
-    let rows: Vec<Vec<String>> = single
-        .iter()
-        .map(|(n, s)| breakdown_row(n, &s.l2i_breakdown))
-        .collect();
-    print_table(&header(), &rows);
-
-    println!("\n(iii) L2 cache (4-way CMP)");
-    let mut cmp_sets = apps;
-    cmp_sets.push(WorkloadSet::mixed());
-    let rows: Vec<Vec<String>> = cmp_sets
-        .iter()
-        .map(|ws| {
-            let s = RunSpec::new(SystemConfig::cmp4(), ws.clone(), lengths).run();
-            breakdown_row(&ws.name(), &s.l2i_breakdown)
-        })
-        .collect();
-    print_table(&header(), &rows);
+    ipsim_experiments::figure_main("fig03");
 }

@@ -1,51 +1,6 @@
-//! Figure 4: performance improvement achievable by perfectly eliminating
-//! different classes of instruction misses (limit study), relative to the
-//! no-prefetch baseline; (i) single core and (ii) 4-way CMP.
-
-use ipsim_cpu::{LimitSpec, WorkloadSet};
-use ipsim_experiments::{print_table, RunLengths, RunSpec};
-use ipsim_trace::Workload;
-use ipsim_types::SystemConfig;
+//! Figure 4: limit study — perfect elimination of miss classes.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 4: speedup from perfect elimination of miss classes");
-    println!("(paper: eliminating all three classes yields far more than any single class;");
-    println!(" sequential-only beats branch-only and function-only)\n");
-
-    for (part, config, include_mix) in [
-        ("(i) single core", SystemConfig::single_core(), false),
-        ("(ii) 4-way CMP", SystemConfig::cmp4(), true),
-    ] {
-        println!("{part}");
-        let mut sets: Vec<WorkloadSet> = Workload::ALL
-            .iter()
-            .map(|w| WorkloadSet::homogeneous(*w))
-            .collect();
-        if include_mix {
-            sets.push(WorkloadSet::mixed());
-        }
-        let mut header = vec!["elimination"];
-        let names: Vec<String> = sets.iter().map(|w| w.name()).collect();
-        for n in &names {
-            header.push(n);
-        }
-        let baselines: Vec<_> = sets
-            .iter()
-            .map(|ws| RunSpec::new(config.clone(), ws.clone(), lengths).run())
-            .collect();
-        let mut rows = Vec::new();
-        for spec in LimitSpec::FIG4_SETS {
-            let mut row = vec![spec.label().to_string()];
-            for (ws, base) in sets.iter().zip(&baselines) {
-                let s = RunSpec::new(config.clone(), ws.clone(), lengths)
-                    .limit(spec)
-                    .run();
-                row.push(format!("{:.3}", s.speedup_over(base)));
-            }
-            rows.push(row);
-        }
-        print_table(&header, &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig04");
 }

@@ -1,73 +1,6 @@
-//! Figure 5: instruction miss rates under the HW prefetching schemes,
-//! normalised to no prefetching: (i) instruction cache, (ii) L2 cache
-//! (single core), (iii) L2 cache (4-way CMP).
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, scheme_matrix, workload_columns, workload_header, RunLengths,
-};
-use ipsim_types::SystemConfig;
+//! Figure 5: instruction miss rates under the HW prefetching schemes.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 5: instruction miss rate under prefetching (normalised to no prefetch)");
-    println!("(paper: discontinuity lowest, reducing misses to ~0.10-0.25 of baseline;");
-    println!(" next-4-line clearly beats the next-line variants)\n");
-
-    struct Part {
-        title: &'static str,
-        config: SystemConfig,
-        include_mix: bool,
-        l2: bool,
-    }
-    let parts = [
-        Part {
-            title: "(i) Instruction cache (single core)",
-            config: SystemConfig::single_core(),
-            include_mix: false,
-            l2: false,
-        },
-        Part {
-            title: "(ii) L2 cache instruction misses (single core)",
-            config: SystemConfig::single_core(),
-            include_mix: false,
-            l2: true,
-        },
-        Part {
-            title: "(iii) L2 cache instruction misses (4-way CMP)",
-            config: SystemConfig::cmp4(),
-            include_mix: true,
-            l2: true,
-        },
-    ];
-
-    for part in parts {
-        println!("{}", part.title);
-        let sets = workload_columns(part.include_mix);
-        let (baselines, per_scheme) = scheme_matrix(
-            &part.config,
-            &sets,
-            &PrefetcherKind::PAPER_SCHEMES,
-            InstallPolicy::InstallBoth,
-            lengths,
-        );
-        let rows: Vec<Vec<String>> = per_scheme
-            .iter()
-            .map(|(label, summaries)| {
-                let mut row = vec![label.clone()];
-                for (s, base) in summaries.iter().zip(&baselines) {
-                    let (v, b) = if part.l2 {
-                        (s.l2i_mpi, base.l2i_mpi)
-                    } else {
-                        (s.l1i_mpi, base.l1i_mpi)
-                    };
-                    row.push(format!("{:.2}", if b == 0.0 { 0.0 } else { v / b }));
-                }
-                row
-            })
-            .collect();
-        print_table_owned(&workload_header("scheme", &sets), &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig05");
 }

@@ -1,44 +1,6 @@
-//! Figure 6: performance gains of the HW prefetching schemes with
-//! conventional L2 installation (the polluting regime);
-//! (i) single core and (ii) 4-way CMP.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, scheme_matrix, workload_columns, workload_header, RunLengths,
-};
-use ipsim_types::SystemConfig;
+//! Figure 6: prefetch speedup with conventional L2 installation.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 6: speedup over no prefetching (prefetches installed in L2)");
-    println!("(paper: gains fall well short of the Figure 4 limits because aggressive");
-    println!(" instruction prefetching pollutes the shared L2 with displaced data)\n");
-
-    for (title, config, include_mix) in [
-        ("(i) single core", SystemConfig::single_core(), false),
-        ("(ii) 4-way CMP", SystemConfig::cmp4(), true),
-    ] {
-        println!("{title}");
-        let sets = workload_columns(include_mix);
-        let (baselines, per_scheme) = scheme_matrix(
-            &config,
-            &sets,
-            &PrefetcherKind::PAPER_SCHEMES,
-            InstallPolicy::InstallBoth,
-            lengths,
-        );
-        let rows: Vec<Vec<String>> = per_scheme
-            .iter()
-            .map(|(label, summaries)| {
-                let mut row = vec![label.clone()];
-                for (s, base) in summaries.iter().zip(&baselines) {
-                    row.push(format!("{:.3}", s.speedup_over(base)));
-                }
-                row
-            })
-            .collect();
-        print_table_owned(&workload_header("scheme", &sets), &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig06");
 }

@@ -1,49 +1,6 @@
-//! Figure 7: L2 cache *data* miss rate under instruction prefetching,
-//! normalised to no prefetching — the pollution the paper's bypass policy
-//! removes; (i) single core and (ii) 4-way CMP.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, scheme_matrix, workload_columns, workload_header, RunLengths,
-};
-use ipsim_types::SystemConfig;
+//! Figure 7: L2 data pollution from instruction prefetching.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 7: L2 data miss rate (normalised to no prefetch)");
-    println!("(paper: aggressive schemes inflate data misses by up to ~1.35x — speculative");
-    println!(" instruction lines evict data from the unified L2)\n");
-
-    for (title, config, include_mix) in [
-        ("(i) single core", SystemConfig::single_core(), false),
-        ("(ii) 4-way CMP", SystemConfig::cmp4(), true),
-    ] {
-        println!("{title}");
-        let sets = workload_columns(include_mix);
-        let (baselines, per_scheme) = scheme_matrix(
-            &config,
-            &sets,
-            &PrefetcherKind::PAPER_SCHEMES,
-            InstallPolicy::InstallBoth,
-            lengths,
-        );
-        let rows: Vec<Vec<String>> = per_scheme
-            .iter()
-            .map(|(label, summaries)| {
-                let mut row = vec![label.clone()];
-                for (s, base) in summaries.iter().zip(&baselines) {
-                    let ratio = if base.l2d_mpi == 0.0 {
-                        0.0
-                    } else {
-                        s.l2d_mpi / base.l2d_mpi
-                    };
-                    row.push(format!("{ratio:.3}"));
-                }
-                row
-            })
-            .collect();
-        print_table_owned(&workload_header("scheme", &sets), &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig07");
 }

@@ -1,44 +1,6 @@
-//! Figure 8: performance gains of the HW prefetching schemes when
-//! instruction prefetches bypass the L2 until proven useful (the paper's
-//! selective-install policy); (i) single core and (ii) 4-way CMP.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, scheme_matrix, workload_columns, workload_header, RunLengths,
-};
-use ipsim_types::SystemConfig;
+//! Figure 8: prefetch speedup with L2 bypass until useful.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 8: speedup over no prefetching (prefetches bypass the L2 until useful)");
-    println!("(paper: removing the data pollution lifts the CMP discontinuity speedups from");
-    println!(" 1.05-1.28x to 1.08-1.37x; compare with Figure 6)\n");
-
-    for (title, config, include_mix) in [
-        ("(i) single core", SystemConfig::single_core(), false),
-        ("(ii) 4-way CMP", SystemConfig::cmp4(), true),
-    ] {
-        println!("{title}");
-        let sets = workload_columns(include_mix);
-        let (baselines, per_scheme) = scheme_matrix(
-            &config,
-            &sets,
-            &PrefetcherKind::PAPER_SCHEMES,
-            InstallPolicy::BypassL2UntilUseful,
-            lengths,
-        );
-        let rows: Vec<Vec<String>> = per_scheme
-            .iter()
-            .map(|(label, summaries)| {
-                let mut row = vec![label.clone()];
-                for (s, base) in summaries.iter().zip(&baselines) {
-                    row.push(format!("{:.3}", s.speedup_over(base)));
-                }
-                row
-            })
-            .collect();
-        print_table_owned(&workload_header("scheme", &sets), &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig08");
 }

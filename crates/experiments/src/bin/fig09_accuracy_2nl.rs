@@ -1,56 +1,6 @@
-//! Figure 9: (i) prefetch accuracy on the 4-way CMP for every scheme
-//! including the next-2-line discontinuity variant, and (ii) the
-//! performance of the next-2-line discontinuity prefetcher.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, scheme_matrix, workload_columns, workload_header, RunLengths,
-};
-use ipsim_types::SystemConfig;
+//! Figure 9: prefetch accuracy and the next-2-line discontinuity variant.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 9: prefetch accuracy and the next-2-line discontinuity variant (4-way CMP)");
-    println!("(paper: accuracy falls as schemes get more aggressive; discont(2NL) is ~50%");
-    println!(" more accurate than next-4-line and still outperforms it)\n");
-
-    let mut schemes = PrefetcherKind::PAPER_SCHEMES.to_vec();
-    schemes.push(PrefetcherKind::discontinuity_2nl());
-
-    let config = SystemConfig::cmp4();
-    let sets = workload_columns(true);
-    let (baselines, per_scheme) = scheme_matrix(
-        &config,
-        &sets,
-        &schemes,
-        InstallPolicy::BypassL2UntilUseful,
-        lengths,
-    );
-
-    println!("(i) prefetch accuracy (useful / issued)");
-    let rows: Vec<Vec<String>> = per_scheme
-        .iter()
-        .map(|(label, summaries)| {
-            let mut row = vec![label.clone()];
-            for s in summaries {
-                row.push(format!("{:.0}%", s.accuracy * 100.0));
-            }
-            row
-        })
-        .collect();
-    print_table_owned(&workload_header("scheme", &sets), &rows);
-
-    println!("\n(ii) speedup over no prefetching");
-    let rows: Vec<Vec<String>> = per_scheme
-        .iter()
-        .map(|(label, summaries)| {
-            let mut row = vec![label.clone()];
-            for (s, base) in summaries.iter().zip(&baselines) {
-                row.push(format!("{:.3}", s.speedup_over(base)));
-            }
-            row
-        })
-        .collect();
-    print_table_owned(&workload_header("scheme", &sets), &rows);
+    ipsim_experiments::figure_main("fig09");
 }

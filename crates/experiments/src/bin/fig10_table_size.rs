@@ -1,83 +1,6 @@
-//! Figure 10: prefetch coverage (fraction of baseline misses eliminated)
-//! for various discontinuity prediction-table sizes, against the
-//! next-4-line sequential prefetcher: (i) L1 instruction cache and
-//! (ii) L2 cache (4-way CMP).
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, workload_columns, workload_header, RunLengths, RunSpec, Summary,
-};
-use ipsim_types::SystemConfig;
+//! Figure 10: miss coverage vs discontinuity table size.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Figure 10: miss coverage vs discontinuity table size (4-way CMP)");
-    println!("(paper: the 8K-entry table can shrink 4x with minimal coverage loss, and");
-    println!(" even 256 entries beats the next-4-line sequential prefetcher)\n");
-
-    let config = SystemConfig::cmp4();
-    let sets = workload_columns(true);
-    let baselines: Vec<Summary> = sets
-        .iter()
-        .map(|ws| RunSpec::new(config.clone(), ws.clone(), lengths).run())
-        .collect();
-
-    let mut variants: Vec<(String, PrefetcherKind)> = [8192usize, 4096, 2048, 1024, 512, 256]
-        .iter()
-        .map(|&entries| {
-            (
-                format!("{entries}-entries"),
-                PrefetcherKind::Discontinuity {
-                    table_entries: entries,
-                    ahead: 4,
-                },
-            )
-        })
-        .collect();
-    variants.push((
-        "next-4lines (tagged)".to_string(),
-        PrefetcherKind::NextNLineTagged { n: 4 },
-    ));
-
-    let results: Vec<(String, Vec<Summary>)> = variants
-        .iter()
-        .map(|(label, kind)| {
-            let summaries = sets
-                .iter()
-                .map(|ws| {
-                    RunSpec::new(config.clone(), ws.clone(), lengths)
-                        .prefetcher(*kind)
-                        .policy(InstallPolicy::BypassL2UntilUseful)
-                        .run()
-                })
-                .collect();
-            (label.clone(), summaries)
-        })
-        .collect();
-
-    for (title, l2) in [
-        ("(i) L1 instruction cache coverage", false),
-        ("(ii) L2 cache coverage", true),
-    ] {
-        println!("{title}");
-        let rows: Vec<Vec<String>> = results
-            .iter()
-            .map(|(label, summaries)| {
-                let mut row = vec![label.clone()];
-                for (s, base) in summaries.iter().zip(&baselines) {
-                    let (v, b) = if l2 {
-                        (s.l2i_mpi, base.l2i_mpi)
-                    } else {
-                        (s.l1i_mpi, base.l1i_mpi)
-                    };
-                    let coverage = if b == 0.0 { 0.0 } else { 1.0 - v / b };
-                    row.push(format!("{:.0}%", coverage * 100.0));
-                }
-                row
-            })
-            .collect();
-        print_table_owned(&workload_header("predictor", &sets), &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig10");
 }

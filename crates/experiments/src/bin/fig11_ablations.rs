@@ -1,120 +1,6 @@
-//! Extension ablations (not a paper figure): design-choice studies around
-//! the discontinuity prefetcher on the 4-way CMP.
-//!
-//! * prefetch-ahead distance sweep (1/2/4/8),
-//! * confidence gating (an extension in the spirit of the confidence
-//!   filtering the paper cites from Haga et al.),
-//! * related-work baselines: the classic target prefetcher and the
-//!   lookahead-N prefetcher.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_experiments::{
-    print_table_owned, workload_columns, workload_header, RunLengths, RunSpec, Summary,
-};
-use ipsim_types::SystemConfig;
+//! Extension ablations: discontinuity design choices.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Ablations (extension): discontinuity design choices, 4-way CMP, bypass policy\n");
-
-    let config = SystemConfig::cmp4();
-    let sets = workload_columns(true);
-    let baselines: Vec<Summary> = sets
-        .iter()
-        .map(|ws| RunSpec::new(config.clone(), ws.clone(), lengths).run())
-        .collect();
-
-    let variants: Vec<(String, PrefetcherKind)> = vec![
-        (
-            "discont ahead=1".into(),
-            PrefetcherKind::Discontinuity {
-                table_entries: 8192,
-                ahead: 1,
-            },
-        ),
-        (
-            "discont ahead=2".into(),
-            PrefetcherKind::Discontinuity {
-                table_entries: 8192,
-                ahead: 2,
-            },
-        ),
-        (
-            "discont ahead=4 (paper)".into(),
-            PrefetcherKind::Discontinuity {
-                table_entries: 8192,
-                ahead: 4,
-            },
-        ),
-        (
-            "discont ahead=8".into(),
-            PrefetcherKind::Discontinuity {
-                table_entries: 8192,
-                ahead: 8,
-            },
-        ),
-        (
-            "discont gated >=2".into(),
-            PrefetcherKind::DiscontinuityGated {
-                table_entries: 8192,
-                ahead: 4,
-                min_confidence: 2,
-            },
-        ),
-        (
-            "target (8192)".into(),
-            PrefetcherKind::Target {
-                table_entries: 8192,
-            },
-        ),
-        ("lookahead-4".into(), PrefetcherKind::Lookahead { n: 4 }),
-        ("next-line (always)".into(), PrefetcherKind::NextLineAlways),
-        (
-            "wrong-path + next-line".into(),
-            PrefetcherKind::WrongPath { next_line: true },
-        ),
-        (
-            "markov 2-target".into(),
-            PrefetcherKind::Markov {
-                table_entries: 8192,
-                ahead: 4,
-            },
-        ),
-    ];
-
-    let mut speed_rows = Vec::new();
-    let mut miss_rows = Vec::new();
-    let mut acc_rows = Vec::new();
-    for (label, kind) in &variants {
-        let mut speed = vec![label.clone()];
-        let mut miss = vec![label.clone()];
-        let mut acc = vec![label.clone()];
-        for (ws, base) in sets.iter().zip(&baselines) {
-            let s = RunSpec::new(config.clone(), ws.clone(), lengths)
-                .prefetcher(*kind)
-                .policy(InstallPolicy::BypassL2UntilUseful)
-                .run();
-            speed.push(format!("{:.3}", s.speedup_over(base)));
-            miss.push(format!(
-                "{:.2}",
-                if base.l1i_mpi == 0.0 {
-                    0.0
-                } else {
-                    s.l1i_mpi / base.l1i_mpi
-                }
-            ));
-            acc.push(format!("{:.0}%", s.accuracy * 100.0));
-        }
-        speed_rows.push(speed);
-        miss_rows.push(miss);
-        acc_rows.push(acc);
-    }
-
-    println!("speedup over no prefetching");
-    print_table_owned(&workload_header("variant", &sets), &speed_rows);
-    println!("\nL1I miss ratio (vs no prefetching)");
-    print_table_owned(&workload_header("variant", &sets), &miss_rows);
-    println!("\nprefetch accuracy");
-    print_table_owned(&workload_header("variant", &sets), &acc_rows);
+    ipsim_experiments::figure_main("fig11");
 }

@@ -1,59 +1,6 @@
-//! Extension experiment: off-chip bandwidth sensitivity.
-//!
-//! Section 7 of the paper remarks that "in environments where off-chip
-//! bandwidth is constrained, the next-2-line discontinuity prefetcher may
-//! be a good choice" — its ~50% higher accuracy wastes less bandwidth than
-//! the next-4-line window. This harness sweeps the CMP's off-chip
-//! bandwidth and shows where the 2NL variant overtakes the default.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_cpu::WorkloadSet;
-use ipsim_experiments::{print_table_owned, RunLengths, RunSpec, Summary};
-use ipsim_trace::Workload;
-use ipsim_types::SystemConfig;
+//! Extension: off-chip bandwidth sensitivity.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Extension: speedup vs off-chip bandwidth (4-way CMP, bypass policy)");
-    println!("(paper: under constrained bandwidth the more accurate discont(2NL) becomes");
-    println!(" competitive with / preferable to the default next-4-line window)\n");
-
-    // GB/s at 3 GHz; 20 GB/s is the paper's CMP default.
-    let bandwidths = [2.5f64, 5.0, 10.0, 20.0, 40.0];
-    let schemes = [
-        PrefetcherKind::NextNLineTagged { n: 4 },
-        PrefetcherKind::discontinuity_2nl(),
-        PrefetcherKind::discontinuity_default(),
-    ];
-    let sets = [
-        WorkloadSet::homogeneous(Workload::Db),
-        WorkloadSet::mixed(),
-    ];
-
-    for ws in &sets {
-        println!("workload: {}", ws.name());
-        let mut header = vec!["scheme".to_string()];
-        for bw in bandwidths {
-            header.push(format!("{bw}GB/s"));
-        }
-        let mut rows = Vec::new();
-        for kind in schemes {
-            let mut row = vec![kind.label()];
-            for bw in bandwidths {
-                let mut config = SystemConfig::cmp4();
-                config.mem.offchip_bytes_per_cycle = bw / 3.0;
-                let base: Summary =
-                    RunSpec::new(config.clone(), ws.clone(), lengths).run();
-                let s = RunSpec::new(config, ws.clone(), lengths)
-                    .prefetcher(kind)
-                    .policy(InstallPolicy::BypassL2UntilUseful)
-                    .run();
-                row.push(format!("{:.3}", s.speedup_over(&base)));
-            }
-            rows.push(row);
-        }
-        print_table_owned(&header, &rows);
-        println!();
-    }
+    ipsim_experiments::figure_main("fig12");
 }

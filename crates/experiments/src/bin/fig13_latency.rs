@@ -1,64 +1,6 @@
-//! Extension experiment: memory-latency sensitivity.
-//!
-//! The paper's introduction argues that as the relative distance to memory
-//! grows, prefetchers must speculate further ahead: timeliness, not
-//! prediction, becomes the binding constraint. This harness sweeps the
-//! memory latency and shows (a) the baseline degrading, (b) the
-//! short-lookahead next-line scheme losing its value faster than the
-//! deeper next-4-line/discontinuity windows.
-
-use ipsim_cache::InstallPolicy;
-use ipsim_core::PrefetcherKind;
-use ipsim_cpu::WorkloadSet;
-use ipsim_experiments::{print_table_owned, RunLengths, RunSpec, Summary};
-use ipsim_trace::Workload;
-use ipsim_types::SystemConfig;
+//! Extension: memory-latency sensitivity.
+//! Thin wrapper; the figure lives in [`ipsim_experiments::figures`].
 
 fn main() {
-    let lengths = RunLengths::from_args();
-    println!("Extension: speedup vs memory latency (4-way CMP, DB, bypass policy)");
-    println!("(paper intro: growing memory distance demands longer prefetch lookahead —");
-    println!(" shallow next-line windows lose value faster than the 4-line window)\n");
-
-    let latencies = [100u64, 200, 400, 800];
-    let schemes = [
-        PrefetcherKind::NextLineTagged,
-        PrefetcherKind::NextNLineTagged { n: 4 },
-        PrefetcherKind::discontinuity_default(),
-    ];
-    let ws = WorkloadSet::homogeneous(Workload::Db);
-
-    let mut header = vec!["scheme".to_string()];
-    for l in latencies {
-        header.push(format!("{l}cyc"));
-    }
-    let mut rows = Vec::new();
-
-    let mut base_row = vec!["baseline IPC".to_string()];
-    let baselines: Vec<Summary> = latencies
-        .iter()
-        .map(|&lat| {
-            let mut config = SystemConfig::cmp4();
-            config.mem.mem_latency = lat;
-            let s = RunSpec::new(config, ws.clone(), lengths).run();
-            base_row.push(format!("{:.3}", s.ipc));
-            s
-        })
-        .collect();
-    rows.push(base_row);
-
-    for kind in schemes {
-        let mut row = vec![kind.label()];
-        for (i, &lat) in latencies.iter().enumerate() {
-            let mut config = SystemConfig::cmp4();
-            config.mem.mem_latency = lat;
-            let s = RunSpec::new(config, ws.clone(), lengths)
-                .prefetcher(kind)
-                .policy(InstallPolicy::BypassL2UntilUseful)
-                .run();
-            row.push(format!("{:.3}", s.speedup_over(&baselines[i])));
-        }
-        rows.push(row);
-    }
-    print_table_owned(&header, &rows);
+    ipsim_experiments::figure_main("fig13");
 }

@@ -1,9 +1,12 @@
-//! Shared harness utilities for the figure-regeneration binaries.
+//! Figure definitions and shared utilities for the experiment binaries.
 //!
-//! Each binary in `src/bin/` regenerates one figure of the paper; run them
-//! as
+//! Each figure of the paper lives in [`figures`] as a render function over
+//! an [`Executor`] (see `ipsim-harness`); the `figNN_*` binaries in
+//! `src/bin/` are thin wrappers around [`figure_main`], and `all_figures`
+//! sweeps every figure through one shared scheduler in a single process:
 //!
 //! ```text
+//! cargo run --release -p ipsim-experiments --bin all_figures -- [--quick] [--jobs N]
 //! cargo run --release -p ipsim-experiments --bin fig01_l1_miss_rates [-- --quick]
 //! ```
 //!
@@ -14,51 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod runner;
-pub mod summary;
+pub mod figures;
 
-pub use runner::RunSpec;
-pub use summary::Summary;
+pub use ipsim_harness::{Executor, RunLengths, RunSpec, Summary};
 
 use ipsim_cpu::{SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim_harness::{run_sweep, HarnessArgs, SweepOptions};
 use ipsim_trace::Workload;
-
-/// Run-length configuration for the harness binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunLengths {
-    /// Warm-up instructions per core (caches and predictors fill; not
-    /// measured).
-    pub warm: u64,
-    /// Measured instructions per core.
-    pub measure: u64,
-}
-
-impl RunLengths {
-    /// The default experiment windows.
-    pub fn full() -> RunLengths {
-        RunLengths {
-            warm: 10_000_000,
-            measure: 20_000_000,
-        }
-    }
-
-    /// Fast smoke-run windows.
-    pub fn quick() -> RunLengths {
-        RunLengths {
-            warm: 2_000_000,
-            measure: 4_000_000,
-        }
-    }
-
-    /// Parses process arguments: `--quick` selects [`RunLengths::quick`].
-    pub fn from_args() -> RunLengths {
-        if std::env::args().any(|a| a == "--quick") {
-            RunLengths::quick()
-        } else {
-            RunLengths::full()
-        }
-    }
-}
 
 /// The five workload columns of the paper's CMP figures
 /// (DB, TPC-W, jApp, Web, Mixed).
@@ -104,10 +69,11 @@ pub fn scheme_matrix(
     schemes: &[ipsim_core::PrefetcherKind],
     policy: ipsim_cache::InstallPolicy,
     lengths: RunLengths,
+    x: &mut Executor,
 ) -> (Vec<Summary>, Vec<(String, Vec<Summary>)>) {
     let baselines: Vec<Summary> = sets
         .iter()
-        .map(|ws| RunSpec::new(config.clone(), ws.clone(), lengths).run())
+        .map(|ws| x(&RunSpec::new(config.clone(), ws.clone(), lengths)))
         .collect();
     let per_scheme = schemes
         .iter()
@@ -115,10 +81,9 @@ pub fn scheme_matrix(
             let summaries = sets
                 .iter()
                 .map(|ws| {
-                    RunSpec::new(config.clone(), ws.clone(), lengths)
+                    x(&RunSpec::new(config.clone(), ws.clone(), lengths)
                         .prefetcher(*kind)
-                        .policy(policy)
-                        .run()
+                        .policy(policy))
                 })
                 .collect();
             (kind.label(), summaries)
@@ -149,14 +114,15 @@ pub fn workload_header(label: &'static str, sets: &[WorkloadSet]) -> Vec<String>
     h
 }
 
-/// Prints a table whose header cells are owned strings.
-pub fn print_table_owned(header: &[String], rows: &[Vec<String>]) {
+/// Formats a table whose header cells are owned strings.
+pub fn table_string_owned(header: &[String], rows: &[Vec<String>]) -> String {
     let refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(&refs, rows);
+    table_string(&refs, rows)
 }
 
-/// Prints a simple aligned table: a header row then data rows.
-pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+/// Formats a simple aligned table: a header row, a rule, then data rows.
+/// Every line ends with `\n`.
+pub fn table_string(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -176,10 +142,49 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         }
         out
     };
-    println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+    let mut out = String::new();
+    out.push_str(&line(header.iter().map(|s| s.to_string()).collect()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum()));
+    out.push('\n');
     for row in rows {
-        println!("{}", line(row.clone()));
+        out.push_str(&line(row.clone()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a table whose header cells are owned strings.
+pub fn print_table_owned(header: &[String], rows: &[Vec<String>]) {
+    print!("{}", table_string_owned(header, rows));
+}
+
+/// Prints a simple aligned table: a header row then data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", table_string(header, rows));
+}
+
+/// Entry point shared by every thin `figNN_*` binary: parse arguments, run
+/// the named figure through the scheduler, print its output. Exits the
+/// process (0 on success, 1 on figure failure).
+pub fn figure_main(name: &str) -> ! {
+    let args = HarnessArgs::from_env_or_exit();
+    let all = figures::all();
+    let figure = all
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown figure `{name}`"));
+    let opts = SweepOptions::new(args.lengths, args.workers);
+    let report = run_sweep(std::slice::from_ref(figure), &opts);
+    match &report.figures[0].outcome {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{name} failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -203,5 +208,17 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn tables_align_and_terminate_lines() {
+        let t = table_string(
+            &["a", "bb"],
+            &[vec!["x".to_string(), "12345".to_string()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(t.ends_with('\n'));
+        assert_eq!(lines[0].len(), lines[2].len());
     }
 }

@@ -1,0 +1,61 @@
+//! The scheduler's core guarantee: worker count never changes a figure's
+//! rendered bytes. Both sweeps here start from cold caches, so the 1-worker
+//! and 4-worker runs each simulate everything themselves.
+
+use std::path::PathBuf;
+
+use ipsim_harness::{run_sweep, Figure, ProgressMode, RunLengths, SweepOptions, SweepReport};
+
+fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, PathBuf) {
+    let base = std::env::temp_dir().join(format!(
+        "ipsim-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let opts = SweepOptions {
+        lengths: RunLengths {
+            warm: 10_000,
+            measure: 20_000,
+        },
+        workers,
+        results_dir: None,
+        cache_dir: Some(base.join("cache")),
+        runlog: Some(base.join("runlog.tsv")),
+        progress: ProgressMode::Silent,
+    };
+    (run_sweep(figures, &opts), base)
+}
+
+#[test]
+fn figure_output_is_byte_identical_across_worker_counts() {
+    // fig02 exercises mixed workloads and config edits; fig05 exercises the
+    // shared scheme matrix (its three parts dedup onto the same runs).
+    let figures: Vec<Figure> = ipsim_experiments::figures::all()
+        .into_iter()
+        .filter(|f| f.name == "fig02" || f.name == "fig05")
+        .collect();
+    assert_eq!(figures.len(), 2);
+
+    let (serial, dir1) = cold_sweep(&figures, "w1", 1);
+    let (parallel, dir4) = cold_sweep(&figures, "w4", 4);
+
+    assert!(serial.all_ok(), "serial sweep failed");
+    assert!(parallel.all_ok(), "parallel sweep failed");
+    assert_eq!(serial.cache_hits, 0, "sweep was not cold");
+    assert_eq!(parallel.cache_hits, 0, "sweep was not cold");
+
+    for (a, b) in serial.figures.iter().zip(&parallel.figures) {
+        assert_eq!(a.name, b.name);
+        let text1 = a.outcome.as_ref().unwrap();
+        let text4 = b.outcome.as_ref().unwrap();
+        assert_eq!(
+            text1.as_bytes(),
+            text4.as_bytes(),
+            "{}: 1-worker and 4-worker outputs differ",
+            a.name
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(dir1);
+    let _ = std::fs::remove_dir_all(dir4);
+}

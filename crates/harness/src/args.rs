@@ -1,0 +1,145 @@
+//! Hand-rolled argument parsing shared by every figure binary.
+
+use crate::RunLengths;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...]
+
+  --quick          ~5x shorter warm-up/measurement windows (smoke runs)
+  --jobs N, -j N   worker threads for the run pool
+                   (default: the machine's available parallelism)
+  --figures LIST   comma-separated figure subset (all_figures only)
+  --help           this text
+";
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Warm-up / measurement windows.
+    pub lengths: RunLengths,
+    /// Worker threads.
+    pub workers: usize,
+    /// Figure-subset filter (`all_figures` only).
+    pub figures: Option<Vec<String>>,
+}
+
+impl HarnessArgs {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<HarnessArgs, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = HarnessArgs {
+            lengths: RunLengths::full(),
+            workers: default_workers(),
+            figures: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            match arg {
+                "--quick" => out.lengths = RunLengths::quick(),
+                "--jobs" | "-j" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| format!("{arg} needs a value\n\n{USAGE}"))?;
+                    out.workers = parse_workers(v.as_ref())?;
+                }
+                "--figures" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| format!("{arg} needs a value\n\n{USAGE}"))?;
+                    out.figures = Some(parse_figures(v.as_ref()));
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                _ => {
+                    if let Some(v) = arg.strip_prefix("--jobs=") {
+                        out.workers = parse_workers(v)?;
+                    } else if let Some(v) = arg.strip_prefix("--figures=") {
+                        out.figures = Some(parse_figures(v));
+                    } else {
+                        return Err(format!("unknown argument `{arg}`\n\n{USAGE}"));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with the usage text on error.
+    /// `--help` prints the usage to stdout and exits 0.
+    pub fn from_env_or_exit() -> HarnessArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match HarnessArgs::parse(&argv) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// One worker per available hardware thread by default; the pool clamps to
+/// the job count anyway.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn parse_workers(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs needs a positive integer, got `{v}`\n\n{USAGE}")),
+    }
+}
+
+fn parse_figures(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let d = HarnessArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(d.lengths, RunLengths::full());
+        assert!(d.workers >= 1);
+        assert!(d.figures.is_none());
+
+        let a = HarnessArgs::parse(["--quick", "--jobs", "4"]).unwrap();
+        assert_eq!(a.lengths, RunLengths::quick());
+        assert_eq!(a.workers, 4);
+
+        let b = HarnessArgs::parse(["--jobs=8", "--figures=fig01, fig05"]).unwrap();
+        assert_eq!(b.workers, 8);
+        assert_eq!(
+            b.figures,
+            Some(vec!["fig01".to_string(), "fig05".to_string()])
+        );
+
+        let c = HarnessArgs::parse(["-j", "2"]).unwrap();
+        assert_eq!(c.workers, 2);
+    }
+
+    #[test]
+    fn errors_carry_usage() {
+        for bad in [&["--jobs", "0"][..], &["--jobs", "x"], &["--wat"], &["--jobs"]] {
+            let err = HarnessArgs::parse(bad.iter().copied()).unwrap_err();
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+}

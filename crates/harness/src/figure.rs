@@ -1,0 +1,156 @@
+//! Figures as data: a named render function over an executor.
+//!
+//! A figure is a pure function from run lengths and an *executor* — a
+//! callback resolving a [`RunSpec`] to its [`Summary`] — to the figure's
+//! full text output. This single definition serves three roles:
+//!
+//! 1. **Job collection**: calling the renderer with a recording executor
+//!    (returns [`Summary::zeroed`], discards the text) enumerates exactly
+//!    the specs the figure needs. One source of truth — the job list can
+//!    never drift from what rendering actually consumes.
+//! 2. **Rendering**: calling it again with a lookup executor over the
+//!    scheduler's results produces the output, byte-identically regardless
+//!    of worker count.
+//! 3. **Thin binaries**: a `figNN` binary is one call into the registry.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::pool::panic_message;
+use crate::spec::RunSpec;
+use crate::summary::Summary;
+use crate::RunLengths;
+
+/// Resolves one spec to its summary during a render pass.
+pub type Executor<'a> = dyn FnMut(&RunSpec) -> Summary + 'a;
+
+/// Renders a figure's text given run lengths and an executor.
+pub type RenderFn = fn(RunLengths, &mut Executor) -> String;
+
+/// One figure of the paper (or an extension study).
+#[derive(Clone, Copy)]
+pub struct Figure {
+    /// Short name, also the results file stem (`fig01` → `results/fig01.txt`).
+    pub name: &'static str,
+    /// One-line description for the sweep report.
+    pub title: &'static str,
+    /// The renderer.
+    pub render: RenderFn,
+}
+
+impl Figure {
+    /// Enumerates the runs this figure needs, via a recording render pass.
+    /// A panicking renderer yields an error instead of unwinding.
+    pub fn jobs(&self, lengths: RunLengths) -> Result<Vec<RunSpec>, String> {
+        let mut specs = Vec::new();
+        catch_unwind(AssertUnwindSafe(|| {
+            (self.render)(lengths, &mut |spec| {
+                specs.push(spec.clone());
+                Summary::zeroed()
+            });
+        }))
+        .map_err(|panic| {
+            format!(
+                "{} job enumeration panicked: {}",
+                self.name,
+                panic_message(&*panic)
+            )
+        })?;
+        Ok(specs)
+    }
+
+    /// Renders the figure against resolved results. `resolve` returns the
+    /// summary for a key, or an error for a run that failed or was never
+    /// scheduled; any such error (or renderer panic) fails this figure
+    /// only, not the sweep.
+    pub fn output(
+        &self,
+        lengths: RunLengths,
+        resolve: &dyn Fn(&RunSpec) -> Result<Summary, String>,
+    ) -> Result<String, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut text = (self.render)(lengths, &mut |spec| match resolve(spec) {
+                Ok(summary) => summary,
+                // Unwinds into the catch above; rendering has no other
+                // way to abort mid-table.
+                Err(e) => panic!("{}: {e}", self.name),
+            });
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text
+        }))
+        .map_err(|panic| panic_message(&*panic))
+    }
+}
+
+impl std::fmt::Debug for Figure {
+    // Hand-written to skip the fn pointer, whose address is build-dependent.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Figure")
+            .field("name", &self.name)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_cpu::WorkloadSet;
+    use ipsim_trace::Workload;
+    use ipsim_types::SystemConfig;
+
+    fn two_job_render(lengths: RunLengths, x: &mut Executor) -> String {
+        let mut out = String::new();
+        for w in [Workload::Db, Workload::Web] {
+            let spec = RunSpec::new(
+                SystemConfig::single_core(),
+                WorkloadSet::homogeneous(w),
+                lengths,
+            );
+            let s = x(&spec);
+            out.push_str(&format!("{} {}\n", spec.workloads.name(), s.instructions));
+        }
+        out
+    }
+
+    const FIG: Figure = Figure {
+        name: "figtest",
+        title: "test figure",
+        render: two_job_render,
+    };
+
+    fn lengths() -> RunLengths {
+        RunLengths {
+            warm: 1,
+            measure: 2,
+        }
+    }
+
+    #[test]
+    fn jobs_are_collected_without_running_anything() {
+        let jobs = FIG.jobs(lengths()).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].workloads.name(), "DB");
+        assert_eq!(jobs[1].workloads.name(), "Web");
+    }
+
+    #[test]
+    fn output_uses_resolved_summaries() {
+        let resolve = |_: &RunSpec| -> Result<Summary, String> {
+            let mut s = Summary::zeroed();
+            s.instructions = 42;
+            Ok(s)
+        };
+        let text = FIG.output(lengths(), &resolve).unwrap();
+        assert_eq!(text, "DB 42\nWeb 42\n");
+    }
+
+    #[test]
+    fn failed_runs_fail_the_figure_not_the_process() {
+        let resolve =
+            |_: &RunSpec| -> Result<Summary, String> { Err("simulation exploded".into()) };
+        let err = FIG.output(lengths(), &resolve).unwrap_err();
+        assert!(err.contains("simulation exploded"), "{err}");
+    }
+}

@@ -1,0 +1,76 @@
+//! A hand-rolled FNV-1a 64-bit hash for stable, toolchain-independent
+//! cache keys.
+//!
+//! `std::collections::hash_map::DefaultHasher` documents its algorithm as
+//! unspecified and free to change between releases, which silently
+//! invalidates every entry in `results/cache/` on a toolchain bump. FNV-1a
+//! is fixed for all time, trivial to implement, and plenty for cache-key
+//! purposes (keys are content descriptors, not adversarial input).
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a64 {
+    /// A hasher in its initial state.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Fnv1a64 {
+        Fnv1a64::new()
+    }
+}
+
+/// One-shot FNV-1a of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a test vectors — the algorithm must never drift,
+    /// that is the whole point of using it.
+    #[test]
+    fn matches_published_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

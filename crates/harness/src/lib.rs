@@ -1,0 +1,89 @@
+//! `ipsim-harness`: deterministic experiment orchestration.
+//!
+//! This crate turns the figure binaries from "13 sequential processes, each
+//! re-running shared configurations" into one scheduled sweep:
+//!
+//! * [`spec::RunSpec`] names one simulation; its [`spec::RunSpec::cache_key`]
+//!   is a toolchain-stable FNV-1a hash ([`hash`]) of every
+//!   result-determining field.
+//! * [`figure::Figure`] defines a figure as a render function over an
+//!   executor; the same function both *enumerates* the runs it needs and
+//!   *renders* from their results, so job lists cannot drift.
+//! * [`sweep::run_sweep`] collects all figures' jobs, dedups globally by
+//!   cache key, fans the unique runs across a hand-rolled [`pool`] of
+//!   `std::thread` workers (zero runtime dependencies), and renders each
+//!   figure sequentially — output is byte-identical for any worker count.
+//! * [`cache::RunCache`] persists summaries with schema-versioned headers,
+//!   atomic writes, and quarantine-and-rerun for corrupt entries.
+//! * [`runlog`] and [`progress`] provide run-level observability: per-run
+//!   wall time and simulated MIPS, cache hit/miss counters, and a live
+//!   `N/M runs, ETA` stderr line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod cache;
+pub mod figure;
+pub mod hash;
+pub mod pool;
+pub mod progress;
+pub mod runlog;
+pub mod spec;
+pub mod summary;
+pub mod sweep;
+
+pub use args::HarnessArgs;
+pub use cache::RunCache;
+pub use figure::{Executor, Figure, RenderFn};
+pub use progress::ProgressMode;
+pub use spec::RunSpec;
+pub use summary::Summary;
+pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
+
+/// Run-length configuration shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLengths {
+    /// Warm-up instructions per core (caches and predictors fill; not
+    /// measured).
+    pub warm: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+}
+
+impl RunLengths {
+    /// The default experiment windows.
+    pub fn full() -> RunLengths {
+        RunLengths {
+            warm: 10_000_000,
+            measure: 20_000_000,
+        }
+    }
+
+    /// Fast smoke-run windows.
+    pub fn quick() -> RunLengths {
+        RunLengths {
+            warm: 2_000_000,
+            measure: 4_000_000,
+        }
+    }
+
+    /// Parses process arguments: `--quick` selects [`RunLengths::quick`].
+    pub fn from_args() -> RunLengths {
+        if std::env::args().any(|a| a == "--quick") {
+            RunLengths::quick()
+        } else {
+            RunLengths::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_shorter_than_full() {
+        assert!(RunLengths::quick().measure < RunLengths::full().measure);
+    }
+}

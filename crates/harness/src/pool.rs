@@ -1,0 +1,221 @@
+//! The deterministic worker pool: unique runs fan out across hand-rolled
+//! `std::thread` workers (no runtime dependencies).
+//!
+//! Determinism argument: each simulation is single-threaded and fully
+//! seeded, every [`RunSpec`] in a batch is unique (the scheduler dedups by
+//! cache key before calling [`execute`]), and results are collected into
+//! per-job slots by index. Worker count therefore affects only wall time —
+//! never results — which the determinism integration test pins down.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::RunCache;
+use crate::progress::Progress;
+use crate::runlog::RunRecord;
+use crate::spec::RunSpec;
+use crate::summary::Summary;
+
+/// Outcome of executing one batch of unique specs.
+pub struct ExecReport {
+    /// Result per cache key: the summary, or the panic message of a run
+    /// that died.
+    pub results: HashMap<String, Result<Summary, String>>,
+    /// One record per spec, in input order.
+    pub records: Vec<RunRecord>,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+/// Runs every spec (assumed unique) across `workers` threads, consulting
+/// and updating `cache`. Panicking simulations are contained: they mark
+/// their own spec failed and the batch continues.
+pub fn execute(
+    specs: &[RunSpec],
+    workers: usize,
+    cache: &RunCache,
+    progress: &Progress,
+) -> ExecReport {
+    let started = Instant::now();
+    let n = specs.len();
+    let slots: Vec<Mutex<Option<(Result<Summary, String>, RunRecord)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = run_one(&specs[i], cache);
+                progress.on_run(&outcome.1);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let mut results = HashMap::with_capacity(n);
+    let mut records = Vec::with_capacity(n);
+    for slot in slots {
+        let (result, record) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every job index was claimed by a worker");
+        results.insert(record.key.clone(), result);
+        records.push(record);
+    }
+    ExecReport {
+        results,
+        records,
+        wall: started.elapsed(),
+    }
+}
+
+/// Executes one spec: cache lookup, else simulate (containing panics) and
+/// store.
+fn run_one(spec: &RunSpec, cache: &RunCache) -> (Result<Summary, String>, RunRecord) {
+    let t0 = Instant::now();
+    let key = spec.cache_key();
+    let label = spec.label();
+    if let Some(summary) = cache.lookup(spec) {
+        let record = RunRecord {
+            key,
+            label,
+            cached: true,
+            ok: true,
+            wall_s: t0.elapsed().as_secs_f64(),
+            sim_instructions: 0,
+            mips: 0.0,
+        };
+        return (Ok(summary), record);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| spec.execute()))
+        .map_err(|panic| panic_message(&*panic));
+    if let Ok(summary) = &result {
+        cache.store(spec, summary);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let sim_instructions =
+        (spec.lengths.warm + spec.lengths.measure) * u64::from(spec.config.n_cores);
+    let record = RunRecord {
+        key,
+        label,
+        cached: false,
+        ok: result.is_ok(),
+        wall_s,
+        sim_instructions,
+        mips: if wall_s > 0.0 {
+            sim_instructions as f64 / 1e6 / wall_s
+        } else {
+            0.0
+        },
+    };
+    (result, record)
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::ProgressMode;
+    use crate::RunLengths;
+    use ipsim_cpu::WorkloadSet;
+    use ipsim_trace::Workload;
+    use ipsim_types::SystemConfig;
+
+    fn tiny_specs() -> Vec<RunSpec> {
+        let lengths = RunLengths {
+            warm: 2_000,
+            measure: 5_000,
+        };
+        Workload::ALL
+            .iter()
+            .map(|w| {
+                RunSpec::new(
+                    SystemConfig::single_core(),
+                    WorkloadSet::homogeneous(*w),
+                    lengths,
+                )
+            })
+            .collect()
+    }
+
+    fn tmp_cache(tag: &str) -> RunCache {
+        let dir = std::env::temp_dir().join(format!("ipsim-pool-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunCache::at(dir)
+    }
+
+    #[test]
+    fn pool_results_are_independent_of_worker_count() {
+        let specs = tiny_specs();
+        let cache1 = tmp_cache("w1");
+        let cache4 = tmp_cache("w4");
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let serial = execute(&specs, 1, &cache1, &p);
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let parallel = execute(&specs, 4, &cache4, &p);
+        for spec in &specs {
+            let key = spec.cache_key();
+            assert_eq!(
+                serial.results[&key].as_ref().unwrap(),
+                parallel.results[&key].as_ref().unwrap(),
+                "worker count changed the result of {}",
+                spec.label()
+            );
+        }
+        assert_eq!(cache1.misses(), specs.len() as u64);
+        assert_eq!(cache4.misses(), specs.len() as u64);
+        let _ = std::fs::remove_dir_all(cache1.dir());
+        let _ = std::fs::remove_dir_all(cache4.dir());
+    }
+
+    #[test]
+    fn second_batch_is_served_from_cache() {
+        let specs = tiny_specs();
+        let cache = tmp_cache("rerun");
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let cold = execute(&specs, 2, &cache, &p);
+        assert!(cold.records.iter().all(|r| !r.cached && r.ok));
+        assert!(cold.records.iter().all(|r| r.mips > 0.0));
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let warm = execute(&specs, 2, &cache, &p);
+        assert!(warm.records.iter().all(|r| r.cached && r.ok));
+        for spec in &specs {
+            let key = spec.cache_key();
+            assert_eq!(
+                cold.results[&key].as_ref().unwrap(),
+                warm.results[&key].as_ref().unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn records_preserve_input_order() {
+        let specs = tiny_specs();
+        let cache = tmp_cache("order");
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let report = execute(&specs, 3, &cache, &p);
+        let got: Vec<String> = report.records.iter().map(|r| r.key.clone()).collect();
+        let want: Vec<String> = specs.iter().map(|s| s.cache_key()).collect();
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

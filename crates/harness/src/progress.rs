@@ -1,0 +1,164 @@
+//! Live sweep progress on stderr: `N/M runs, ETA`.
+//!
+//! Progress goes to **stderr** so it never contaminates figure output or
+//! the `results/*.txt` files. On a terminal it renders as a single
+//! carriage-return-updated line; when stderr is redirected (CI logs) it
+//! falls back to one plain line per completed run, so logs stay greppable.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::runlog::RunRecord;
+
+/// How progress should be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Live line if stderr is a terminal, plain lines otherwise.
+    Auto,
+    /// Single `\r`-updated status line.
+    Live,
+    /// One line per completed run.
+    Plain,
+    /// No output (tests).
+    Silent,
+}
+
+/// Thread-safe progress meter shared by the worker pool.
+pub struct Progress {
+    mode: ProgressMode,
+    total: usize,
+    done: AtomicUsize,
+    cached: AtomicU64,
+    started: Instant,
+    // Serialises stderr writes so live-line updates never interleave.
+    write_lock: Mutex<()>,
+}
+
+impl Progress {
+    /// A meter for `total` runs.
+    pub fn new(mode: ProgressMode, total: usize) -> Progress {
+        let mode = match mode {
+            ProgressMode::Auto => {
+                if std::io::stderr().is_terminal() {
+                    ProgressMode::Live
+                } else {
+                    ProgressMode::Plain
+                }
+            }
+            other => other,
+        };
+        Progress {
+            mode,
+            total,
+            done: AtomicUsize::new(0),
+            cached: AtomicU64::new(0),
+            started: Instant::now(),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Records one completed run and updates the display.
+    pub fn on_run(&self, record: &RunRecord) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if record.cached {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.mode == ProgressMode::Silent {
+            return;
+        }
+        let cached = self.cached.load(Ordering::Relaxed);
+        let eta = self.eta_secs(done);
+        let _guard = self.write_lock.lock().unwrap();
+        let mut err = std::io::stderr().lock();
+        match self.mode {
+            ProgressMode::Live => {
+                let _ = write!(
+                    err,
+                    "\r[{done}/{total}] runs · {cached} cached · last {label} {wall:.1}s · ETA {eta}   ",
+                    total = self.total,
+                    label = record.label,
+                    wall = record.wall_s,
+                    eta = fmt_eta(eta),
+                );
+            }
+            ProgressMode::Plain => {
+                let what = if record.cached {
+                    "cached".to_string()
+                } else if record.ok {
+                    format!("ran {:.1}s ({:.1} MIPS)", record.wall_s, record.mips)
+                } else {
+                    "FAILED".to_string()
+                };
+                let _ = writeln!(
+                    err,
+                    "[{done}/{total}] {label}: {what} · ETA {eta}",
+                    total = self.total,
+                    label = record.label,
+                    eta = fmt_eta(eta),
+                );
+            }
+            ProgressMode::Auto | ProgressMode::Silent => unreachable!("mode resolved in new()"),
+        }
+    }
+
+    /// Ends the display (terminates the live line).
+    pub fn finish(&self) {
+        if self.mode == ProgressMode::Live {
+            let _guard = self.write_lock.lock().unwrap();
+            let _ = writeln!(std::io::stderr());
+        }
+    }
+
+    /// Naive ETA: average pace so far times work remaining. Cache hits make
+    /// this an overestimate that corrects itself within a few runs.
+    fn eta_secs(&self, done: usize) -> u64 {
+        if done == 0 || done >= self.total {
+            return 0;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        (elapsed / done as f64 * (self.total - done) as f64).round() as u64
+    }
+}
+
+/// `73s` below two minutes, `m:ss` above.
+fn fmt_eta(secs: u64) -> String {
+    if secs < 120 {
+        format!("{secs}s")
+    } else {
+        format!("{}:{:02}", secs / 60, secs % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(fmt_eta(0), "0s");
+        assert_eq!(fmt_eta(119), "119s");
+        assert_eq!(fmt_eta(120), "2:00");
+        assert_eq!(fmt_eta(3599), "59:59");
+    }
+
+    #[test]
+    fn silent_mode_counts_without_printing() {
+        let p = Progress::new(ProgressMode::Silent, 2);
+        let rec = RunRecord {
+            key: "k".into(),
+            label: "l".into(),
+            cached: true,
+            ok: true,
+            wall_s: 0.0,
+            sim_instructions: 0,
+            mips: 0.0,
+        };
+        p.on_run(&rec);
+        p.on_run(&rec);
+        p.finish();
+        assert_eq!(p.done.load(Ordering::Relaxed), 2);
+        assert_eq!(p.cached.load(Ordering::Relaxed), 2);
+    }
+}

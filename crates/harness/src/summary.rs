@@ -1,0 +1,158 @@
+//! A compact, disk-cacheable summary of one simulation run.
+
+use ipsim_cpu::SystemMetrics;
+use ipsim_types::stats::CategoryCounts;
+use ipsim_types::MissCategory;
+
+/// Everything the figure harnesses need from a run, in plain numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Aggregate IPC (sum of per-core IPCs).
+    pub ipc: f64,
+    /// L1I misses per instruction.
+    pub l1i_mpi: f64,
+    /// L2 instruction misses per instruction.
+    pub l2i_mpi: f64,
+    /// L2 data misses per instruction.
+    pub l2d_mpi: f64,
+    /// L1D misses per instruction.
+    pub l1d_mpi: f64,
+    /// Prefetch accuracy (useful / issued).
+    pub accuracy: f64,
+    /// Prefetches issued per 1000 instructions.
+    pub issued_per_ki: f64,
+    /// L1I miss counts by category.
+    pub l1i_breakdown: CategoryCounts,
+    /// L2 instruction miss counts by category.
+    pub l2i_breakdown: CategoryCounts,
+}
+
+impl Summary {
+    /// Extracts the summary from full run metrics.
+    pub fn from_metrics(m: &SystemMetrics) -> Summary {
+        Summary {
+            instructions: m.instructions(),
+            ipc: m.ipc(),
+            l1i_mpi: m.l1i_miss_per_instr(),
+            l2i_mpi: m.l2_instr_miss_per_instr(),
+            l2d_mpi: m.l2_data_miss_per_instr(),
+            l1d_mpi: m.l1d_miss_per_instr(),
+            accuracy: m.prefetch_accuracy(),
+            issued_per_ki: m.prefetch().issued as f64 / (m.instructions().max(1) as f64 / 1000.0),
+            l1i_breakdown: m.l1i_miss_breakdown(),
+            l2i_breakdown: *m.l2_instr_miss_breakdown(),
+        }
+    }
+
+    /// An all-zero summary: the stand-in the job-recording pass feeds to
+    /// figure renderers while collecting their [`RunSpec`]s (renderers
+    /// guard every division, so zeros flow through harmlessly).
+    ///
+    /// [`RunSpec`]: crate::RunSpec
+    pub fn zeroed() -> Summary {
+        Summary {
+            instructions: 0,
+            ipc: 0.0,
+            l1i_mpi: 0.0,
+            l2i_mpi: 0.0,
+            l2d_mpi: 0.0,
+            l1d_mpi: 0.0,
+            accuracy: 0.0,
+            issued_per_ki: 0.0,
+            l1i_breakdown: CategoryCounts::new(),
+            l2i_breakdown: CategoryCounts::new(),
+        }
+    }
+
+    /// Serialises to one tab-separated line (for the run cache).
+    pub fn to_tsv(&self) -> String {
+        let mut fields = vec![
+            self.instructions.to_string(),
+            format!("{:.17e}", self.ipc),
+            format!("{:.17e}", self.l1i_mpi),
+            format!("{:.17e}", self.l2i_mpi),
+            format!("{:.17e}", self.l2d_mpi),
+            format!("{:.17e}", self.l1d_mpi),
+            format!("{:.17e}", self.accuracy),
+            format!("{:.17e}", self.issued_per_ki),
+        ];
+        for cat in MissCategory::ALL {
+            fields.push(self.l1i_breakdown[cat].to_string());
+        }
+        for cat in MissCategory::ALL {
+            fields.push(self.l2i_breakdown[cat].to_string());
+        }
+        fields.join("\t")
+    }
+
+    /// Parses a line produced by [`Summary::to_tsv`]; `None` on any
+    /// mismatch (treated as cache corruption by the run cache).
+    pub fn from_tsv(line: &str) -> Option<Summary> {
+        let parts: Vec<&str> = line.trim_end().split('\t').collect();
+        if parts.len() != 8 + 2 * MissCategory::COUNT {
+            return None;
+        }
+        let mut l1i = CategoryCounts::new();
+        let mut l2i = CategoryCounts::new();
+        for (i, cat) in MissCategory::ALL.iter().enumerate() {
+            l1i[*cat] = parts[8 + i].parse().ok()?;
+            l2i[*cat] = parts[8 + MissCategory::COUNT + i].parse().ok()?;
+        }
+        Some(Summary {
+            instructions: parts[0].parse().ok()?,
+            ipc: parts[1].parse().ok()?,
+            l1i_mpi: parts[2].parse().ok()?,
+            l2i_mpi: parts[3].parse().ok()?,
+            l2d_mpi: parts[4].parse().ok()?,
+            l1d_mpi: parts[5].parse().ok()?,
+            accuracy: parts[6].parse().ok()?,
+            issued_per_ki: parts[7].parse().ok()?,
+            l1i_breakdown: l1i,
+            l2i_breakdown: l2i,
+        })
+    }
+
+    /// Speedup of `self` over `baseline` (IPC ratio).
+    pub fn speedup_over(&self, baseline: &Summary) -> f64 {
+        if baseline.ipc == 0.0 {
+            0.0
+        } else {
+            self.ipc / baseline.ipc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trips() {
+        let mut s = Summary {
+            instructions: 123456,
+            ipc: 0.87654321,
+            l1i_mpi: 0.0221,
+            l2i_mpi: 0.0019,
+            l2d_mpi: 0.0084,
+            l1d_mpi: 0.0241,
+            accuracy: 0.33,
+            issued_per_ki: 96.5,
+            l1i_breakdown: CategoryCounts::new(),
+            l2i_breakdown: CategoryCounts::new(),
+        };
+        s.l1i_breakdown[MissCategory::Sequential] = 42;
+        s.l2i_breakdown[MissCategory::Call] = 7;
+        let line = s.to_tsv();
+        let back = Summary::from_tsv(&line).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Summary::from_tsv("").is_none());
+        assert!(Summary::from_tsv("1\t2\t3").is_none());
+        assert!(Summary::from_tsv(&"x\t".repeat(26)).is_none());
+    }
+}

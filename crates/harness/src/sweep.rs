@@ -1,0 +1,274 @@
+//! The sweep orchestrator: collect every figure's jobs, dedup globally,
+//! execute once across the pool, then render and report per figure.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::cache::RunCache;
+use crate::figure::Figure;
+use crate::pool;
+use crate::progress::{Progress, ProgressMode};
+use crate::runlog;
+use crate::spec::RunSpec;
+use crate::summary::Summary;
+use crate::RunLengths;
+
+/// How a sweep should run.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Warm-up / measurement windows passed to every figure.
+    pub lengths: RunLengths,
+    /// Worker threads for the pool.
+    pub workers: usize,
+    /// When set, each figure's output is also written to
+    /// `<dir>/<name>.txt`.
+    pub results_dir: Option<PathBuf>,
+    /// Cache directory; `None` uses `$IPSIM_CACHE_DIR` / the default.
+    pub cache_dir: Option<PathBuf>,
+    /// Run-log path; `None` uses `$IPSIM_RUNLOG` / the default.
+    pub runlog: Option<PathBuf>,
+    /// Progress reporting mode.
+    pub progress: ProgressMode,
+}
+
+impl SweepOptions {
+    /// Defaults for interactive use: env-resolved cache and run log, auto
+    /// progress, no result files.
+    pub fn new(lengths: RunLengths, workers: usize) -> SweepOptions {
+        SweepOptions {
+            lengths,
+            workers,
+            results_dir: None,
+            cache_dir: None,
+            runlog: None,
+            progress: ProgressMode::Auto,
+        }
+    }
+}
+
+/// One figure's outcome within a sweep.
+#[derive(Debug)]
+pub struct FigureReport {
+    /// Figure name (`fig01`…).
+    pub name: &'static str,
+    /// Figure title.
+    pub title: &'static str,
+    /// Rendered output, or the failure reason.
+    pub outcome: Result<String, String>,
+}
+
+/// Everything a sweep did, for reporting and tests.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-figure outcomes, in input order.
+    pub figures: Vec<FigureReport>,
+    /// Jobs requested across all figures, before dedup.
+    pub total_jobs: usize,
+    /// Unique jobs after global dedup by cache key.
+    pub unique_jobs: usize,
+    /// Disk-cache hits.
+    pub cache_hits: u64,
+    /// Disk-cache misses (simulated this sweep).
+    pub cache_misses: u64,
+    /// Corrupt cache entries quarantined.
+    pub quarantined: u64,
+    /// Wall time of the execution phase.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Whether every figure rendered successfully.
+    pub fn all_ok(&self) -> bool {
+        self.figures.iter().all(|f| f.outcome.is_ok())
+    }
+}
+
+/// Runs `figures` end to end: enumerate, dedup, execute, render, persist.
+///
+/// Figure failures (enumeration panic, simulation panic, render panic) are
+/// contained per figure; the sweep always completes and the report carries
+/// each failure. Worker count never affects any rendered byte.
+pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
+    // Phase 1: enumerate every figure's jobs.
+    let planned: Vec<Result<Vec<RunSpec>, String>> =
+        figures.iter().map(|f| f.jobs(opts.lengths)).collect();
+    let total_jobs: usize = planned.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum();
+
+    // Phase 2: global dedup by cache key, preserving first-seen order so
+    // scheduling (and thus the progress display) is deterministic.
+    let mut seen = HashSet::new();
+    let mut unique: Vec<RunSpec> = Vec::new();
+    for spec in planned.iter().flatten().flatten() {
+        if seen.insert(spec.cache_key()) {
+            unique.push(spec.clone());
+        }
+    }
+
+    // Phase 3: execute unique runs across the pool.
+    let cache = match &opts.cache_dir {
+        Some(dir) => RunCache::at(dir.clone()),
+        None => RunCache::from_env(),
+    };
+    let progress = Progress::new(opts.progress, unique.len());
+    let exec = pool::execute(&unique, opts.workers, &cache, &progress);
+    progress.finish();
+
+    // Phase 4: observability — append to the run log. Failure to log is
+    // not failure to sweep.
+    let runlog_path = opts
+        .runlog
+        .clone()
+        .unwrap_or_else(runlog::runlog_path_from_env);
+    if let Err(e) = runlog::append(&runlog_path, opts.workers, &exec.records) {
+        eprintln!("warning: could not append {}: {e}", runlog_path.display());
+    }
+
+    // Phase 5: render each figure sequentially and persist its output.
+    let resolve = |spec: &RunSpec| -> Result<Summary, String> {
+        match exec.results.get(&spec.cache_key()) {
+            Some(Ok(summary)) => Ok(summary.clone()),
+            Some(Err(e)) => Err(format!("run `{}` failed: {e}", spec.label())),
+            None => Err(format!(
+                "run `{}` was never scheduled (nondeterministic job enumeration?)",
+                spec.label()
+            )),
+        }
+    };
+    let mut reports = Vec::with_capacity(figures.len());
+    for (figure, plan) in figures.iter().zip(planned) {
+        let outcome = match plan {
+            Err(e) => Err(e),
+            Ok(_) => figure.output(opts.lengths, &resolve),
+        };
+        if let (Some(dir), Ok(text)) = (&opts.results_dir, &outcome) {
+            let path = dir.join(format!("{}.txt", figure.name));
+            let write = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, text.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        reports.push(FigureReport {
+            name: figure.name,
+            title: figure.title,
+            outcome,
+        });
+    }
+
+    SweepReport {
+        figures: reports,
+        total_jobs,
+        unique_jobs: unique.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        quarantined: cache.quarantined(),
+        wall: exec.wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::Executor;
+    use ipsim_cpu::WorkloadSet;
+    use ipsim_trace::Workload;
+    use ipsim_types::SystemConfig;
+
+    fn render_a(lengths: RunLengths, x: &mut Executor) -> String {
+        let spec = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        format!("a {}\n", x(&spec).instructions)
+    }
+
+    /// Shares render_a's single job, adds one of its own.
+    fn render_b(lengths: RunLengths, x: &mut Executor) -> String {
+        let shared = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let own = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Web),
+            lengths,
+        );
+        format!("b {} {}\n", x(&shared).instructions, x(&own).instructions)
+    }
+
+    fn render_broken(_: RunLengths, _: &mut Executor) -> String {
+        panic!("deliberately broken figure");
+    }
+
+    fn opts(tag: &str) -> SweepOptions {
+        let base = std::env::temp_dir().join(format!("ipsim-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        SweepOptions {
+            lengths: RunLengths {
+                warm: 1_000,
+                measure: 2_000,
+            },
+            workers: 2,
+            results_dir: Some(base.join("results")),
+            cache_dir: Some(base.join("cache")),
+            runlog: Some(base.join("runlog.tsv")),
+            progress: ProgressMode::Silent,
+        }
+    }
+
+    const FIGS: [Figure; 3] = [
+        Figure {
+            name: "figa",
+            title: "figure a",
+            render: render_a,
+        },
+        Figure {
+            name: "figb",
+            title: "figure b",
+            render: render_b,
+        },
+        Figure {
+            name: "figx",
+            title: "broken figure",
+            render: render_broken,
+        },
+    ];
+
+    #[test]
+    fn sweep_dedups_contains_failures_and_persists() {
+        let opts = opts("main");
+        let report = run_sweep(&FIGS, &opts);
+
+        // 3 jobs requested, 2 unique (figa's job is shared with figb).
+        assert_eq!(report.total_jobs, 3);
+        assert_eq!(report.unique_jobs, 2);
+        assert_eq!(report.cache_misses, 2);
+
+        // The broken figure failed; the others still rendered.
+        assert!(!report.all_ok());
+        assert!(report.figures[0].outcome.is_ok());
+        assert!(report.figures[1].outcome.is_ok());
+        let err = report.figures[2].outcome.as_ref().unwrap_err();
+        assert!(err.contains("deliberately broken"), "{err}");
+
+        // Outputs were written for successful figures only.
+        let dir = opts.results_dir.as_ref().unwrap();
+        assert!(dir.join("figa.txt").exists());
+        assert!(dir.join("figb.txt").exists());
+        assert!(!dir.join("figx.txt").exists());
+
+        // The run log recorded both unique runs.
+        let log = std::fs::read_to_string(opts.runlog.as_ref().unwrap()).unwrap();
+        assert_eq!(log.lines().filter(|l| !l.starts_with('#')).count(), 2);
+
+        // A second sweep over the same cache is all hits.
+        let report2 = run_sweep(&FIGS, &opts);
+        assert_eq!(report2.cache_hits, 2);
+        assert_eq!(report2.cache_misses, 0);
+
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

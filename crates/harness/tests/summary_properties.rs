@@ -1,0 +1,72 @@
+//! Property tests for the run cache's on-disk summary format: the TSV
+//! round trip must be lossless for every representable summary, and any
+//! structural damage must be rejected (so the cache quarantines it) rather
+//! than half-parsed.
+
+use ipsim_harness::Summary;
+use ipsim_types::stats::CategoryCounts;
+use ipsim_types::MissCategory;
+use proptest::prelude::*;
+
+fn counts() -> impl Strategy<Value = CategoryCounts> {
+    prop::collection::vec(0u64..1_000_000_000_000, MissCategory::COUNT).prop_map(|v| {
+        let mut c = CategoryCounts::new();
+        for (i, cat) in MissCategory::ALL.iter().enumerate() {
+            c[*cat] = v[i];
+        }
+        c
+    })
+}
+
+fn summaries() -> impl Strategy<Value = Summary> {
+    (
+        (0u64..u64::MAX / 2, 0.0f64..8.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..2000.0),
+        counts(),
+        counts(),
+    )
+        .prop_map(
+            |((instructions, ipc, l1i, l2i, l2d), (l1d, accuracy, issued_per_ki), b1, b2)| {
+                Summary {
+                    instructions,
+                    ipc,
+                    l1i_mpi: l1i,
+                    l2i_mpi: l2i,
+                    l2d_mpi: l2d,
+                    l1d_mpi: l1d,
+                    accuracy,
+                    issued_per_ki,
+                    l1i_breakdown: b1,
+                    l2i_breakdown: b2,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn tsv_round_trip_is_lossless(s in summaries()) {
+        let line = s.to_tsv();
+        prop_assert!(!line.contains('\n'), "cache entries are single lines");
+        let back = Summary::from_tsv(&line);
+        prop_assert_eq!(back, Some(s));
+    }
+
+    #[test]
+    fn dropping_any_field_is_rejected(s in summaries(), pick in 0usize..64) {
+        let line = s.to_tsv();
+        let mut fields: Vec<&str> = line.split('\t').collect();
+        let i = pick % fields.len();
+        fields.remove(i);
+        prop_assert!(Summary::from_tsv(&fields.join("\t")).is_none());
+    }
+
+    #[test]
+    fn corrupting_any_field_is_rejected(s in summaries(), pick in 0usize..64) {
+        let line = s.to_tsv();
+        let mut fields: Vec<&str> = line.split('\t').collect();
+        let i = pick % fields.len();
+        fields[i] = "not-a-number";
+        prop_assert!(Summary::from_tsv(&fields.join("\t")).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! A small, dependency-free, offline stand-in for the [`criterion`] crate.
+//!
+//! The workspace must build and test without crates.io access, so
+//! `criterion` resolves to this local shim (see the root `Cargo.toml`). It
+//! supports the API surface the `ipsim-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros —
+//! and reports a plain mean wall-clock time per iteration on stdout.
+//! There are no statistical analyses, baselines, or HTML reports; for
+//! those, run the benches on a machine with the real crate available.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared per-iteration workload (accepted, not used in reports).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own timing loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; not used in reports.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    if per_iter >= 1_000_000.0 {
+        println!("bench {label}: {:.3} ms/iter", per_iter / 1_000_000.0);
+    } else if per_iter >= 1_000.0 {
+        println!("bench {label}: {:.3} µs/iter", per_iter / 1_000.0);
+    } else {
+        println!("bench {label}: {per_iter:.1} ns/iter");
+    }
+}
+
+/// Passed to each benchmark closure; times the inner routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `routine`, batching iterations until the measurement window
+    /// is filled.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, and a first estimate of the per-call cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Batch enough calls that per-batch timing overhead is negligible,
+        // without overshooting the window on slow routines.
+        let batch = (Duration::from_millis(5).as_nanos() / first.as_nanos())
+            .clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + TARGET;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(1))
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}
