@@ -2,8 +2,8 @@
 //! the MSHR / bus plumbing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ipsim_cpu::{BranchUnit, Bus, Tlb};
 use ipsim_cache::Mshr;
+use ipsim_cpu::{BranchUnit, Bus, Tlb};
 use ipsim_types::config::{BranchConfig, TlbConfig};
 use ipsim_types::instr::{CtiClass, OpKind, TraceOp};
 use ipsim_types::{Addr, LineAddr, Rng64};

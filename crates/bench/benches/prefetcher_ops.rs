@@ -2,8 +2,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ipsim_core::{
-    DiscontinuityConfig, DiscontinuityPrefetcher, FetchEvent, NextNLinePrefetcher,
-    PrefetchEngine, PrefetchQueue, PrefetchRequest, RecentFetchFilter,
+    DiscontinuityConfig, DiscontinuityPrefetcher, FetchEvent, NextNLinePrefetcher, PrefetchEngine,
+    PrefetchQueue, PrefetchRequest, RecentFetchFilter,
 };
 use ipsim_types::{LineAddr, Rng64};
 

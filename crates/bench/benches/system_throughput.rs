@@ -46,10 +46,8 @@ fn bench_system(c: &mut Criterion) {
             let mut walkers: Vec<TraceWalker<'_>> = (0..4)
                 .map(|i| TraceWalker::new(&prog, Workload::Web.profile(), i, 5))
                 .collect();
-            let mut sources: Vec<&mut dyn OpSource> = walkers
-                .iter_mut()
-                .map(|w| w as &mut dyn OpSource)
-                .collect();
+            let mut sources: Vec<&mut dyn OpSource> =
+                walkers.iter_mut().map(|w| w as &mut dyn OpSource).collect();
             system.run(&mut sources, INSTRS / 4);
             black_box(system.metrics().instructions())
         });

@@ -68,7 +68,9 @@ impl SetAssocCache {
         let n_sets = config.sets() as usize;
         SetAssocCache {
             config,
-            sets: (0..n_sets).map(|_| Set::new(config.assoc() as usize)).collect(),
+            sets: (0..n_sets)
+                .map(|_| Set::new(config.assoc() as usize))
+                .collect(),
             set_mask: n_sets as u64 - 1,
             stats: CacheStats::default(),
         }
@@ -321,7 +323,7 @@ mod tests {
     #[test]
     fn set_mapping_is_modulo_sets() {
         let mut c = tiny(); // 4 sets, 2 ways
-        // These all map to set 1.
+                            // These all map to set 1.
         for l in [1u64, 5, 9] {
             c.fill(LineAddr(l), FillKind::Demand);
         }

@@ -227,16 +227,17 @@ mod tests {
         let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
         let out = fetch(&mut pf, FetchEvent::miss(LineAddr(100), Some(LineAddr(99))));
         assert_eq!(lines(&out), [101, 102, 103, 104]);
-        assert!(out
-            .iter()
-            .all(|r| r.source == PrefetchSource::Sequential));
+        assert!(out.iter().all(|r| r.source == PrefetchSource::Sequential));
     }
 
     #[test]
     fn discontinuity_miss_allocates_and_later_predicts() {
         let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
         // A missing fetch at 900 arriving from 100: allocate 100 -> 900.
-        fetch(&mut pf, FetchEvent::miss(LineAddr(900), Some(LineAddr(100))));
+        fetch(
+            &mut pf,
+            FetchEvent::miss(LineAddr(900), Some(LineAddr(100))),
+        );
         // Next time the stream misses at line 98, the probe window
         // 98..=102 includes trigger 100: predict 900 and its remainder.
         let out = fetch(&mut pf, FetchEvent::miss(LineAddr(98), Some(LineAddr(97))));
@@ -246,16 +247,16 @@ mod tests {
         // Probe hit at distance d=2 (line 100): target 900 plus remainder 2.
         assert!(ls[4..].starts_with(&[900, 901, 902]), "{ls:?}");
         let disc = &out[4];
-        assert!(matches!(
-            disc.source,
-            PrefetchSource::Discontinuity { .. }
-        ));
+        assert!(matches!(disc.source, PrefetchSource::Discontinuity { .. }));
     }
 
     #[test]
     fn probe_at_distance_zero_emits_full_remainder() {
         let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
-        fetch(&mut pf, FetchEvent::miss(LineAddr(900), Some(LineAddr(100))));
+        fetch(
+            &mut pf,
+            FetchEvent::miss(LineAddr(900), Some(LineAddr(100))),
+        );
         let out = fetch(&mut pf, FetchEvent::miss(LineAddr(100), Some(LineAddr(99))));
         let ls = lines(&out);
         assert_eq!(ls, [101, 102, 103, 104, 900, 901, 902, 903, 904]);
@@ -264,7 +265,10 @@ mod tests {
     #[test]
     fn tagged_hit_triggers_prediction_too() {
         let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
-        fetch(&mut pf, FetchEvent::miss(LineAddr(900), Some(LineAddr(104))));
+        fetch(
+            &mut pf,
+            FetchEvent::miss(LineAddr(900), Some(LineAddr(104))),
+        );
         let ev = FetchEvent {
             line: LineAddr(104),
             miss: false,
@@ -288,7 +292,10 @@ mod tests {
     #[test]
     fn sequential_miss_does_not_allocate() {
         let mut pf = DiscontinuityPrefetcher::new(DiscontinuityConfig::default());
-        fetch(&mut pf, FetchEvent::miss(LineAddr(101), Some(LineAddr(100))));
+        fetch(
+            &mut pf,
+            FetchEvent::miss(LineAddr(101), Some(LineAddr(100))),
+        );
         assert_eq!(pf.table().occupancy(), 0);
     }
 

@@ -4,9 +4,11 @@
 use crate::discontinuity::{DiscontinuityConfig, DiscontinuityPrefetcher};
 use crate::engine::{NoPrefetcher, PrefetchEngine};
 use crate::markov::MarkovPrefetcher;
-use crate::wrongpath::WrongPathPrefetcher;
-use crate::sequential::{LookaheadPrefetcher, NextLineMode, NextLinePrefetcher, NextNLinePrefetcher};
+use crate::sequential::{
+    LookaheadPrefetcher, NextLineMode, NextLinePrefetcher, NextNLinePrefetcher,
+};
 use crate::target::TargetPrefetcher;
+use crate::wrongpath::WrongPathPrefetcher;
 
 /// A prefetcher configuration that can be instantiated per core.
 ///
@@ -178,11 +180,13 @@ impl PrefetcherKind {
                 format!("discontinuity (gated >={min_confidence})")
             }
             PrefetcherKind::Target { table_entries } => format!("target ({table_entries})"),
-            PrefetcherKind::WrongPath { next_line } => if next_line {
-                "wrong-path + next-line".to_string()
-            } else {
-                "wrong-path".to_string()
-            },
+            PrefetcherKind::WrongPath { next_line } => {
+                if next_line {
+                    "wrong-path + next-line".to_string()
+                } else {
+                    "wrong-path".to_string()
+                }
+            }
             PrefetcherKind::Markov {
                 table_entries,
                 ahead,
@@ -206,10 +210,15 @@ mod tests {
             PrefetcherKind::Lookahead { n: 4 },
             PrefetcherKind::discontinuity_default(),
             PrefetcherKind::discontinuity_2nl(),
-            PrefetcherKind::Target { table_entries: 4096 },
+            PrefetcherKind::Target {
+                table_entries: 4096,
+            },
             PrefetcherKind::WrongPath { next_line: true },
             PrefetcherKind::WrongPath { next_line: false },
-            PrefetcherKind::Markov { table_entries: 8192, ahead: 4 },
+            PrefetcherKind::Markov {
+                table_entries: 8192,
+                ahead: 4,
+            },
         ];
         for k in kinds {
             let engine = k.build();

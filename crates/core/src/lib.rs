@@ -59,10 +59,10 @@ pub use discontinuity::{DiscontinuityConfig, DiscontinuityPrefetcher};
 pub use engine::{FetchEvent, NoPrefetcher, PrefetchEngine, PrefetchRequest, PrefetchSource};
 pub use filter::RecentFetchFilter;
 pub use kind::PrefetcherKind;
+pub use markov::{MarkovPrefetcher, MARKOV_WAYS};
 pub use queue::{PrefetchQueue, QueueStats, SlotState};
 pub use sequential::{LookaheadPrefetcher, NextLineMode, NextLinePrefetcher, NextNLinePrefetcher};
 pub use stats::PrefetchStats;
 pub use table::DiscontinuityTable;
-pub use markov::{MarkovPrefetcher, MARKOV_WAYS};
 pub use target::TargetPrefetcher;
 pub use wrongpath::WrongPathPrefetcher;

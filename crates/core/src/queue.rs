@@ -290,9 +290,6 @@ mod tests {
             source: PrefetchSource::Discontinuity { table_index: 5 },
         });
         let out = q.pop_issue().unwrap();
-        assert_eq!(
-            out.source,
-            PrefetchSource::Discontinuity { table_index: 5 }
-        );
+        assert_eq!(out.source, PrefetchSource::Discontinuity { table_index: 5 });
     }
 }

@@ -104,7 +104,7 @@ mod tests {
         let mut pf = TargetPrefetcher::new(64);
         fetch(&mut pf, 10, None);
         fetch(&mut pf, 50, Some(10)); // learn 10 -> 50
-        // Revisiting 10 predicts 50.
+                                      // Revisiting 10 predicts 50.
         assert_eq!(fetch(&mut pf, 10, Some(50)), [50]);
     }
 

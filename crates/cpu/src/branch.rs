@@ -272,7 +272,10 @@ mod tests {
                 penalties += 1;
             }
         }
-        assert!(penalties < 40, "gshare failed to learn alternation: {penalties}");
+        assert!(
+            penalties < 40,
+            "gshare failed to learn alternation: {penalties}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 
 use ipsim_cache::{Access, FillKind, Mshr, SetAssocCache};
 use ipsim_core::{
-    FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource, PrefetchStats, PrefetcherKind,
-    PrefetchQueue, RecentFetchFilter,
+    FetchEvent, PrefetchEngine, PrefetchQueue, PrefetchRequest, PrefetchSource, PrefetchStats,
+    PrefetcherKind, RecentFetchFilter,
 };
 use ipsim_types::addr::LineSize;
 use ipsim_types::instr::OpKind;
@@ -254,11 +254,7 @@ impl Core {
                         self.note_useful(line, true);
                         ev.first_use_of_prefetch = true;
                     }
-                } else if self
-                    .limit
-                    .as_ref()
-                    .is_some_and(|l| l.eliminates(category))
-                {
+                } else if self.limit.as_ref().is_some_and(|l| l.eliminates(category)) {
                     // Limit study: the miss is eliminated outright.
                     self.eliminated_misses += 1;
                     self.install_l1i(line, FillKind::Demand, mem);
@@ -351,10 +347,7 @@ impl Core {
             } else {
                 FillKind::Demand
             };
-            if entry.prefetch
-                && entry.demand_merged
-                && mem.policy().installs_on_useful_eviction()
-            {
+            if entry.prefetch && entry.demand_merged && mem.policy().installs_on_useful_eviction() {
                 // A demand fetch merged with this prefetch while it was in
                 // flight: the prefetch is proven useful, so under the
                 // bypass policy the line is installed into the L2 now
@@ -409,10 +402,7 @@ impl Core {
         } else {
             if self.d_mshr.is_full() {
                 // No MSHR available: stall until the oldest fill lands.
-                let t = self
-                    .d_mshr
-                    .next_ready_at()
-                    .expect("full MSHR has entries");
+                let t = self.d_mshr.next_ready_at().expect("full MSHR has entries");
                 self.clock = self.clock.max(t);
                 self.drain_d_mshr();
             }

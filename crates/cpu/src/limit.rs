@@ -96,7 +96,10 @@ mod tests {
         assert!(all.eliminates(MissCategory::Sequential));
         assert!(all.eliminates(MissCategory::UncondBranch));
         assert!(all.eliminates(MissCategory::Return));
-        assert!(!all.eliminates(MissCategory::Trap), "traps are never eliminated");
+        assert!(
+            !all.eliminates(MissCategory::Trap),
+            "traps are never eliminated"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
-use ipsim_trace::{TraceWalker, Workload};
-use ipsim_types::{ConfigError, SystemConfig, TraceOp};
+use ipsim_trace::{Program, TraceWalker, Workload};
+use ipsim_types::{ConfigError, SystemConfig};
 
 use crate::core_model::Core;
 use crate::limit::LimitSpec;
@@ -17,16 +17,12 @@ use crate::metrics::SystemMetrics;
 const SCHED_QUANTUM: u64 = 16;
 
 /// Anything that can feed a core one instruction at a time.
-pub trait OpSource {
-    /// Produces the next dynamic instruction.
-    fn next_op(&mut self) -> TraceOp;
-}
-
-impl OpSource for TraceWalker<'_> {
-    fn next_op(&mut self) -> TraceOp {
-        TraceWalker::next_op(self)
-    }
-}
+///
+/// This is `ipsim_stream::TraceSource` re-exported under its historical
+/// name: the same trait drives live walkers, capture tees and trace
+/// replay, so anything the harness wires up plugs straight into
+/// [`System::run`].
+pub use ipsim_stream::TraceSource as OpSource;
 
 /// Which workload each core runs.
 ///
@@ -78,6 +74,45 @@ impl WorkloadSet {
     /// The workload core `i` runs.
     pub fn workload_for_core(&self, core: u32) -> Workload {
         self.per_core[core as usize % self.per_core.len()]
+    }
+
+    /// Synthesises one program per *distinct* workload across the first
+    /// `n_cores` cores (cores running the same app share the binary, hence
+    /// share code lines in the L2).
+    pub fn programs(&self, n_cores: u32) -> Vec<(Workload, Program)> {
+        let mut distinct: Vec<Workload> = Vec::new();
+        for c in 0..n_cores {
+            let w = self.workload_for_core(c);
+            if !distinct.contains(&w) {
+                distinct.push(w);
+            }
+        }
+        distinct
+            .into_iter()
+            .map(|w| (w, w.build_program(self.program_seed)))
+            .collect()
+    }
+
+    /// The walker that feeds core `core`, over programs built by
+    /// [`WorkloadSet::programs`].
+    ///
+    /// This is *the* definition of a core's instruction stream: capture in
+    /// the harness and live generation in [`System::run_workload`] both
+    /// build walkers here, which is what guarantees a stored trace replays
+    /// the exact stream a live run would generate.
+    pub fn walker<'p>(&self, programs: &'p [(Workload, Program)], core: u32) -> TraceWalker<'p> {
+        let w = self.workload_for_core(core);
+        let prog = &programs
+            .iter()
+            .find(|(pw, _)| *pw == w)
+            .expect("program built for workload")
+            .1;
+        TraceWalker::new(
+            prog,
+            w.profile(),
+            core,
+            self.walker_seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
     }
 }
 
@@ -253,47 +288,35 @@ impl System {
         warm_instrs: u64,
         measure_instrs: u64,
     ) -> SystemMetrics {
-        // One program per distinct workload (cores running the same app
-        // share the binary, hence share code lines in the L2).
-        let distinct: Vec<Workload> = {
-            let mut v = Vec::new();
-            for c in 0..self.n_cores() {
-                let w = workloads.workload_for_core(c);
-                if !v.contains(&w) {
-                    v.push(w);
-                }
-            }
-            v
-        };
-        let programs: Vec<(Workload, ipsim_trace::Program)> = distinct
-            .iter()
-            .map(|w| (*w, w.build_program(workloads.program_seed)))
-            .collect();
+        let programs = workloads.programs(self.n_cores());
         let mut walkers: Vec<TraceWalker<'_>> = (0..self.n_cores())
-            .map(|c| {
-                let w = workloads.workload_for_core(c);
-                let prog = &programs
-                    .iter()
-                    .find(|(pw, _)| *pw == w)
-                    .expect("program built for workload")
-                    .1;
-                TraceWalker::new(
-                    prog,
-                    w.profile(),
-                    c,
-                    workloads.walker_seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
-            })
+            .map(|c| workloads.walker(&programs, c))
             .collect();
-        let mut sources: Vec<&mut dyn OpSource> = walkers
-            .iter_mut()
-            .map(|w| w as &mut dyn OpSource)
-            .collect();
+        let mut sources: Vec<&mut dyn OpSource> =
+            walkers.iter_mut().map(|w| w as &mut dyn OpSource).collect();
+        self.run_workload_from(&mut sources, warm_instrs, measure_instrs)
+    }
+
+    /// Warms for `warm_instrs` and measures for `measure_instrs` per core,
+    /// feeding core `i` from `sources[i]`. [`System::run_workload`] is this
+    /// over freshly-built walkers; the harness calls it directly with
+    /// capture tees or replay sources instead.
+    ///
+    /// Each core consumes exactly `warm_instrs + measure_instrs` ops from
+    /// its source, in an order fixed per core regardless of how the
+    /// scheduler interleaves cores — which is why one captured trace per
+    /// core replays identically under any system configuration.
+    pub fn run_workload_from(
+        &mut self,
+        sources: &mut [&mut dyn OpSource],
+        warm_instrs: u64,
+        measure_instrs: u64,
+    ) -> SystemMetrics {
         if warm_instrs > 0 {
-            self.run(&mut sources, warm_instrs);
+            self.run(sources, warm_instrs);
         }
         self.reset_stats();
-        self.run(&mut sources, measure_instrs);
+        self.run(sources, measure_instrs);
         self.metrics()
     }
 

@@ -41,7 +41,12 @@ fn four_cores_contend_for_the_bus() {
         s.ipc()
     );
     // But the chip as a whole has higher throughput.
-    assert!(c.ipc() > s.ipc() * 1.5, "chip IPC {} vs {}", c.ipc(), s.ipc());
+    assert!(
+        c.ipc() > s.ipc() * 1.5,
+        "chip IPC {} vs {}",
+        c.ipc(),
+        s.ipc()
+    );
 }
 
 #[test]

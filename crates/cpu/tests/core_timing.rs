@@ -255,7 +255,12 @@ fn memconfig_bandwidth_affects_serial_miss_cost() {
             ..config.mem
         };
         let core_config = CoreConfig { ..config.core };
-        let mut core = Core::new(0, &core_config, PrefetcherKind::NextNLineTagged { n: 4 }, None);
+        let mut core = Core::new(
+            0,
+            &core_config,
+            PrefetcherKind::NextNLineTagged { n: 4 },
+            None,
+        );
         let mut mem = MemSystem::new(&mem_config, InstallPolicy::InstallBoth);
         for op in straight(0x40_0000, 2048) {
             core.step(op, &mut mem);

@@ -35,6 +35,7 @@ fn main() {
 
     let mut opts = SweepOptions::new(args.lengths, args.workers);
     opts.results_dir = Some(PathBuf::from("results"));
+    opts.traces = args.traces;
     let report = run_sweep(&selected, &opts);
 
     for fig in &report.figures {
@@ -61,6 +62,23 @@ fn main() {
         args.workers,
         if args.workers == 1 { "" } else { "s" },
     );
+    if report.traces_captured + report.traces_replayed + report.traces_quarantined > 0 {
+        println!(
+            "traces: {} stream{} captured · {} run{} replayed{}",
+            report.traces_captured,
+            if report.traces_captured == 1 { "" } else { "s" },
+            report.traces_replayed,
+            if report.traces_replayed == 1 { "" } else { "s" },
+            if report.traces_quarantined > 0 {
+                format!(
+                    " · {} corrupt trace file(s) quarantined",
+                    report.traces_quarantined
+                )
+            } else {
+                String::new()
+            },
+        );
+    }
     for fig in &report.figures {
         println!(
             "  {}  {} — {}",

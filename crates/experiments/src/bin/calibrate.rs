@@ -28,14 +28,25 @@ fn main() {
             pct(m.l2_instr_miss_per_instr()),
             pct(m.l2_data_miss_per_instr()),
             pct(m.l1d_miss_per_instr()),
-            format!("{:.0}%", bd.group_total(MissGroup::Sequential) as f64 / total * 100.0),
-            format!("{:.0}%", bd.group_total(MissGroup::Branch) as f64 / total * 100.0),
-            format!("{:.0}%", bd.group_total(MissGroup::FunctionCall) as f64 / total * 100.0),
+            format!(
+                "{:.0}%",
+                bd.group_total(MissGroup::Sequential) as f64 / total * 100.0
+            ),
+            format!(
+                "{:.0}%",
+                bd.group_total(MissGroup::Branch) as f64 / total * 100.0
+            ),
+            format!(
+                "{:.0}%",
+                bd.group_total(MissGroup::FunctionCall) as f64 / total * 100.0
+            ),
             format!("{:.3}", m.ipc()),
         ]);
     }
     print_table(
-        &["workload", "L1I", "L2I", "L2D", "L1D", "seq", "br", "call", "IPC"],
+        &[
+            "workload", "L1I", "L2I", "L2D", "L1D", "seq", "br", "call", "IPC",
+        ],
         &rows,
     );
 

@@ -10,14 +10,12 @@ use ipsim_trace::Workload;
 
 fn main() {
     let lengths = RunLengths::from_args();
-    let ws = WorkloadSet::homogeneous(
-        match std::env::args().nth(1).as_deref() {
-            Some("db") => Workload::Db,
-            Some("tpcw") => Workload::TpcW,
-            Some("web") => Workload::Web,
-            _ => Workload::JApp,
-        },
-    );
+    let ws = WorkloadSet::homogeneous(match std::env::args().nth(1).as_deref() {
+        Some("db") => Workload::Db,
+        Some("tpcw") => Workload::TpcW,
+        Some("web") => Workload::Web,
+        _ => Workload::JApp,
+    });
     println!("workload: {}", ws.name());
 
     let base = run(SystemBuilder::cmp4(), &ws, lengths);
@@ -31,9 +29,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for kind in PrefetcherKind::PAPER_SCHEMES {
-        for policy in [InstallPolicy::InstallBoth, InstallPolicy::BypassL2UntilUseful] {
+        for policy in [
+            InstallPolicy::InstallBoth,
+            InstallPolicy::BypassL2UntilUseful,
+        ] {
             let m = run(
-                SystemBuilder::cmp4().prefetcher(kind).install_policy(policy),
+                SystemBuilder::cmp4()
+                    .prefetcher(kind)
+                    .install_policy(policy),
                 &ws,
                 lengths,
             );
@@ -52,7 +55,15 @@ fn main() {
         }
     }
     print_table(
-        &["scheme", "policy", "L1I ratio", "L2I ratio", "L2D ratio", "acc", "speedup"],
+        &[
+            "scheme",
+            "policy",
+            "L1I ratio",
+            "L2I ratio",
+            "L2D ratio",
+            "acc",
+            "speedup",
+        ],
         &rows,
     );
 }

@@ -28,17 +28,20 @@ fn main() {
     for kind in [
         PrefetcherKind::NextNLineTagged { n: 4 },
         PrefetcherKind::discontinuity_default(),
-        PrefetcherKind::DiscontinuityGated { table_entries: 8192, ahead: 4, min_confidence: 2 },
-
+        PrefetcherKind::DiscontinuityGated {
+            table_entries: 8192,
+            ahead: 4,
+            min_confidence: 2,
+        },
     ] {
         let m = run(
-            SystemBuilder::cmp4()
-                .prefetcher(kind)
-                .install_policy(if std::env::args().any(|a| a == "--bypass") {
+            SystemBuilder::cmp4().prefetcher(kind).install_policy(
+                if std::env::args().any(|a| a == "--bypass") {
                     InstallPolicy::BypassL2UntilUseful
                 } else {
                     InstallPolicy::InstallBoth
-                }),
+                },
+            ),
             &ws,
             lengths,
         );
@@ -78,7 +81,11 @@ fn main() {
         println!("remaining L1I misses by category (per 1k instr):");
         for (cat, count) in bd.iter() {
             if count > 0 {
-                println!("  {:<18} {:.2}", cat.label(), count as f64 / ki / 1000.0 * 1000.0);
+                println!(
+                    "  {:<18} {:.2}",
+                    cat.label(),
+                    count as f64 / ki / 1000.0 * 1000.0
+                );
             }
         }
         println!();

@@ -52,7 +52,14 @@ fn main() {
         blocks as f64 / prog.n_regular() as f64,
         instrs as f64 / blocks as f64
     );
-    let labels = ["fallthrough", "cond", "uncond", "call", "indirect", "return"];
+    let labels = [
+        "fallthrough",
+        "cond",
+        "uncond",
+        "call",
+        "indirect",
+        "return",
+    ];
     for (label, count) in labels.iter().zip(terminators) {
         println!(
             "  {:<12} {:>5.1}%",
@@ -72,7 +79,12 @@ fn main() {
             continue;
         }
         let func = prog.function(FuncId(id));
-        println!("\nfunction {} @ {} ({} instrs):", id, func.entry(), func.n_instrs());
+        println!(
+            "\nfunction {} @ {} ({} instrs):",
+            id,
+            func.entry(),
+            func.n_instrs()
+        );
         for (i, b) in func.blocks.iter().enumerate() {
             let term = match &b.terminator {
                 Terminator::FallThrough => "fall-through".to_string(),
@@ -91,7 +103,10 @@ fn main() {
                 ),
                 Terminator::Return => "return".to_string(),
             };
-            println!("  B{i:<3} @ {}  {:>2} instrs  {}", b.start, b.n_instrs, term);
+            println!(
+                "  B{i:<3} @ {}  {:>2} instrs  {}",
+                b.start, b.n_instrs, term
+            );
         }
     }
 }

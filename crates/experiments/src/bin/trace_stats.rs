@@ -1,14 +1,113 @@
-//! Development tool: dynamic-stream statistics for one workload — CTI
-//! frequencies, transaction lengths, stack depth, footprint.
+//! Development tool: dynamic-stream statistics.
+//!
+//! Two modes:
+//!
+//! * `trace_stats [db|tpcw|web|japp]` — walk a synthetic workload live and
+//!   report CTI frequencies, transaction lengths, stack depth, footprint.
+//! * `trace_stats --trace <file.itrace>` — decode a captured trace file
+//!   from the harness trace store (`results/traces/`) and report its
+//!   header, instruction count, kind mix and line footprint.
 
 use std::collections::HashSet;
+use std::fs::File;
+use std::io::BufReader;
 
+use ipsim_stream::TraceReader;
 use ipsim_trace::{TraceWalker, Workload};
 use ipsim_types::instr::{CtiClass, OpKind};
 use ipsim_types::LineSize;
 
 fn main() {
-    let w = match std::env::args().nth(1).as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--trace") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: trace_stats --trace <file.itrace>");
+            std::process::exit(2);
+        };
+        if let Err(e) = trace_file_stats(path) {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    live_walker_stats(args.first().map(String::as_str));
+}
+
+/// Decodes one captured trace file and prints its statistics.
+fn trace_file_stats(path: &str) -> Result<(), String> {
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let file_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut reader = TraceReader::open(BufReader::new(file)).map_err(|e| e.to_string())?;
+
+    println!("trace {path}");
+    println!("  meta        {}", reader.meta());
+    println!("  core        {}", reader.core_id());
+    println!(
+        "  blocks      {} ({} ops indexed)",
+        reader.block_count(),
+        reader.total_ops()
+    );
+
+    let ls = LineSize::default();
+    let mut ops = 0u64;
+    let mut counts = std::collections::HashMap::new();
+    let mut code_lines = HashSet::new();
+    let mut data_lines = HashSet::new();
+    while let Some(op) = reader.next_op().map_err(|e| e.to_string())? {
+        ops += 1;
+        code_lines.insert(op.pc.line(ls));
+        match op.kind {
+            OpKind::Other => *counts.entry("Other".to_string()).or_insert(0u64) += 1,
+            OpKind::Load { addr } => {
+                data_lines.insert(addr.line(ls));
+                *counts.entry("Load".to_string()).or_insert(0u64) += 1;
+            }
+            OpKind::Store { addr } => {
+                data_lines.insert(addr.line(ls));
+                *counts.entry("Store".to_string()).or_insert(0u64) += 1;
+            }
+            OpKind::Cti { class, taken, .. } => {
+                *counts
+                    .entry(format!("Cti {class:?} taken={taken}"))
+                    .or_insert(0u64) += 1;
+            }
+        }
+    }
+    println!("  decoded     {ops} ops");
+    if ops > 0 && file_bytes > 0 {
+        println!(
+            "  size        {} bytes ({:.2} bytes/op)",
+            file_bytes,
+            file_bytes as f64 / ops as f64
+        );
+    }
+    println!("  kind mix:");
+    let mut keys: Vec<_> = counts.iter().collect();
+    keys.sort();
+    for (k, v) in keys {
+        println!(
+            "    {:<28} {:>10}  ({:>6.2}%)",
+            k,
+            v,
+            *v as f64 / ops as f64 * 100.0
+        );
+    }
+    println!(
+        "  code footprint  {} lines ({} KB)",
+        code_lines.len(),
+        code_lines.len() * 64 / 1024
+    );
+    println!(
+        "  data footprint  {} lines ({} KB)",
+        data_lines.len(),
+        data_lines.len() * 64 / 1024
+    );
+    Ok(())
+}
+
+/// Walks a synthetic workload live and prints its stream statistics.
+fn live_walker_stats(which: Option<&str>) {
+    let w = match which {
         Some("db") => Workload::Db,
         Some("tpcw") => Workload::TpcW,
         Some("web") => Workload::Web,
@@ -31,7 +130,9 @@ fn main() {
         depth_sum += walker.stack_depth() as u64;
         max_depth = max_depth.max(walker.stack_depth());
         if let OpKind::Cti { class, taken, .. } = op.kind {
-            *counts.entry(format!("{class:?} taken={taken}")).or_insert(0u64) += 1;
+            *counts
+                .entry(format!("{class:?} taken={taken}"))
+                .or_insert(0u64) += 1;
             if class == CtiClass::Jump && was_empty {
                 dispatches += 1;
             }
@@ -43,9 +144,19 @@ fn main() {
     for (k, v) in keys {
         println!("  {:<28} {:>8.2}/1k", k, *v as f64 / n as f64 * 1000.0);
     }
-    println!("  dispatch jumps               {:>8.2}/1k (mean txn {} instrs)",
+    println!(
+        "  dispatch jumps               {:>8.2}/1k (mean txn {} instrs)",
         dispatches as f64 / n as f64 * 1000.0,
-        n.checked_div(dispatches).unwrap_or(0));
-    println!("  mean stack depth {:.1}, max {}", depth_sum as f64 / n as f64, max_depth);
-    println!("  touched {} lines ({} KB)", lines.len(), lines.len() * 64 / 1024);
+        n.checked_div(dispatches).unwrap_or(0)
+    );
+    println!(
+        "  mean stack depth {:.1}, max {}",
+        depth_sum as f64 / n as f64,
+        max_depth
+    );
+    println!(
+        "  touched {} lines ({} KB)",
+        lines.len(),
+        lines.len() * 64 / 1024
+    );
 }

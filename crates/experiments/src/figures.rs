@@ -220,7 +220,11 @@ fn fig03(lengths: RunLengths, x: &mut Executor) -> String {
         .map(|ws| {
             (
                 ws.name(),
-                x(&RunSpec::new(SystemConfig::single_core(), ws.clone(), lengths)),
+                x(&RunSpec::new(
+                    SystemConfig::single_core(),
+                    ws.clone(),
+                    lengths,
+                )),
             )
         })
         .collect();
@@ -265,7 +269,10 @@ fn fig04(lengths: RunLengths, x: &mut Executor) -> String {
         out,
         "(paper: eliminating all three classes yields far more than any single class;"
     );
-    let _ = writeln!(out, " sequential-only beats branch-only and function-only)\n");
+    let _ = writeln!(
+        out,
+        " sequential-only beats branch-only and function-only)\n"
+    );
 
     for (part, config, include_mix) in [
         ("(i) single core", SystemConfig::single_core(), false),
@@ -364,7 +371,10 @@ fn fig05(lengths: RunLengths, x: &mut Executor) -> String {
                 row
             })
             .collect();
-        out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+        out.push_str(&table_string_owned(
+            &workload_header("scheme", &sets),
+            &rows,
+        ));
         let _ = writeln!(out);
     }
     out
@@ -411,7 +421,10 @@ fn fig06(lengths: RunLengths, x: &mut Executor) -> String {
                 row
             })
             .collect();
-        out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+        out.push_str(&table_string_owned(
+            &workload_header("scheme", &sets),
+            &rows,
+        ));
         let _ = writeln!(out);
     }
     out
@@ -421,15 +434,15 @@ fn fig06(lengths: RunLengths, x: &mut Executor) -> String {
 /// normalised to no prefetching.
 fn fig07(lengths: RunLengths, x: &mut Executor) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 7: L2 data miss rate (normalised to no prefetch)");
+    let _ = writeln!(
+        out,
+        "Figure 7: L2 data miss rate (normalised to no prefetch)"
+    );
     let _ = writeln!(
         out,
         "(paper: aggressive schemes inflate data misses by up to ~1.35x — speculative"
     );
-    let _ = writeln!(
-        out,
-        " instruction lines evict data from the unified L2)\n"
-    );
+    let _ = writeln!(out, " instruction lines evict data from the unified L2)\n");
 
     for (title, config, include_mix) in [
         ("(i) single core", SystemConfig::single_core(), false),
@@ -460,7 +473,10 @@ fn fig07(lengths: RunLengths, x: &mut Executor) -> String {
                 row
             })
             .collect();
-        out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+        out.push_str(&table_string_owned(
+            &workload_header("scheme", &sets),
+            &rows,
+        ));
         let _ = writeln!(out);
     }
     out
@@ -504,7 +520,10 @@ fn fig08(lengths: RunLengths, x: &mut Executor) -> String {
                 row
             })
             .collect();
-        out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+        out.push_str(&table_string_owned(
+            &workload_header("scheme", &sets),
+            &rows,
+        ));
         let _ = writeln!(out);
     }
     out
@@ -522,7 +541,10 @@ fn fig09(lengths: RunLengths, x: &mut Executor) -> String {
         out,
         "(paper: accuracy falls as schemes get more aggressive; discont(2NL) is ~50%"
     );
-    let _ = writeln!(out, " more accurate than next-4-line and still outperforms it)\n");
+    let _ = writeln!(
+        out,
+        " more accurate than next-4-line and still outperforms it)\n"
+    );
 
     let mut schemes = PrefetcherKind::PAPER_SCHEMES.to_vec();
     schemes.push(PrefetcherKind::discontinuity_2nl());
@@ -549,7 +571,10 @@ fn fig09(lengths: RunLengths, x: &mut Executor) -> String {
             row
         })
         .collect();
-    out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+    out.push_str(&table_string_owned(
+        &workload_header("scheme", &sets),
+        &rows,
+    ));
 
     let _ = writeln!(out, "\n(ii) speedup over no prefetching");
     let rows: Vec<Vec<String>> = per_scheme
@@ -562,7 +587,10 @@ fn fig09(lengths: RunLengths, x: &mut Executor) -> String {
             row
         })
         .collect();
-    out.push_str(&table_string_owned(&workload_header("scheme", &sets), &rows));
+    out.push_str(&table_string_owned(
+        &workload_header("scheme", &sets),
+        &rows,
+    ));
     out
 }
 
@@ -578,7 +606,10 @@ fn fig10(lengths: RunLengths, x: &mut Executor) -> String {
         out,
         "(paper: the 8K-entry table can shrink 4x with minimal coverage loss, and"
     );
-    let _ = writeln!(out, " even 256 entries beats the next-4-line sequential prefetcher)\n");
+    let _ = writeln!(
+        out,
+        " even 256 entries beats the next-4-line sequential prefetcher)\n"
+    );
 
     let config = SystemConfig::cmp4();
     let sets = workload_columns(true);
@@ -640,7 +671,10 @@ fn fig10(lengths: RunLengths, x: &mut Executor) -> String {
                 row
             })
             .collect();
-        out.push_str(&table_string_owned(&workload_header("predictor", &sets), &rows));
+        out.push_str(&table_string_owned(
+            &workload_header("predictor", &sets),
+            &rows,
+        ));
         let _ = writeln!(out);
     }
     out
@@ -776,7 +810,10 @@ fn fig12(lengths: RunLengths, x: &mut Executor) -> String {
         out,
         "(paper: under constrained bandwidth the more accurate discont(2NL) becomes"
     );
-    let _ = writeln!(out, " competitive with / preferable to the default next-4-line window)\n");
+    let _ = writeln!(
+        out,
+        " competitive with / preferable to the default next-4-line window)\n"
+    );
 
     // GB/s at 3 GHz; 20 GB/s is the paper's CMP default.
     let bandwidths = [2.5f64, 5.0, 10.0, 20.0, 40.0];
@@ -785,10 +822,7 @@ fn fig12(lengths: RunLengths, x: &mut Executor) -> String {
         PrefetcherKind::discontinuity_2nl(),
         PrefetcherKind::discontinuity_default(),
     ];
-    let sets = [
-        WorkloadSet::homogeneous(Workload::Db),
-        WorkloadSet::mixed(),
-    ];
+    let sets = [WorkloadSet::homogeneous(Workload::Db), WorkloadSet::mixed()];
 
     for ws in &sets {
         let _ = writeln!(out, "workload: {}", ws.name());
@@ -827,7 +861,10 @@ fn fig13(lengths: RunLengths, x: &mut Executor) -> String {
         out,
         "(paper intro: growing memory distance demands longer prefetch lookahead —"
     );
-    let _ = writeln!(out, " shallow next-line windows lose value faster than the 4-line window)\n");
+    let _ = writeln!(
+        out,
+        " shallow next-line windows lose value faster than the 4-line window)\n"
+    );
 
     let latencies = [100u64, 200, 400, 800];
     let schemes = [

@@ -174,7 +174,8 @@ pub fn figure_main(name: &str) -> ! {
         .iter()
         .find(|f| f.name == name)
         .unwrap_or_else(|| panic!("unknown figure `{name}`"));
-    let opts = SweepOptions::new(args.lengths, args.workers);
+    let mut opts = SweepOptions::new(args.lengths, args.workers);
+    opts.traces = args.traces;
     let report = run_sweep(std::slice::from_ref(figure), &opts);
     match &report.figures[0].outcome {
         Ok(text) => {
@@ -212,10 +213,7 @@ mod tests {
 
     #[test]
     fn tables_align_and_terminate_lines() {
-        let t = table_string(
-            &["a", "bb"],
-            &[vec!["x".to_string(), "12345".to_string()]],
-        );
+        let t = table_string(&["a", "bb"], &[vec!["x".to_string(), "12345".to_string()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(t.ends_with('\n'));

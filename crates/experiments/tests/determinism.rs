@@ -7,10 +7,7 @@ use std::path::PathBuf;
 use ipsim_harness::{run_sweep, Figure, ProgressMode, RunLengths, SweepOptions, SweepReport};
 
 fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, PathBuf) {
-    let base = std::env::temp_dir().join(format!(
-        "ipsim-determinism-{tag}-{}",
-        std::process::id()
-    ));
+    let base = std::env::temp_dir().join(format!("ipsim-determinism-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     let opts = SweepOptions {
         lengths: RunLengths {
@@ -21,6 +18,8 @@ fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, Pa
         results_dir: None,
         cache_dir: Some(base.join("cache")),
         runlog: Some(base.join("runlog.tsv")),
+        trace_dir: Some(base.join("traces")),
+        traces: true,
         progress: ProgressMode::Silent,
     };
     (run_sweep(figures, &opts), base)

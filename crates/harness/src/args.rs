@@ -4,12 +4,14 @@ use crate::RunLengths;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
-usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...]
+usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...] [--no-traces]
 
   --quick          ~5x shorter warm-up/measurement windows (smoke runs)
   --jobs N, -j N   worker threads for the run pool
                    (default: the machine's available parallelism)
   --figures LIST   comma-separated figure subset (all_figures only)
+  --no-traces      disable instruction-stream capture/replay (every run
+                   generates its stream live; see also IPSIM_TRACE_DIR)
   --help           this text
 ";
 
@@ -22,6 +24,9 @@ pub struct HarnessArgs {
     pub workers: usize,
     /// Figure-subset filter (`all_figures` only).
     pub figures: Option<Vec<String>>,
+    /// Whether to capture/replay instruction streams (`--no-traces`
+    /// disables).
+    pub traces: bool,
 }
 
 impl HarnessArgs {
@@ -35,12 +40,14 @@ impl HarnessArgs {
             lengths: RunLengths::full(),
             workers: default_workers(),
             figures: None,
+            traces: true,
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let arg = arg.as_ref();
             match arg {
                 "--quick" => out.lengths = RunLengths::quick(),
+                "--no-traces" => out.traces = false,
                 "--jobs" | "-j" => {
                     let v = args
                         .next()
@@ -97,7 +104,9 @@ pub fn default_workers() -> usize {
 fn parse_workers(v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
-        _ => Err(format!("--jobs needs a positive integer, got `{v}`\n\n{USAGE}")),
+        _ => Err(format!(
+            "--jobs needs a positive integer, got `{v}`\n\n{USAGE}"
+        )),
     }
 }
 
@@ -119,6 +128,10 @@ mod tests {
         assert_eq!(d.lengths, RunLengths::full());
         assert!(d.workers >= 1);
         assert!(d.figures.is_none());
+        assert!(d.traces);
+
+        let t = HarnessArgs::parse(["--no-traces"]).unwrap();
+        assert!(!t.traces);
 
         let a = HarnessArgs::parse(["--quick", "--jobs", "4"]).unwrap();
         assert_eq!(a.lengths, RunLengths::quick());
@@ -137,7 +150,12 @@ mod tests {
 
     #[test]
     fn errors_carry_usage() {
-        for bad in [&["--jobs", "0"][..], &["--jobs", "x"], &["--wat"], &["--jobs"]] {
+        for bad in [
+            &["--jobs", "0"][..],
+            &["--jobs", "x"],
+            &["--wat"],
+            &["--jobs"],
+        ] {
             let err = HarnessArgs::parse(bad.iter().copied()).unwrap_err();
             assert!(err.contains("usage:"), "{err}");
         }

@@ -173,10 +173,8 @@ mod tests {
     use ipsim_types::SystemConfig;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ipsim-cache-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ipsim-cache-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -237,17 +235,9 @@ mod tests {
         // Headerless (the pre-harness format).
         assert!(parse_entry(&format!("{}\n", summary.to_tsv())).is_none());
         // Future schema.
-        assert!(parse_entry(&format!(
-            "# ipsim-run-cache v99\n{}\n",
-            summary.to_tsv()
-        ))
-        .is_none());
+        assert!(parse_entry(&format!("# ipsim-run-cache v99\n{}\n", summary.to_tsv())).is_none());
         // Trailing junk.
-        assert!(parse_entry(&format!(
-            "{CACHE_SCHEMA}\n{}\nextra\n",
-            summary.to_tsv()
-        ))
-        .is_none());
+        assert!(parse_entry(&format!("{CACHE_SCHEMA}\n{}\nextra\n", summary.to_tsv())).is_none());
         // Valid.
         assert_eq!(
             parse_entry(&format!("{CACHE_SCHEMA}\n{}\n", summary.to_tsv())),

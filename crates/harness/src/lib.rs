@@ -15,9 +15,15 @@
 //!   figure sequentially — output is byte-identical for any worker count.
 //! * [`cache::RunCache`] persists summaries with schema-versioned headers,
 //!   atomic writes, and quarantine-and-rerun for corrupt entries.
+//! * [`traces::TraceStore`] captures each workload's instruction stream to
+//!   disk once (`ipsim-stream` format) and replays it for every other
+//!   configuration sharing it, with CRC-validated files, quarantine-and-
+//!   fall-back for corrupt traces, and captains-first scheduling so a
+//!   sweep generates each stream exactly once.
 //! * [`runlog`] and [`progress`] provide run-level observability: per-run
-//!   wall time and simulated MIPS, cache hit/miss counters, and a live
-//!   `N/M runs, ETA` stderr line.
+//!   wall time, simulated MIPS, stream provenance (`cache` / `live` /
+//!   `capture` / `replay`) and trace-decode throughput, cache hit/miss
+//!   counters, and a live `N/M runs, ETA` stderr line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +38,7 @@ pub mod runlog;
 pub mod spec;
 pub mod summary;
 pub mod sweep;
+pub mod traces;
 
 pub use args::HarnessArgs;
 pub use cache::RunCache;
@@ -40,6 +47,7 @@ pub use progress::ProgressMode;
 pub use spec::RunSpec;
 pub use summary::Summary;
 pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
+pub use traces::{RunSource, TraceStore};
 
 /// Run-length configuration shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

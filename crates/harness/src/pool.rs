@@ -4,8 +4,11 @@
 //! Determinism argument: each simulation is single-threaded and fully
 //! seeded, every [`RunSpec`] in a batch is unique (the scheduler dedups by
 //! cache key before calling [`execute`]), and results are collected into
-//! per-job slots by index. Worker count therefore affects only wall time —
-//! never results — which the determinism integration test pins down.
+//! per-job slots by index. Replay feeds a core the same stream live
+//! generation would (enforced by the stream integration test), so the
+//! trace store affects only wall time too. Worker count and trace
+//! availability therefore never change results — which the determinism
+//! integration test pins down.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,6 +21,7 @@ use crate::progress::Progress;
 use crate::runlog::RunRecord;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
+use crate::traces::{RunSource, TraceStore};
 
 /// Outcome of executing one batch of unique specs.
 pub struct ExecReport {
@@ -30,19 +34,23 @@ pub struct ExecReport {
     pub wall: Duration,
 }
 
+/// A job's result slot: filled exactly once by the worker that claims it.
+type JobSlot = Mutex<Option<(Result<Summary, String>, RunRecord)>>;
+
 /// Runs every spec (assumed unique) across `workers` threads, consulting
-/// and updating `cache`. Panicking simulations are contained: they mark
-/// their own spec failed and the batch continues.
+/// and updating `cache`, and capturing/replaying instruction streams
+/// through `traces`. Panicking simulations are contained: they mark their
+/// own spec failed and the batch continues.
 pub fn execute(
     specs: &[RunSpec],
     workers: usize,
     cache: &RunCache,
+    traces: &TraceStore,
     progress: &Progress,
 ) -> ExecReport {
     let started = Instant::now();
     let n = specs.len();
-    let slots: Vec<Mutex<Option<(Result<Summary, String>, RunRecord)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<JobSlot> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = workers.clamp(1, n.max(1));
 
@@ -53,7 +61,7 @@ pub fn execute(
                 if i >= n {
                     break;
                 }
-                let outcome = run_one(&specs[i], cache);
+                let outcome = run_one(&specs[i], cache, traces);
                 progress.on_run(&outcome.1);
                 *slots[i].lock().unwrap() = Some(outcome);
             });
@@ -77,9 +85,13 @@ pub fn execute(
     }
 }
 
-/// Executes one spec: cache lookup, else simulate (containing panics) and
-/// store.
-fn run_one(spec: &RunSpec, cache: &RunCache) -> (Result<Summary, String>, RunRecord) {
+/// Executes one spec: cache lookup, else simulate through the trace store
+/// (containing panics) and store the summary.
+fn run_one(
+    spec: &RunSpec,
+    cache: &RunCache,
+    traces: &TraceStore,
+) -> (Result<Summary, String>, RunRecord) {
     let t0 = Instant::now();
     let key = spec.cache_key();
     let label = spec.label();
@@ -87,16 +99,21 @@ fn run_one(spec: &RunSpec, cache: &RunCache) -> (Result<Summary, String>, RunRec
         let record = RunRecord {
             key,
             label,
-            cached: true,
+            source: RunSource::Cache,
             ok: true,
             wall_s: t0.elapsed().as_secs_f64(),
             sim_instructions: 0,
             mips: 0.0,
+            decode_mips: 0.0,
         };
         return (Ok(summary), record);
     }
-    let result = catch_unwind(AssertUnwindSafe(|| spec.execute()))
+    let run = catch_unwind(AssertUnwindSafe(|| traces.execute(spec)))
         .map_err(|panic| panic_message(&*panic));
+    let (result, source, decode_mips) = match run {
+        Ok(run) => (Ok(run.summary), run.source, run.decode_mips),
+        Err(e) => (Err(e), RunSource::Live, 0.0),
+    };
     if let Ok(summary) = &result {
         cache.store(spec, summary);
     }
@@ -106,7 +123,7 @@ fn run_one(spec: &RunSpec, cache: &RunCache) -> (Result<Summary, String>, RunRec
     let record = RunRecord {
         key,
         label,
-        cached: false,
+        source,
         ok: result.is_ok(),
         wall_s,
         sim_instructions,
@@ -115,6 +132,7 @@ fn run_one(spec: &RunSpec, cache: &RunCache) -> (Result<Summary, String>, RunRec
         } else {
             0.0
         },
+        decode_mips,
     };
     (result, record)
 }
@@ -157,7 +175,8 @@ mod tests {
     }
 
     fn tmp_cache(tag: &str) -> RunCache {
-        let dir = std::env::temp_dir().join(format!("ipsim-pool-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ipsim-pool-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         RunCache::at(dir)
     }
@@ -167,10 +186,11 @@ mod tests {
         let specs = tiny_specs();
         let cache1 = tmp_cache("w1");
         let cache4 = tmp_cache("w4");
+        let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let serial = execute(&specs, 1, &cache1, &p);
+        let serial = execute(&specs, 1, &cache1, &traces, &p);
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let parallel = execute(&specs, 4, &cache4, &p);
+        let parallel = execute(&specs, 4, &cache4, &traces, &p);
         for spec in &specs {
             let key = spec.cache_key();
             assert_eq!(
@@ -190,13 +210,20 @@ mod tests {
     fn second_batch_is_served_from_cache() {
         let specs = tiny_specs();
         let cache = tmp_cache("rerun");
+        let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let cold = execute(&specs, 2, &cache, &p);
-        assert!(cold.records.iter().all(|r| !r.cached && r.ok));
-        assert!(cold.records.iter().all(|r| r.mips > 0.0));
+        let cold = execute(&specs, 2, &cache, &traces, &p);
+        assert!(cold.records.iter().all(|r| !r.cached() && r.ok));
+        assert!(cold
+            .records
+            .iter()
+            .all(|r| r.source == RunSource::Live && r.mips > 0.0));
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let warm = execute(&specs, 2, &cache, &p);
-        assert!(warm.records.iter().all(|r| r.cached && r.ok));
+        let warm = execute(&specs, 2, &cache, &traces, &p);
+        assert!(warm
+            .records
+            .iter()
+            .all(|r| r.cached() && r.source == RunSource::Cache && r.ok));
         for spec in &specs {
             let key = spec.cache_key();
             assert_eq!(
@@ -211,11 +238,41 @@ mod tests {
     fn records_preserve_input_order() {
         let specs = tiny_specs();
         let cache = tmp_cache("order");
+        let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let report = execute(&specs, 3, &cache, &p);
+        let report = execute(&specs, 3, &cache, &traces, &p);
         let got: Vec<String> = report.records.iter().map(|r| r.key.clone()).collect();
         let want: Vec<String> = specs.iter().map(|s| s.cache_key()).collect();
         assert_eq!(got, want);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn trace_store_marks_capture_and_replay_sources() {
+        let specs = tiny_specs();
+        let dir = std::env::temp_dir().join(format!("ipsim-pool-traces-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache_a = tmp_cache("tr-a");
+        let cache_b = tmp_cache("tr-b");
+        let traces = TraceStore::at(&dir);
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let first = execute(&specs, 2, &cache_a, &traces, &p);
+        assert!(first.records.iter().all(|r| r.source == RunSource::Capture));
+        // Fresh cache forces re-simulation; streams come from the store.
+        let p = Progress::new(ProgressMode::Silent, specs.len());
+        let second = execute(&specs, 2, &cache_b, &traces, &p);
+        assert!(second.records.iter().all(|r| r.source == RunSource::Replay));
+        for spec in &specs {
+            let key = spec.cache_key();
+            assert_eq!(
+                first.results[&key].as_ref().unwrap(),
+                second.results[&key].as_ref().unwrap(),
+                "replay changed the result of {}",
+                spec.label()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(cache_a.dir());
+        let _ = std::fs::remove_dir_all(cache_b.dir());
     }
 }

@@ -62,7 +62,7 @@ impl Progress {
     /// Records one completed run and updates the display.
     pub fn on_run(&self, record: &RunRecord) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        if record.cached {
+        if record.cached() {
             self.cached.fetch_add(1, Ordering::Relaxed);
         }
         if self.mode == ProgressMode::Silent {
@@ -84,10 +84,15 @@ impl Progress {
                 );
             }
             ProgressMode::Plain => {
-                let what = if record.cached {
+                let what = if record.cached() {
                     "cached".to_string()
                 } else if record.ok {
-                    format!("ran {:.1}s ({:.1} MIPS)", record.wall_s, record.mips)
+                    format!(
+                        "{} {:.1}s ({:.1} MIPS)",
+                        record.source.as_str(),
+                        record.wall_s,
+                        record.mips
+                    )
                 } else {
                     "FAILED".to_string()
                 };
@@ -149,11 +154,12 @@ mod tests {
         let rec = RunRecord {
             key: "k".into(),
             label: "l".into(),
-            cached: true,
+            source: crate::traces::RunSource::Cache,
             ok: true,
             wall_s: 0.0,
             sim_instructions: 0,
             mips: 0.0,
+            decode_mips: 0.0,
         };
         p.on_run(&rec);
         p.on_run(&rec);

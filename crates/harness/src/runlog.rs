@@ -6,14 +6,23 @@
 //! simulated-MIPS throughput, so a PR that slows the simulator down shows
 //! up as a drop in MIPS between log sections rather than as a vague "the
 //! sweep felt slower".
+//!
+//! Schema v2 adds stream provenance: a `source` column saying where the
+//! run's instruction stream came from (`cache` | `live` | `capture` |
+//! `replay`) and a `dec_mips` column with the pure trace-decode throughput
+//! of replay runs — together they make the capture-once/replay-many
+//! speedup measurable straight from the log. A v1 log found on disk is
+//! rotated to `<path>.v1.bak` rather than mixed or clobbered.
 
 use std::fs::OpenOptions;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use crate::traces::RunSource;
+
 /// First line of a fresh run log.
-pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v1";
+pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v2";
 
 /// Default run-log path, relative to the working directory.
 pub const DEFAULT_RUNLOG: &str = "results/runlog.tsv";
@@ -36,8 +45,8 @@ pub struct RunRecord {
     pub key: String,
     /// Human-readable spec tag.
     pub label: String,
-    /// Whether the result came from the on-disk cache.
-    pub cached: bool,
+    /// Where the result (and instruction stream) came from.
+    pub source: RunSource,
     /// Whether the run produced a summary (false = simulation panicked).
     pub ok: bool,
     /// Wall-clock seconds spent on this run (lookup or simulation).
@@ -46,11 +55,23 @@ pub struct RunRecord {
     pub sim_instructions: u64,
     /// Simulated millions of instructions per wall second; 0 if cached.
     pub mips: f64,
+    /// Trace-decode throughput (million ops/s) measured while validating
+    /// this run's stored streams; 0 unless the run replayed.
+    pub decode_mips: f64,
+}
+
+impl RunRecord {
+    /// Whether the result came from the on-disk run cache.
+    pub fn cached(&self) -> bool {
+        self.source == RunSource::Cache
+    }
 }
 
 /// Appends `records` to the run log at `path`, creating it (with a schema
-/// header) if missing. One call appends one batch atomically enough for a
-/// log: a single buffered write.
+/// header) if missing. A log whose first line is an older schema is
+/// rotated aside first, so every surviving log file is internally
+/// consistent. One call appends one batch atomically enough for a log: a
+/// single buffered write.
 pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<()> {
     if records.is_empty() {
         return Ok(());
@@ -58,12 +79,13 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
+    rotate_old_schema(path);
     let mut file = OpenOptions::new().create(true).append(true).open(path)?;
     let mut out = String::new();
     if file.metadata()?.len() == 0 {
         out.push_str(RUNLOG_SCHEMA);
         out.push('\n');
-        out.push_str("# ts\tworkers\tcached\tok\twall_s\tsim_minstr\tmips\tkey\tlabel\n");
+        out.push_str("# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tdec_mips\tkey\tlabel\n");
     }
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -71,12 +93,13 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         .unwrap_or(0);
     for r in records {
         out.push_str(&format!(
-            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{}\t{}\n",
-            u8::from(r.cached),
+            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
+            r.source.as_str(),
             u8::from(r.ok),
             r.wall_s,
             r.sim_instructions as f64 / 1e6,
             r.mips,
+            r.decode_mips,
             r.key,
             r.label,
         ));
@@ -84,46 +107,85 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
     file.write_all(out.as_bytes())
 }
 
+/// Moves a log whose header is not the current schema to `<path>.v1.bak`
+/// (best effort; an unreadable file is left for `append` to surface).
+fn rotate_old_schema(path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let first = text.lines().next().unwrap_or("");
+    if first == RUNLOG_SCHEMA || text.is_empty() {
+        return;
+    }
+    let mut backup = path.as_os_str().to_owned();
+    backup.push(".v1.bak");
+    let _ = std::fs::rename(path, PathBuf::from(backup));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn appends_header_once_and_rows_every_time() {
-        let path = std::env::temp_dir().join(format!(
-            "ipsim-runlog-test-{}.tsv",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_file(&path);
-        let rec = RunRecord {
+    fn record(source: RunSource) -> RunRecord {
+        RunRecord {
             key: "deadbeefdeadbeef".into(),
             label: "1c·DB·none".into(),
-            cached: false,
+            source,
             ok: true,
             wall_s: 1.25,
             sim_instructions: 30_000_000,
             mips: 24.0,
-        };
-        append(&path, 4, std::slice::from_ref(&rec)).unwrap();
-        append(&path, 1, &[rec]).unwrap();
+            decode_mips: 0.0,
+        }
+    }
+
+    #[test]
+    fn appends_header_once_and_rows_every_time() {
+        let path =
+            std::env::temp_dir().join(format!("ipsim-runlog-test-{}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append(&path, 4, &[record(RunSource::Live)]).unwrap();
+        append(&path, 1, &[record(RunSource::Replay)]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], RUNLOG_SCHEMA);
         assert!(lines[1].starts_with("# ts\t"));
         assert_eq!(lines.len(), 4, "schema + columns + two rows");
         assert!(lines[2].contains("\tdeadbeefdeadbeef\t"));
-        assert_eq!(lines[2].split('\t').count(), 9);
+        assert!(lines[2].contains("\tlive\t"));
+        assert!(lines[3].contains("\treplay\t"));
+        assert_eq!(lines[2].split('\t').count(), 10);
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn empty_batches_do_not_create_files() {
-        let path = std::env::temp_dir().join(format!(
-            "ipsim-runlog-empty-{}.tsv",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("ipsim-runlog-empty-{}.tsv", std::process::id()));
         let _ = std::fs::remove_file(&path);
         append(&path, 1, &[]).unwrap();
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn old_schema_logs_are_rotated_not_mixed() {
+        let path =
+            std::env::temp_dir().join(format!("ipsim-runlog-rotate-{}.tsv", std::process::id()));
+        let backup = PathBuf::from({
+            let mut s = path.as_os_str().to_owned();
+            s.push(".v1.bak");
+            s
+        });
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
+        std::fs::write(&path, "# ipsim-runlog v1\n# ts\t...\n1\t2\n").unwrap();
+        append(&path, 2, &[record(RunSource::Capture)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(RUNLOG_SCHEMA));
+        assert!(text.contains("\tcapture\t"));
+        let old = std::fs::read_to_string(&backup).unwrap();
+        assert!(old.starts_with("# ipsim-runlog v1"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&backup);
     }
 }

@@ -2,7 +2,7 @@
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
-use ipsim_cpu::{LimitSpec, SystemBuilder, WorkloadSet};
+use ipsim_cpu::{LimitSpec, System, SystemBuilder, WorkloadSet};
 use ipsim_types::SystemConfig;
 
 use crate::cache::RunCache;
@@ -113,6 +113,55 @@ impl RunSpec {
         format!("{:016x}", fnv1a64(self.descriptor().as_bytes()))
     }
 
+    /// The workload half of the descriptor: exactly the fields that
+    /// determine each core's *instruction stream* (which workload runs
+    /// where, the synthesis seeds, and how many ops each core consumes).
+    /// Caches, prefetchers and policies are deliberately absent — specs
+    /// differing only in those share one stream.
+    fn trace_descriptor(&self) -> String {
+        format!(
+            "trace-v1|cores={}|ws={:?}/{}/{}|warm={}|meas={}",
+            self.config.n_cores,
+            self.workloads.per_core,
+            self.workloads.program_seed,
+            self.workloads.walker_seed,
+            self.lengths.warm,
+            self.lengths.measure,
+        )
+    }
+
+    /// A stable key for this spec's instruction streams (the trace-store
+    /// analogue of [`RunSpec::cache_key`]): equal iff two specs would feed
+    /// their cores identical streams, so one captured trace serves every
+    /// config sweep over the same workload.
+    pub fn trace_key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.trace_descriptor().as_bytes()))
+    }
+
+    /// Human-readable stream description embedded in captured trace files,
+    /// so a trace on disk identifies its workload without the harness.
+    pub fn trace_meta(&self) -> String {
+        self.trace_descriptor()
+    }
+
+    /// Builds the configured system, ready for
+    /// [`ipsim_cpu::System::run_workload_from`] with any op sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — experiment configs are
+    /// static and a bad one is a programming error.
+    pub fn build_system(&self) -> System {
+        let builder = SystemBuilder::new(self.config.clone())
+            .prefetcher(self.prefetcher)
+            .install_policy(self.policy);
+        let builder = match self.limit {
+            Some(l) => builder.limit(l),
+            None => builder,
+        };
+        builder.build().expect("experiment configuration is valid")
+    }
+
     /// A short human-readable tag for progress lines and the run log.
     pub fn label(&self) -> String {
         let mut label = format!(
@@ -138,14 +187,7 @@ impl RunSpec {
     /// Panics if the configuration is invalid — experiment configs are
     /// static and a bad one is a programming error.
     pub fn execute(&self) -> Summary {
-        let builder = SystemBuilder::new(self.config.clone())
-            .prefetcher(self.prefetcher)
-            .install_policy(self.policy);
-        let builder = match self.limit {
-            Some(l) => builder.limit(l),
-            None => builder,
-        };
-        let mut system = builder.build().expect("experiment configuration is valid");
+        let mut system = self.build_system();
         let metrics = system.run_workload(&self.workloads, self.lengths.warm, self.lengths.measure);
         Summary::from_metrics(&metrics)
     }

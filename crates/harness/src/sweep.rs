@@ -1,17 +1,25 @@
 //! The sweep orchestrator: collect every figure's jobs, dedup globally,
 //! execute once across the pool, then render and report per figure.
+//!
+//! With the trace store enabled, execution is two-phased: for each
+//! distinct instruction stream ([`RunSpec::trace_key`]) the first spec
+//! needing it — its *captain* — runs in phase one and captures the stream
+//! to disk; every other spec sharing it runs in phase two and replays.
+//! Walker generation therefore happens once per workload stream per
+//! sweep, no matter how many configurations share it.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::cache::RunCache;
 use crate::figure::Figure;
-use crate::pool;
+use crate::pool::{self, ExecReport};
 use crate::progress::{Progress, ProgressMode};
 use crate::runlog;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
+use crate::traces::TraceStore;
 use crate::RunLengths;
 
 /// How a sweep should run.
@@ -28,13 +36,18 @@ pub struct SweepOptions {
     pub cache_dir: Option<PathBuf>,
     /// Run-log path; `None` uses `$IPSIM_RUNLOG` / the default.
     pub runlog: Option<PathBuf>,
+    /// Trace-store directory; `None` uses `$IPSIM_TRACE_DIR` / the
+    /// default. Ignored when `traces` is false.
+    pub trace_dir: Option<PathBuf>,
+    /// Whether to capture/replay instruction streams at all.
+    pub traces: bool,
     /// Progress reporting mode.
     pub progress: ProgressMode,
 }
 
 impl SweepOptions {
-    /// Defaults for interactive use: env-resolved cache and run log, auto
-    /// progress, no result files.
+    /// Defaults for interactive use: env-resolved cache, run log and trace
+    /// store, auto progress, no result files.
     pub fn new(lengths: RunLengths, workers: usize) -> SweepOptions {
         SweepOptions {
             lengths,
@@ -42,7 +55,20 @@ impl SweepOptions {
             results_dir: None,
             cache_dir: None,
             runlog: None,
+            trace_dir: None,
+            traces: true,
             progress: ProgressMode::Auto,
+        }
+    }
+
+    /// The trace store these options select.
+    fn trace_store(&self) -> TraceStore {
+        if !self.traces {
+            return TraceStore::disabled();
+        }
+        match &self.trace_dir {
+            Some(dir) => TraceStore::at(dir.clone()),
+            None => TraceStore::from_env(),
         }
     }
 }
@@ -73,6 +99,12 @@ pub struct SweepReport {
     pub cache_misses: u64,
     /// Corrupt cache entries quarantined.
     pub quarantined: u64,
+    /// Workload streams captured to the trace store.
+    pub traces_captured: u64,
+    /// Runs whose instruction streams were replayed from the trace store.
+    pub traces_replayed: u64,
+    /// Corrupt trace files quarantined.
+    pub traces_quarantined: u64,
     /// Wall time of the execution phase.
     pub wall: Duration,
 }
@@ -105,13 +137,15 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         }
     }
 
-    // Phase 3: execute unique runs across the pool.
+    // Phase 3: execute unique runs across the pool, captains first (see
+    // module docs) so every stream is captured before anyone replays it.
     let cache = match &opts.cache_dir {
         Some(dir) => RunCache::at(dir.clone()),
         None => RunCache::from_env(),
     };
+    let traces = opts.trace_store();
     let progress = Progress::new(opts.progress, unique.len());
-    let exec = pool::execute(&unique, opts.workers, &cache, &progress);
+    let exec = execute_phased(&unique, opts.workers, &cache, &traces, &progress);
     progress.finish();
 
     // Phase 4: observability — append to the run log. Failure to log is
@@ -143,8 +177,8 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         };
         if let (Some(dir), Ok(text)) = (&opts.results_dir, &outcome) {
             let path = dir.join(format!("{}.txt", figure.name));
-            let write = std::fs::create_dir_all(dir)
-                .and_then(|()| std::fs::write(&path, text.as_bytes()));
+            let write =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text.as_bytes()));
             if let Err(e) = write {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
@@ -163,7 +197,64 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         quarantined: cache.quarantined(),
+        traces_captured: traces.captured(),
+        traces_replayed: traces.replayed(),
+        traces_quarantined: traces.quarantined(),
         wall: exec.wall,
+    }
+}
+
+/// Executes `unique` with captains-first scheduling when the trace store
+/// is live: the first spec per trace key runs (and captures) in phase
+/// one, the rest replay in phase two. Records are re-ordered to match the
+/// input, so phasing is invisible everywhere downstream.
+fn execute_phased(
+    unique: &[RunSpec],
+    workers: usize,
+    cache: &RunCache,
+    traces: &TraceStore,
+    progress: &Progress,
+) -> ExecReport {
+    let mut captains: Vec<RunSpec> = Vec::new();
+    let mut followers: Vec<RunSpec> = Vec::new();
+    if traces.enabled() {
+        let mut streams = HashSet::new();
+        for spec in unique {
+            if streams.insert(spec.trace_key()) {
+                captains.push(spec.clone());
+            } else {
+                followers.push(spec.clone());
+            }
+        }
+    }
+    if followers.is_empty() {
+        // Every spec has its own stream (or the store is off): no phasing.
+        return pool::execute(unique, workers, cache, traces, progress);
+    }
+    let first = pool::execute(&captains, workers, cache, traces, progress);
+    let second = pool::execute(&followers, workers, cache, traces, progress);
+
+    let mut results = first.results;
+    results.extend(second.results);
+    // Restore input order (first.records ++ second.records is phase order).
+    let mut by_key: HashMap<String, crate::runlog::RunRecord> = first
+        .records
+        .into_iter()
+        .chain(second.records)
+        .map(|r| (r.key.clone(), r))
+        .collect();
+    let records = unique
+        .iter()
+        .map(|spec| {
+            by_key
+                .remove(&spec.cache_key())
+                .expect("every unique spec produced one record")
+        })
+        .collect();
+    ExecReport {
+        results,
+        records,
+        wall: first.wall + second.wall,
     }
 }
 
@@ -215,6 +306,8 @@ mod tests {
             results_dir: Some(base.join("results")),
             cache_dir: Some(base.join("cache")),
             runlog: Some(base.join("runlog.tsv")),
+            trace_dir: Some(base.join("traces")),
+            traces: true,
             progress: ProgressMode::Silent,
         }
     }
@@ -247,6 +340,12 @@ mod tests {
         assert_eq!(report.unique_jobs, 2);
         assert_eq!(report.cache_misses, 2);
 
+        // Two distinct workload streams, both captured, neither replayed
+        // (the two unique specs run different workloads).
+        assert_eq!(report.traces_captured, 2);
+        assert_eq!(report.traces_replayed, 0);
+        assert_eq!(report.traces_quarantined, 0);
+
         // The broken figure failed; the others still rendered.
         assert!(!report.all_ok());
         assert!(report.figures[0].outcome.is_ok());
@@ -260,14 +359,18 @@ mod tests {
         assert!(dir.join("figb.txt").exists());
         assert!(!dir.join("figx.txt").exists());
 
-        // The run log recorded both unique runs.
+        // The run log recorded both unique runs with their sources.
         let log = std::fs::read_to_string(opts.runlog.as_ref().unwrap()).unwrap();
         assert_eq!(log.lines().filter(|l| !l.starts_with('#')).count(), 2);
+        assert_eq!(log.lines().filter(|l| l.contains("\tcapture\t")).count(), 2);
 
-        // A second sweep over the same cache is all hits.
+        // A second sweep over the same cache is all hits; cache hits
+        // short-circuit the trace store entirely.
         let report2 = run_sweep(&FIGS, &opts);
         assert_eq!(report2.cache_hits, 2);
         assert_eq!(report2.cache_misses, 0);
+        assert_eq!(report2.traces_captured, 0);
+        assert_eq!(report2.traces_replayed, 0);
 
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }

@@ -1,0 +1,454 @@
+//! The on-disk trace store: capture each workload's instruction stream
+//! once, replay it for every other configuration that shares it.
+//!
+//! A [`crate::spec::RunSpec`]'s instruction stream depends only on its
+//! *workload half* — core count, workload assignment, seeds and run
+//! lengths — not on caches, prefetchers or policies. A 13-figure sweep
+//! therefore simulates the same handful of streams dozens of times. The
+//! store keys streams by [`crate::spec::RunSpec::trace_key`] and keeps one
+//! file per core under one directory (default `results/traces/`,
+//! overridable via [`TRACE_DIR_ENV`]):
+//!
+//! ```text
+//! results/traces/<trace_key>.c<core>.itrace
+//! ```
+//!
+//! Hardening mirrors the run cache ([`crate::cache`]):
+//!
+//! * captures write to pid-suffixed temp files and rename into place, so
+//!   an interrupted capture never leaves a plausible-looking trace;
+//! * replay verifies every block CRC before the simulation starts (at
+//!   checksum speed, no decode), so a corrupt file is quarantined to
+//!   `*.corrupt` (evidence, not deleted) and the run transparently falls
+//!   back to live generation — there is no mid-run failure path;
+//! * capture I/O errors degrade the run to plain live generation
+//!   (the simulation result is identical either way).
+
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ipsim_cpu::OpSource;
+use ipsim_stream::{ReplaySource, Tee, TraceReader, TraceWriter};
+
+use crate::spec::RunSpec;
+use crate::summary::Summary;
+
+/// Environment variable overriding the trace directory. The values `off`
+/// and `0` disable the store entirely.
+pub const TRACE_DIR_ENV: &str = "IPSIM_TRACE_DIR";
+
+/// Default trace directory, relative to the working directory.
+pub const DEFAULT_TRACE_DIR: &str = "results/traces";
+
+/// Where a run's result (and instruction stream) came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Summary served from the on-disk run cache; nothing simulated.
+    Cache,
+    /// Simulated with live walker generation (store disabled or
+    /// unavailable).
+    Live,
+    /// Simulated live while writing the stream to the trace store.
+    Capture,
+    /// Simulated from a stored trace, no walker involved.
+    Replay,
+}
+
+impl RunSource {
+    /// Stable lower-case token used in the run log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunSource::Cache => "cache",
+            RunSource::Live => "live",
+            RunSource::Capture => "capture",
+            RunSource::Replay => "replay",
+        }
+    }
+}
+
+/// Outcome of executing one spec through the store.
+pub struct TracedRun {
+    /// The simulation summary.
+    pub summary: Summary,
+    /// How the instruction stream was produced.
+    pub source: RunSource,
+    /// Throughput of the pre-replay verification scan (million ops per
+    /// second through the CRC check of every block); 0 for non-replay
+    /// runs. A drop in this column means trace I/O or checksumming got
+    /// slower, independent of simulation speed.
+    pub decode_mips: f64,
+}
+
+/// A trace store rooted at one directory, with capture/replay accounting.
+///
+/// All methods take `&self`; counters are atomic and the capture-claim set
+/// is mutex-guarded, so one store is shared across the worker pool.
+#[derive(Debug)]
+pub struct TraceStore {
+    /// `None` disables capture and replay entirely.
+    dir: Option<PathBuf>,
+    captured: AtomicU64,
+    replayed: AtomicU64,
+    quarantined: AtomicU64,
+    /// Trace keys some thread is currently capturing (or has captured)
+    /// this process; prevents two workers racing to write the same files.
+    claims: Mutex<HashSet<String>>,
+}
+
+impl TraceStore {
+    /// A store rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> TraceStore {
+        TraceStore {
+            dir: Some(dir.into()),
+            captured: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            claims: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// A disabled store: every run executes live.
+    pub fn disabled() -> TraceStore {
+        TraceStore {
+            dir: None,
+            captured: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            claims: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The store at `$IPSIM_TRACE_DIR` (`off`/`0` disable it), or
+    /// [`DEFAULT_TRACE_DIR`] if unset.
+    pub fn from_env() -> TraceStore {
+        match std::env::var_os(TRACE_DIR_ENV) {
+            Some(dir) if dir == "off" || dir == "0" => TraceStore::disabled(),
+            Some(dir) if !dir.is_empty() => TraceStore::at(PathBuf::from(dir)),
+            _ => TraceStore::at(DEFAULT_TRACE_DIR),
+        }
+    }
+
+    /// Whether capture/replay is active.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The store's root directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Workload streams captured to disk by this instance.
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Runs fed from stored traces by this instance.
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt trace files quarantined by this instance.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Path of the per-core trace file for a trace key.
+    fn core_path(&self, dir: &Path, key: &str, core: u32) -> PathBuf {
+        let _ = self;
+        dir.join(format!("{key}.c{core}.itrace"))
+    }
+
+    /// Executes `spec`, preferring replay, then capture, then plain live
+    /// generation. Never fails harder than [`RunSpec::execute`] itself:
+    /// every store problem downgrades the run, it never aborts it.
+    pub fn execute(&self, spec: &RunSpec) -> TracedRun {
+        let Some(dir) = self.dir.clone() else {
+            return TracedRun {
+                summary: spec.execute(),
+                source: RunSource::Live,
+                decode_mips: 0.0,
+            };
+        };
+        let key = spec.trace_key();
+        match self.try_replay(&dir, spec, &key) {
+            Some(run) => run,
+            None => self.capture_or_live(&dir, spec, &key),
+        }
+    }
+
+    /// Attempts to serve `spec` from stored traces. Returns `None` when
+    /// any per-core file is missing or fails validation (corrupt files are
+    /// quarantined on the way out).
+    fn try_replay(&self, dir: &Path, spec: &RunSpec, key: &str) -> Option<TracedRun> {
+        let n_cores = spec.config.n_cores;
+        let per_core_ops = spec.lengths.warm + spec.lengths.measure;
+        let mut sources: Vec<ReplaySource<BufReader<File>>> = Vec::with_capacity(n_cores as usize);
+        let t0 = Instant::now();
+        for core in 0..n_cores {
+            let path = self.core_path(dir, key, core);
+            let file = File::open(&path).ok()?;
+            let replay = match TraceReader::open(BufReader::new(file)).and_then(ReplaySource::new) {
+                Ok(replay) => replay,
+                Err(_) => {
+                    // Bad header, CRC or count: move the evidence aside so
+                    // the follow-up capture can rewrite the slot.
+                    self.quarantine(&path);
+                    return None;
+                }
+            };
+            if replay.stats().ops != per_core_ops {
+                // A valid file for a different run length can only appear
+                // here through key tampering; treat it as corrupt.
+                self.quarantine(&path);
+                return None;
+            }
+            sources.push(replay);
+        }
+        let decode_s = t0.elapsed().as_secs_f64();
+        let decoded_ops: u64 = sources.iter().map(|s| s.stats().ops).sum();
+        let mut system = spec.build_system();
+        let mut dyns: Vec<&mut dyn OpSource> =
+            sources.iter_mut().map(|s| s as &mut dyn OpSource).collect();
+        let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
+        self.replayed.fetch_add(1, Ordering::Relaxed);
+        TracedRun {
+            summary: Summary::from_metrics(&metrics),
+            source: RunSource::Replay,
+            decode_mips: if decode_s > 0.0 {
+                decoded_ops as f64 / 1e6 / decode_s
+            } else {
+                0.0
+            },
+        }
+        .into()
+    }
+
+    /// Runs `spec` live, capturing the stream if this thread wins the
+    /// claim for `key` and the capture files can be written.
+    fn capture_or_live(&self, dir: &Path, spec: &RunSpec, key: &str) -> TracedRun {
+        let claimed = self.claims.lock().unwrap().insert(key.to_string());
+        if !claimed || fs::create_dir_all(dir).is_err() {
+            // Someone else is already writing this stream (or the store
+            // directory is unusable): plain live run.
+            return TracedRun {
+                summary: spec.execute(),
+                source: RunSource::Live,
+                decode_mips: 0.0,
+            };
+        }
+
+        let n_cores = spec.config.n_cores;
+        let pid = std::process::id();
+        let mut tmp_paths: Vec<PathBuf> = Vec::with_capacity(n_cores as usize);
+        let mut writers: Vec<TraceWriter<BufWriter<File>>> = Vec::with_capacity(n_cores as usize);
+        for core in 0..n_cores {
+            let tmp = dir.join(format!(".{key}.c{core}.{pid}.tmp"));
+            let writer = File::create(&tmp)
+                .ok()
+                .and_then(|f| TraceWriter::new(BufWriter::new(f), core, &spec.trace_meta()).ok());
+            match writer {
+                Some(w) => {
+                    tmp_paths.push(tmp);
+                    writers.push(w);
+                }
+                None => {
+                    discard(&tmp_paths);
+                    return TracedRun {
+                        summary: spec.execute(),
+                        source: RunSource::Live,
+                        decode_mips: 0.0,
+                    };
+                }
+            }
+        }
+
+        // Drive the run through capture tees: identical walkers to a live
+        // run, with every op mirrored to its core's writer.
+        let programs = spec.workloads.programs(n_cores);
+        let mut tees: Vec<_> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(c, w)| Tee::new(spec.workloads.walker(&programs, c as u32), w))
+            .collect();
+        let mut system = spec.build_system();
+        let mut dyns: Vec<&mut dyn OpSource> =
+            tees.iter_mut().map(|t| t as &mut dyn OpSource).collect();
+        let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
+        let summary = Summary::from_metrics(&metrics);
+
+        // Seal and publish. Any sink error (latched mid-run or at finish)
+        // voids the whole capture but never the simulation result.
+        let mut sealed = true;
+        for tee in tees {
+            let (writer, err) = tee.into_parts();
+            if err.is_some() || writer.finish().is_err() {
+                sealed = false;
+            }
+        }
+        if sealed {
+            for (core, tmp) in tmp_paths.iter().enumerate() {
+                let path = self.core_path(dir, key, core as u32);
+                if fs::rename(tmp, &path).is_err() {
+                    sealed = false;
+                    break;
+                }
+            }
+        }
+        if !sealed {
+            discard(&tmp_paths);
+            return TracedRun {
+                summary,
+                source: RunSource::Live,
+                decode_mips: 0.0,
+            };
+        }
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        TracedRun {
+            summary,
+            source: RunSource::Capture,
+            decode_mips: 0.0,
+        }
+    }
+
+    /// Moves a corrupt trace aside, preserving it for inspection.
+    fn quarantine(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut quarantined = path.as_os_str().to_owned();
+        quarantined.push(".corrupt");
+        if fs::rename(path, PathBuf::from(quarantined)).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Removes leftover capture temp files (best effort).
+fn discard(tmp_paths: &[PathBuf]) {
+    for tmp in tmp_paths {
+        let _ = fs::remove_file(tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunLengths;
+    use ipsim_cpu::WorkloadSet;
+    use ipsim_trace::Workload;
+    use ipsim_types::SystemConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ipsim-traces-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> RunSpec {
+        RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            RunLengths {
+                warm: 1_000,
+                measure: 3_000,
+            },
+        )
+    }
+
+    #[test]
+    fn capture_then_replay_matches_live() {
+        let dir = tmp_dir("roundtrip");
+        let store = TraceStore::at(&dir);
+        let spec = spec();
+        let live = spec.execute();
+
+        let first = store.execute(&spec);
+        assert_eq!(first.source, RunSource::Capture);
+        assert_eq!(first.summary, live);
+
+        let second = store.execute(&spec);
+        assert_eq!(second.source, RunSource::Replay);
+        assert_eq!(second.summary, live);
+        assert!(second.decode_mips >= 0.0);
+
+        assert_eq!((store.captured(), store.replayed()), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_works_across_configs_sharing_the_stream() {
+        let dir = tmp_dir("crossconfig");
+        let store = TraceStore::at(&dir);
+        let base = spec();
+        let other = base
+            .clone()
+            .prefetcher(ipsim_core::PrefetcherKind::NextLineTagged);
+        assert_eq!(base.trace_key(), other.trace_key());
+        assert_ne!(base.cache_key(), other.cache_key());
+
+        assert_eq!(store.execute(&base).source, RunSource::Capture);
+        let replayed = store.execute(&other);
+        assert_eq!(replayed.source, RunSource::Replay);
+        assert_eq!(replayed.summary, other.execute());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_traces_are_quarantined_and_fall_back_to_live() {
+        let dir = tmp_dir("corrupt");
+        let store = TraceStore::at(&dir);
+        let spec = spec();
+        assert_eq!(store.execute(&spec).source, RunSource::Capture);
+
+        // Flip one payload byte in the stored trace.
+        let path = store.core_path(&dir, &spec.trace_key(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // A fresh store (no claim memory) quarantines, then re-captures.
+        let store2 = TraceStore::at(&dir);
+        let run = store2.execute(&spec);
+        assert_eq!(run.source, RunSource::Capture);
+        assert_eq!(run.summary, spec.execute());
+        assert_eq!(store2.quarantined(), 1);
+        assert!(!path.exists() || fs::read(&path).unwrap() != bytes);
+        let corrupt: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".corrupt"))
+            .collect();
+        assert_eq!(corrupt.len(), 1);
+
+        // And the re-captured trace replays.
+        assert_eq!(store2.execute(&spec).source, RunSource::Replay);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_store_always_runs_live() {
+        let store = TraceStore::disabled();
+        let run = store.execute(&spec());
+        assert_eq!(run.source, RunSource::Live);
+        assert_eq!((store.captured(), store.replayed()), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_claim_prevents_double_capture() {
+        let dir = tmp_dir("claims");
+        let store = TraceStore::at(&dir);
+        let spec = spec();
+        // Simulate another worker holding the claim.
+        store.claims.lock().unwrap().insert(spec.trace_key());
+        let run = store.execute(&spec);
+        assert_eq!(run.source, RunSource::Live);
+        assert_eq!(store.captured(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests for the trace capture/replay subsystem: replayed
+//! sweeps must reproduce live figure output byte for byte, at any worker
+//! count, and corrupt traces must quarantine and fall back without
+//! affecting a single output byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ipsim_cpu::WorkloadSet;
+use ipsim_harness::{run_sweep, Executor, Figure, ProgressMode, RunLengths, RunSpec, SweepOptions};
+use ipsim_trace::Workload;
+use ipsim_types::SystemConfig;
+
+/// Five runs: four configurations sharing the DB instruction stream, plus
+/// a Web baseline with its own stream. The full `Summary` debug output is
+/// the figure body, so any metric diverging between live and replayed
+/// simulation changes the bytes.
+fn render_shared_stream(lengths: RunLengths, x: &mut Executor) -> String {
+    let db = WorkloadSet::homogeneous(Workload::Db);
+    let web = WorkloadSet::homogeneous(Workload::Web);
+    let base = RunSpec::new(SystemConfig::single_core(), db, lengths);
+    let specs: Vec<(&str, RunSpec)> = vec![
+        ("db-base", base.clone()),
+        (
+            "db-nl-always",
+            base.clone()
+                .prefetcher(ipsim_core::PrefetcherKind::NextLineAlways),
+        ),
+        (
+            "db-nl-miss",
+            base.clone()
+                .prefetcher(ipsim_core::PrefetcherKind::NextLineOnMiss),
+        ),
+        (
+            "db-nl-tagged",
+            base.prefetcher(ipsim_core::PrefetcherKind::NextLineTagged),
+        ),
+        (
+            "web-base",
+            RunSpec::new(SystemConfig::single_core(), web, lengths),
+        ),
+    ];
+    let mut out = String::new();
+    for (label, spec) in specs {
+        out.push_str(&format!("{label}: {:?}\n", x(&spec)));
+    }
+    out
+}
+
+const FIG: Figure = Figure {
+    name: "figstream",
+    title: "stream integration figure",
+    render: render_shared_stream,
+};
+
+fn base_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ipsim-stream-integration-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(base: &Path, cache: &str, workers: usize, traces: bool) -> SweepOptions {
+    SweepOptions {
+        lengths: RunLengths {
+            warm: 1_000,
+            measure: 2_000,
+        },
+        workers,
+        results_dir: None,
+        cache_dir: Some(base.join(cache)),
+        runlog: Some(base.join(format!("{cache}.runlog.tsv"))),
+        trace_dir: Some(base.join("traces")),
+        traces,
+        progress: ProgressMode::Silent,
+    }
+}
+
+fn figure_text(report: &ipsim_harness::SweepReport) -> String {
+    report.figures[0]
+        .outcome
+        .as_ref()
+        .expect("figure rendered")
+        .clone()
+}
+
+#[test]
+fn replay_reproduces_live_figures_byte_identically() {
+    let base = base_dir("identical");
+
+    // Reference: traces disabled, single worker, pure live generation.
+    let live = run_sweep(&[FIG], &opts(&base, "cache-live", 1, false));
+    assert_eq!(live.traces_captured + live.traces_replayed, 0);
+    let live_text = figure_text(&live);
+
+    // Capture sweep: fresh cache, traces on, parallel workers. Two streams
+    // (DB, Web) are captured by their captains; the other three DB configs
+    // replay within the same sweep.
+    let capture = run_sweep(&[FIG], &opts(&base, "cache-capture", 3, true));
+    assert_eq!(capture.unique_jobs, 5);
+    assert_eq!(capture.traces_captured, 2);
+    assert_eq!(capture.traces_replayed, 3);
+    assert_eq!(capture.traces_quarantined, 0);
+    assert_eq!(figure_text(&capture), live_text);
+
+    // Replay sweep: fresh cache again, same trace store, different worker
+    // count. Every run replays; output is still byte-identical.
+    let replay = run_sweep(&[FIG], &opts(&base, "cache-replay", 2, true));
+    assert_eq!(replay.traces_captured, 0);
+    assert_eq!(replay.traces_replayed, 5);
+    assert_eq!(figure_text(&replay), live_text);
+
+    // The run log records stream provenance under the v2 schema.
+    let cap_log = fs::read_to_string(base.join("cache-capture.runlog.tsv")).unwrap();
+    assert!(cap_log.starts_with("# ipsim-runlog v2"), "{cap_log}");
+    assert_eq!(cap_log.matches("\tcapture\t").count(), 2);
+    assert_eq!(cap_log.matches("\treplay\t").count(), 3);
+    let rep_log = fs::read_to_string(base.join("cache-replay.runlog.tsv")).unwrap();
+    assert_eq!(rep_log.matches("\treplay\t").count(), 5);
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn corrupt_trace_quarantines_recaptures_and_keeps_output_identical() {
+    let base = base_dir("corrupt");
+
+    let live = run_sweep(&[FIG], &opts(&base, "cache-live", 1, false));
+    let live_text = figure_text(&live);
+    let capture = run_sweep(&[FIG], &opts(&base, "cache-capture", 2, true));
+    assert_eq!(capture.traces_captured, 2);
+
+    // Corrupt the stored DB stream (shared by four of the five runs).
+    let db_key = RunSpec::new(
+        SystemConfig::single_core(),
+        WorkloadSet::homogeneous(Workload::Db),
+        RunLengths {
+            warm: 1_000,
+            measure: 2_000,
+        },
+    )
+    .trace_key();
+    let trace_path = base.join("traces").join(format!("{db_key}.c0.itrace"));
+    let mut bytes = fs::read(&trace_path).expect("captured DB trace exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&trace_path, &bytes).unwrap();
+
+    // Fresh cache, same store: the DB captain quarantines the corrupt file
+    // and re-captures; its three followers and the Web run replay. Output
+    // bytes are unaffected.
+    let recover = run_sweep(&[FIG], &opts(&base, "cache-recover", 2, true));
+    assert!(recover.all_ok());
+    assert_eq!(recover.traces_quarantined, 1);
+    assert_eq!(recover.traces_captured, 1);
+    assert_eq!(recover.traces_replayed, 4);
+    assert_eq!(figure_text(&recover), live_text);
+
+    // The evidence is preserved next to the store, and the slot was
+    // rewritten with a valid stream.
+    let corrupt: Vec<_> = fs::read_dir(base.join("traces"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".corrupt"))
+        .collect();
+    assert_eq!(corrupt.len(), 1, "{corrupt:?}");
+    assert_ne!(fs::read(&trace_path).unwrap(), bytes);
+
+    let _ = fs::remove_dir_all(&base);
+}

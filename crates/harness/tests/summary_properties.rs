@@ -20,7 +20,13 @@ fn counts() -> impl Strategy<Value = CategoryCounts> {
 
 fn summaries() -> impl Strategy<Value = Summary> {
     (
-        (0u64..u64::MAX / 2, 0.0f64..8.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        (
+            0u64..u64::MAX / 2,
+            0.0f64..8.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+        ),
         (0.0f64..1.0, 0.0f64..1.0, 0.0f64..2000.0),
         counts(),
         counts(),

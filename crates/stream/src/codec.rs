@@ -1,0 +1,303 @@
+//! The per-event codec: one [`TraceOp`] to/from a tag byte plus delta
+//! varints, relative to a running decode state.
+//!
+//! The walker's streams are *self-consistent* — each op's PC follows from
+//! the previous op — so the PC is never stored per event. The codec keeps
+//! the expected PC in [`CodecState`] and encodes only:
+//!
+//! * a tag byte (op kind, CTI class and taken bit),
+//! * for loads/stores: the data address as a zigzag delta from the previous
+//!   data address (locality makes these short),
+//! * for CTIs: the target as a zigzag delta from the current PC (branch
+//!   displacements are short; even calls rarely need more than 4 bytes).
+//!
+//! An op whose PC does *not* match the expected chain cannot be encoded
+//! against this state — [`encode_op`] reports it so the framing layer can
+//! start a fresh block pinned at the new PC. This keeps the format correct
+//! for arbitrary event sequences, not only walker output.
+
+use ipsim_types::instr::{CtiClass, OpKind, TraceOp};
+use ipsim_types::{Addr, CodecError};
+
+use crate::varint;
+
+/// Event tags. CTI tags pack `class * 2 + taken` on top of [`TAG_CTI_BASE`].
+const TAG_OTHER: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_CTI_BASE: u8 = 3;
+
+/// CTI classes in tag order. The on-disk format is defined by this order;
+/// reordering it is a format change and needs a version bump.
+const CTI_CLASSES: [CtiClass; 6] = [
+    CtiClass::CondBranch,
+    CtiClass::UncondBranch,
+    CtiClass::Call,
+    CtiClass::Jump,
+    CtiClass::Return,
+    CtiClass::Trap,
+];
+
+/// Highest defined tag.
+const TAG_MAX: u8 = TAG_CTI_BASE + 2 * CTI_CLASSES.len() as u8 - 1;
+
+fn cti_index(class: CtiClass) -> u8 {
+    CTI_CLASSES
+        .iter()
+        .position(|c| *c == class)
+        .expect("every CtiClass has a tag") as u8
+}
+
+/// Running codec state: the PC the next op must have, and the most recent
+/// data address (the delta base for loads/stores).
+///
+/// Encoder and decoder advance identical copies of this state, which is
+/// what lets both sides omit the PC entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecState {
+    /// Expected PC of the next op.
+    pub pc: u64,
+    /// Previous data address (0 before the first load/store).
+    pub prev_data: u64,
+}
+
+impl CodecState {
+    /// State pinned at `pc` with a fresh data-delta base.
+    pub fn at(pc: u64, prev_data: u64) -> CodecState {
+        CodecState { pc, prev_data }
+    }
+
+    /// Advances the state past `op`.
+    #[inline]
+    fn advance(&mut self, op: &TraceOp) {
+        match op.kind {
+            OpKind::Load { addr } | OpKind::Store { addr } => self.prev_data = addr.0,
+            _ => {}
+        }
+        self.pc = op.next_pc().0;
+    }
+}
+
+/// Whether an op fits the current state chain.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EncodeOutcome {
+    /// The op was appended to `out`.
+    Encoded,
+    /// The op's PC breaks the chain; the framing layer must start a new
+    /// block at this op's PC. Nothing was written.
+    NeedsResync,
+}
+
+/// Encodes `op` against `state`, appending to `out` and advancing the
+/// state. Returns [`EncodeOutcome::NeedsResync`] (writing nothing) when
+/// `op.pc` differs from the state's expected PC.
+#[inline]
+pub fn encode_op(state: &mut CodecState, op: &TraceOp, out: &mut Vec<u8>) -> EncodeOutcome {
+    if op.pc.0 != state.pc {
+        return EncodeOutcome::NeedsResync;
+    }
+    match op.kind {
+        OpKind::Other => out.push(TAG_OTHER),
+        OpKind::Load { addr } => {
+            out.push(TAG_LOAD);
+            varint::write_i64(addr.0.wrapping_sub(state.prev_data) as i64, out);
+        }
+        OpKind::Store { addr } => {
+            out.push(TAG_STORE);
+            varint::write_i64(addr.0.wrapping_sub(state.prev_data) as i64, out);
+        }
+        OpKind::Cti {
+            class,
+            taken,
+            target,
+        } => {
+            out.push(TAG_CTI_BASE + 2 * cti_index(class) + u8::from(taken));
+            varint::write_i64(target.0.wrapping_sub(op.pc.0) as i64, out);
+        }
+    }
+    state.advance(op);
+    EncodeOutcome::Encoded
+}
+
+/// Decodes one op from the front of `input`, advancing both the slice and
+/// `state`.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when `input` is empty or ends mid-record,
+/// [`CodecError::BadTag`] for an undefined tag byte, and varint errors from
+/// the delta fields.
+#[inline]
+pub fn decode_op(state: &mut CodecState, input: &mut &[u8]) -> Result<TraceOp, CodecError> {
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or(CodecError::Truncated { what: "event tag" })?;
+    *input = rest;
+    let pc = Addr(state.pc);
+    let kind = match tag {
+        TAG_OTHER => OpKind::Other,
+        TAG_LOAD => OpKind::Load {
+            addr: Addr(
+                state
+                    .prev_data
+                    .wrapping_add(varint::read_i64(input)? as u64),
+            ),
+        },
+        TAG_STORE => OpKind::Store {
+            addr: Addr(
+                state
+                    .prev_data
+                    .wrapping_add(varint::read_i64(input)? as u64),
+            ),
+        },
+        TAG_CTI_BASE..=TAG_MAX => {
+            let idx = tag - TAG_CTI_BASE;
+            OpKind::Cti {
+                class: CTI_CLASSES[(idx / 2) as usize],
+                taken: idx & 1 == 1,
+                target: Addr(pc.0.wrapping_add(varint::read_i64(input)? as u64)),
+            }
+        }
+        _ => return Err(CodecError::BadTag { tag }),
+    };
+    let op = TraceOp { pc, kind };
+    state.advance(&op);
+    Ok(op)
+}
+
+/// A PC that follows `pc` sequentially (test helper).
+#[cfg(test)]
+fn sequential_next(pc: u64) -> u64 {
+    pc.wrapping_add(ipsim_types::instr::INSTR_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(ops: &[TraceOp]) -> (Vec<u8>, CodecState) {
+        let start = CodecState::at(ops[0].pc.0, 0);
+        let mut state = start;
+        let mut buf = Vec::new();
+        for op in ops {
+            assert_eq!(encode_op(&mut state, op, &mut buf), EncodeOutcome::Encoded);
+        }
+        (buf, start)
+    }
+
+    fn decode_all(buf: &[u8], mut state: CodecState, n: usize) -> Vec<TraceOp> {
+        let mut input = buf;
+        let ops: Vec<TraceOp> = (0..n)
+            .map(|_| decode_op(&mut state, &mut input).unwrap())
+            .collect();
+        assert!(input.is_empty(), "trailing bytes after decode");
+        ops
+    }
+
+    #[test]
+    fn mixed_sequence_round_trips() {
+        let ops = vec![
+            TraceOp {
+                pc: Addr(0x1000),
+                kind: OpKind::Other,
+            },
+            TraceOp {
+                pc: Addr(0x1004),
+                kind: OpKind::Load {
+                    addr: Addr(0x9_0000),
+                },
+            },
+            TraceOp {
+                pc: Addr(0x1008),
+                kind: OpKind::Store {
+                    addr: Addr(0x9_0040),
+                },
+            },
+            TraceOp {
+                pc: Addr(0x100c),
+                kind: OpKind::Cti {
+                    class: CtiClass::CondBranch,
+                    taken: false,
+                    target: Addr(0x0800),
+                },
+            },
+            TraceOp {
+                pc: Addr(0x1010),
+                kind: OpKind::Cti {
+                    class: CtiClass::Call,
+                    taken: true,
+                    target: Addr(0x4_0000),
+                },
+            },
+            TraceOp {
+                pc: Addr(0x4_0000),
+                kind: OpKind::Cti {
+                    class: CtiClass::Return,
+                    taken: true,
+                    target: Addr(0x1014),
+                },
+            },
+        ];
+        let (buf, start) = chain(&ops);
+        assert_eq!(decode_all(&buf, start, ops.len()), ops);
+        // Adjacent data refs and short branches stay compact.
+        assert!(
+            buf.len() <= 3 * ops.len() + 6,
+            "encoded {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn pc_mismatch_requests_resync_without_writing() {
+        let mut state = CodecState::at(0x1000, 0);
+        let mut buf = Vec::new();
+        let op = TraceOp {
+            pc: Addr(0x2000),
+            kind: OpKind::Other,
+        };
+        assert_eq!(
+            encode_op(&mut state, &op, &mut buf),
+            EncodeOutcome::NeedsResync
+        );
+        assert!(buf.is_empty());
+        assert_eq!(state, CodecState::at(0x1000, 0));
+    }
+
+    #[test]
+    fn undefined_tags_are_rejected() {
+        let mut state = CodecState::at(0, 0);
+        let mut input: &[u8] = &[TAG_MAX + 1];
+        assert_eq!(
+            decode_op(&mut state, &mut input),
+            Err(CodecError::BadTag { tag: TAG_MAX + 1 })
+        );
+        let mut input: &[u8] = &[];
+        assert!(matches!(
+            decode_op(&mut state, &mut input),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn every_cti_class_and_taken_bit_round_trips() {
+        let mut pc = 0x8000u64;
+        let mut ops = Vec::new();
+        for class in CTI_CLASSES {
+            for taken in [false, true] {
+                let target = Addr(0x10_0000);
+                ops.push(TraceOp {
+                    pc: Addr(pc),
+                    kind: OpKind::Cti {
+                        class,
+                        taken,
+                        target,
+                    },
+                });
+                pc = if taken { target.0 } else { sequential_next(pc) };
+            }
+        }
+        let (buf, start) = chain(&ops);
+        assert_eq!(decode_all(&buf, start, ops.len()), ops);
+    }
+}

@@ -1,0 +1,173 @@
+//! Binary trace capture/replay for the `ipsim` instruction-prefetching
+//! simulator.
+//!
+//! The synthetic trace walker (`ipsim-trace`) is deterministic but not
+//! free: generating a stream costs PRNG and state-machine work per op,
+//! repeated for *every* configuration in a sweep even though the
+//! instruction stream only depends on the workload half of the spec. This
+//! crate makes streams first-class artifacts:
+//!
+//! * [`codec`] — per-op delta encoding (tag byte + zigzag varints, PC
+//!   elided via stream self-consistency),
+//! * [`writer`] / [`reader`] — CRC-framed blocks with a seekable index;
+//!   any bit flip or truncation is detected, never mis-decoded,
+//! * [`TraceSource`] / [`TraceSink`] — the capture/replay seam: the CPU
+//!   model consumes a `TraceSource`, which can be a live walker, a
+//!   [`Tee`] (walker + capture to disk), or a [`ReplaySource`] decoding a
+//!   stored trace.
+//!
+//! Capture once, replay everywhere: the harness stores one trace per
+//! workload stream and feeds every other config in the sweep from it,
+//! with byte-identical figure output (enforced by integration test).
+//!
+//! # Example
+//!
+//! ```
+//! use ipsim_stream::{ReplaySource, TraceReader, TraceSource, TraceWriter};
+//! use ipsim_types::instr::{OpKind, TraceOp};
+//! use ipsim_types::Addr;
+//!
+//! let mut writer = TraceWriter::new(Vec::new(), 0, "demo").unwrap();
+//! let op = TraceOp { pc: Addr(0x1000), kind: OpKind::Other };
+//! writer.append(&op).unwrap();
+//! let (bytes, stats) = writer.finish_into().unwrap();
+//! assert_eq!(stats.ops, 1);
+//!
+//! let reader = TraceReader::open(std::io::Cursor::new(bytes)).unwrap();
+//! let mut replay = ReplaySource::new(reader).unwrap();
+//! assert_eq!(replay.next_op(), op);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc32;
+pub mod reader;
+pub mod varint;
+pub mod writer;
+
+use std::io::{Read, Seek, Write};
+
+use ipsim_types::instr::TraceOp;
+use ipsim_types::{CodecError, StreamStats};
+
+pub use reader::TraceReader;
+pub use writer::{TraceWriter, BLOCK_TARGET_BYTES, FORMAT_VERSION};
+
+/// An infinite, infallible stream of instructions — what the CPU model
+/// consumes. Implemented by the live walker (`ipsim-trace`), by [`Tee`]
+/// (live + capture), and by [`ReplaySource`] (decode from disk).
+///
+/// Infallibility is a deliberate contract: the simulator core has no
+/// error path mid-run. Sources that can fail (capture I/O, decode) must
+/// either absorb the failure ([`Tee`] keeps streaming and reports the
+/// sink error afterwards) or front-load it (replay requires a validated
+/// trace).
+pub trait TraceSource {
+    /// Produces the next instruction.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+}
+
+/// A destination for captured instructions.
+pub trait TraceSink {
+    /// Records one instruction.
+    fn record(&mut self, op: &TraceOp) -> Result<(), CodecError>;
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn record(&mut self, op: &TraceOp) -> Result<(), CodecError> {
+        self.append(op)
+    }
+}
+
+/// Streams from `source` while recording every op into `sink`.
+///
+/// Sink failures do not interrupt the stream: the first error is latched
+/// and recording stops, but `next_op` keeps serving the live source, so a
+/// full disk degrades a capture run into a plain live run instead of
+/// killing the simulation. Check [`Tee::into_parts`] afterwards to learn
+/// whether the capture is complete.
+pub struct Tee<S, K> {
+    source: S,
+    sink: K,
+    error: Option<CodecError>,
+}
+
+impl<S: TraceSource, K: TraceSink> Tee<S, K> {
+    /// Wraps `source`, mirroring its ops into `sink`.
+    pub fn new(source: S, sink: K) -> Tee<S, K> {
+        Tee {
+            source,
+            sink,
+            error: None,
+        }
+    }
+
+    /// The first sink error, if recording has failed.
+    pub fn error(&self) -> Option<&CodecError> {
+        self.error.as_ref()
+    }
+
+    /// Dismantles the tee, returning the sink and the first sink error
+    /// (if any). A `None` error means every op served was also recorded.
+    pub fn into_parts(self) -> (K, Option<CodecError>) {
+        (self.sink, self.error)
+    }
+}
+
+impl<S: TraceSource, K: TraceSink> TraceSource for Tee<S, K> {
+    #[inline]
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.source.next_op();
+        if self.error.is_none() {
+            if let Err(e) = self.sink.record(&op) {
+                self.error = Some(e);
+            }
+        }
+        op
+    }
+}
+
+/// Replays a stored trace as an infallible [`TraceSource`].
+///
+/// Construction runs [`TraceReader::verify_blocks`], so every block's CRC
+/// and op count is proven good — at checksum speed, without decoding —
+/// before the first op is served. The only ways `next_op` can fail
+/// afterwards are an I/O fault, a CRC-valid-but-undecodable payload
+/// (impossible for writer-produced files) or draining the trace past its
+/// recorded length; all indicate a harness bug and panic rather than
+/// feeding the simulator a wrong stream.
+pub struct ReplaySource<R: Read + Seek> {
+    reader: TraceReader<R>,
+    stats: StreamStats,
+}
+
+impl<R: Read + Seek> ReplaySource<R> {
+    /// Verifies `reader`'s whole trace, then positions at the first op.
+    pub fn new(mut reader: TraceReader<R>) -> Result<ReplaySource<R>, CodecError> {
+        let stats = reader.verify_blocks()?;
+        Ok(ReplaySource { reader, stats })
+    }
+
+    /// Whole-trace statistics gathered during verification.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+impl<R: Read + Seek> TraceSource for ReplaySource<R> {
+    #[inline]
+    fn next_op(&mut self) -> TraceOp {
+        self.reader
+            .next_op()
+            .expect("validated trace failed mid-replay")
+            .expect("replay ran past end of trace")
+    }
+}

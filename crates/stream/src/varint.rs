@@ -1,0 +1,149 @@
+//! LEB128 varints and zigzag signed mapping — the arithmetic under the
+//! trace codec's delta encoding.
+
+use ipsim_types::CodecError;
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_u64(mut v: u64, out: &mut Vec<u8>) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads an unsigned LEB128 varint from the front of `input`, advancing it.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when the bytes run out mid-varint and
+/// [`CodecError::VarintOverflow`] when the encoding exceeds 64 bits.
+#[inline]
+pub fn read_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+    // Fast path: most deltas in a trace are a single LEB128 byte.
+    if let Some((&byte, rest)) = input.split_first() {
+        if byte < 0x80 {
+            *input = rest;
+            return Ok(u64::from(byte));
+        }
+    }
+    read_u64_multi(input)
+}
+
+fn read_u64_multi(input: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input
+            .split_first()
+            .ok_or(CodecError::Truncated { what: "varint" })?;
+        *input = rest;
+        let low = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the top bit of a u64.
+        if shift == 63 && low > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::VarintOverflow);
+        }
+    }
+}
+
+/// Maps a signed delta onto the unsigned varint domain (small magnitudes of
+/// either sign stay short).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed delta as a zigzag varint.
+#[inline]
+pub fn write_i64(v: i64, out: &mut Vec<u8>) {
+    write_u64(zigzag(v), out);
+}
+
+/// Reads a signed zigzag varint.
+#[inline]
+pub fn read_i64(input: &mut &[u8]) -> Result<i64, CodecError> {
+    Ok(unzigzag(read_u64(input)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(v, &mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(read_u64(&mut s).unwrap(), v);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unsigned_round_trips_edge_values() {
+        for v in [0, 1, 0x7f, 0x80, 0x3fff, 0x4000, u64::MAX - 1, u64::MAX] {
+            round_trip_u(v);
+        }
+    }
+
+    #[test]
+    fn encoding_lengths_match_leb128() {
+        let len = |v: u64| {
+            let mut b = Vec::new();
+            write_u64(v, &mut b);
+            b.len()
+        };
+        assert_eq!(len(0), 1);
+        assert_eq!(len(0x7f), 1);
+        assert_eq!(len(0x80), 2);
+        assert_eq!(len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_orders_by_magnitude() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes of either sign map to small codes.
+        assert!(zigzag(-1) < 4);
+        assert!(zigzag(1) < 4);
+    }
+
+    #[test]
+    fn signed_round_trips() {
+        for v in [0i64, 4, -4, 1 << 40, -(1 << 40), i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(v, &mut buf);
+            let mut s = buf.as_slice();
+            assert_eq!(read_i64(&mut s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_are_rejected() {
+        let mut s: &[u8] = &[0x80, 0x80];
+        assert_eq!(
+            read_u64(&mut s),
+            Err(CodecError::Truncated { what: "varint" })
+        );
+        // 10 continuation bytes followed by more payload than u64 holds.
+        let mut s: &[u8] = &[0xff; 11];
+        assert_eq!(read_u64(&mut s), Err(CodecError::VarintOverflow));
+        // 10th byte carrying more than the final u64 bit.
+        let mut s: &[u8] = &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        assert_eq!(read_u64(&mut s), Err(CodecError::VarintOverflow));
+    }
+}

@@ -1,0 +1,204 @@
+//! [`TraceWriter`]: streams [`TraceOp`]s into the on-disk block format.
+//!
+//! # File layout (all integers little-endian)
+//!
+//! ```text
+//! header   "ipsimstr" | version u32 | core_id u32 | meta_len u32
+//!          | meta bytes | crc32(version..meta) u32
+//! blocks*  n_ops u32 | payload_len u32 | start_pc u64 | start_data u64
+//!          | crc32(block header fields ++ payload) u32 | payload bytes
+//! footer   "ipsimidx" | n_blocks u64 | { offset u64, n_ops u32 }*
+//!          | total_ops u64 | crc32(n_blocks..total_ops) u32
+//! trailer  footer_offset u64 | crc32(footer_offset) u32 | "ipsimend"
+//! ```
+//!
+//! Every byte of the file is covered by a CRC or is a magic string, so any
+//! single-bit corruption is *detected* rather than silently mis-decoded:
+//! the reader refuses the file instead of producing a plausible-but-wrong
+//! instruction stream. The fixed-size trailer lets a reader find the block
+//! index without scanning, which is what makes the format seekable.
+//!
+//! Blocks are cut at roughly [`BLOCK_TARGET_BYTES`] of payload, or earlier
+//! when an op's PC breaks the decode chain (see [`crate::codec`]); each
+//! block header pins the codec state so blocks decode independently.
+
+use std::io::Write;
+
+use ipsim_types::instr::TraceOp;
+use ipsim_types::{CodecError, StreamStats};
+
+use crate::codec::{self, CodecState, EncodeOutcome};
+use crate::crc32::Crc32;
+
+/// Identifies the file as an ipsim instruction trace.
+pub const FILE_MAGIC: &[u8; 8] = b"ipsimstr";
+/// Marks the start of the block index footer.
+pub const INDEX_MAGIC: &[u8; 8] = b"ipsimidx";
+/// Terminates the file; anything after this is foreign.
+pub const END_MAGIC: &[u8; 8] = b"ipsimend";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Payload size at which the current block is closed. Large enough to keep
+/// framing overhead negligible (~28 bytes per ~64 KiB), small enough that a
+/// reader never buffers much.
+pub const BLOCK_TARGET_BYTES: usize = 64 * 1024;
+
+/// Size of the fixed trailer at the end of every trace file.
+pub const TRAILER_BYTES: u64 = 8 + 4 + 8;
+
+/// One entry of the block index: where a block starts and how many ops it
+/// holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Byte offset of the block header from the start of the file.
+    pub offset: u64,
+    /// Number of ops encoded in the block.
+    pub n_ops: u32,
+}
+
+/// Streaming trace encoder over any [`Write`] destination.
+///
+/// Append ops with [`append`](TraceWriter::append) and seal the file with
+/// [`finish`](TraceWriter::finish) — a trace without its footer and trailer
+/// is rejected by the reader, so dropping a writer without finishing leaves
+/// a detectably-invalid file (this is what makes interrupted captures safe).
+pub struct TraceWriter<W: Write> {
+    out: W,
+    offset: u64,
+    index: Vec<BlockEntry>,
+    total_ops: u64,
+    payload_bytes: u64,
+    /// Codec state advanced across the whole stream; the open block's
+    /// header is derived from a snapshot of it.
+    state: CodecState,
+    block_start: CodecState,
+    block_ops: u32,
+    payload: Vec<u8>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace for `core_id`, writing the file header immediately.
+    /// `meta` is a free-form description stored verbatim (the harness puts
+    /// the workload descriptor here so a trace is self-identifying).
+    pub fn new(mut out: W, core_id: u32, meta: &str) -> Result<TraceWriter<W>, CodecError> {
+        let mut body = Vec::with_capacity(12 + meta.len());
+        body.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        body.extend_from_slice(&core_id.to_le_bytes());
+        body.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        body.extend_from_slice(meta.as_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&body);
+        out.write_all(FILE_MAGIC)?;
+        out.write_all(&body)?;
+        out.write_all(&crc.finish().to_le_bytes())?;
+        let offset = FILE_MAGIC.len() as u64 + body.len() as u64 + 4;
+        Ok(TraceWriter {
+            out,
+            offset,
+            index: Vec::new(),
+            total_ops: 0,
+            payload_bytes: 0,
+            state: CodecState::at(0, 0),
+            block_start: CodecState::at(0, 0),
+            block_ops: 0,
+            payload: Vec::with_capacity(BLOCK_TARGET_BYTES + 16),
+        })
+    }
+
+    /// Appends one op to the stream.
+    pub fn append(&mut self, op: &TraceOp) -> Result<(), CodecError> {
+        if self.block_ops == 0 {
+            // Pin the fresh block at this op; the data-delta base carries
+            // over so cross-block deltas stay short.
+            self.state.pc = op.pc.0;
+            self.block_start = self.state;
+        }
+        match codec::encode_op(&mut self.state, op, &mut self.payload) {
+            EncodeOutcome::Encoded => {}
+            EncodeOutcome::NeedsResync => {
+                self.flush_block()?;
+                self.state.pc = op.pc.0;
+                self.block_start = self.state;
+                let outcome = codec::encode_op(&mut self.state, op, &mut self.payload);
+                debug_assert_eq!(outcome, EncodeOutcome::Encoded);
+            }
+        }
+        self.block_ops += 1;
+        if self.payload.len() >= BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the open block, if any, and records it in the index.
+    fn flush_block(&mut self) -> Result<(), CodecError> {
+        if self.block_ops == 0 {
+            return Ok(());
+        }
+        let mut header = [0u8; 24];
+        header[0..4].copy_from_slice(&self.block_ops.to_le_bytes());
+        header[4..8].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        header[8..16].copy_from_slice(&self.block_start.pc.to_le_bytes());
+        header[16..24].copy_from_slice(&self.block_start.prev_data.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&header);
+        crc.update(&self.payload);
+        self.out.write_all(&header)?;
+        self.out.write_all(&crc.finish().to_le_bytes())?;
+        self.out.write_all(&self.payload)?;
+        self.index.push(BlockEntry {
+            offset: self.offset,
+            n_ops: self.block_ops,
+        });
+        self.total_ops += u64::from(self.block_ops);
+        self.payload_bytes += self.payload.len() as u64;
+        self.offset += header.len() as u64 + 4 + self.payload.len() as u64;
+        self.payload.clear();
+        self.block_ops = 0;
+        Ok(())
+    }
+
+    /// Seals the trace: flushes the last block, writes the index footer and
+    /// trailer, and returns encoding statistics.
+    pub fn finish(self) -> Result<StreamStats, CodecError> {
+        self.finish_into().map(|(_, stats)| stats)
+    }
+
+    /// Like [`finish`](TraceWriter::finish), but also hands back the
+    /// destination — useful when writing to an in-memory buffer.
+    pub fn finish_into(mut self) -> Result<(W, StreamStats), CodecError> {
+        self.flush_block()?;
+        let footer_offset = self.offset;
+        let mut body = Vec::with_capacity(16 + self.index.len() * 12);
+        body.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        for entry in &self.index {
+            body.extend_from_slice(&entry.offset.to_le_bytes());
+            body.extend_from_slice(&entry.n_ops.to_le_bytes());
+        }
+        body.extend_from_slice(&self.total_ops.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&body);
+        self.out.write_all(INDEX_MAGIC)?;
+        self.out.write_all(&body)?;
+        self.out.write_all(&crc.finish().to_le_bytes())?;
+        self.offset += INDEX_MAGIC.len() as u64 + body.len() as u64 + 4;
+
+        let off_bytes = footer_offset.to_le_bytes();
+        let mut tcrc = Crc32::new();
+        tcrc.update(&off_bytes);
+        self.out.write_all(&off_bytes)?;
+        self.out.write_all(&tcrc.finish().to_le_bytes())?;
+        self.out.write_all(END_MAGIC)?;
+        self.offset += TRAILER_BYTES;
+        self.out.flush()?;
+        let stats = StreamStats {
+            ops: self.total_ops,
+            blocks: self.index.len() as u64,
+            payload_bytes: self.payload_bytes,
+            file_bytes: self.offset,
+        };
+        Ok((self.out, stats))
+    }
+}

@@ -5,8 +5,8 @@ use ipsim_types::instr::INSTR_BYTES;
 use ipsim_types::{Addr, Rng64};
 
 use crate::profile::WorkloadProfile;
-use crate::program::{Block, FuncId, Function, Program, Terminator};
 use crate::program::TierSampler;
+use crate::program::{Block, FuncId, Function, Program, Terminator};
 
 /// Base address of synthesised code (keeps PC 0 invalid).
 const CODE_BASE: u64 = 0x1_0000;

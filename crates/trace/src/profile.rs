@@ -392,8 +392,7 @@ impl WorkloadProfile {
             "service span must be positive and fit the function count"
         );
         assert!(
-            self.code_hot_fns > 0
-                && self.code_hot_fns + self.code_warm_fns <= self.n_functions,
+            self.code_hot_fns > 0 && self.code_hot_fns + self.code_warm_fns <= self.n_functions,
             "code tiers must fit within the function count"
         );
         assert!(

@@ -144,9 +144,7 @@ impl<'p> TraceWalker<'p> {
         let n = self.prog.n_regular();
         let span = self.service_span.min(n);
         let center = self.prog.dispatch_rank(&mut self.rng);
-        self.service_base = center
-            .saturating_sub(span / 2)
-            .min(n - span);
+        self.service_base = center.saturating_sub(span / 2).min(n - span);
         self.phase_cursor = 0;
     }
 
@@ -378,6 +376,15 @@ impl Iterator for TraceWalker<'_> {
     /// The stream is infinite; `next` always returns `Some`.
     fn next(&mut self) -> Option<TraceOp> {
         Some(self.next_op())
+    }
+}
+
+/// The walker is the *live* instruction source: wrapping it in an
+/// `ipsim_stream::Tee` captures a run to disk, and a stored capture
+/// replays through `ipsim_stream::ReplaySource` as an identical stream.
+impl ipsim_stream::TraceSource for TraceWalker<'_> {
+    fn next_op(&mut self) -> TraceOp {
+        TraceWalker::next_op(self)
     }
 }
 

@@ -78,7 +78,9 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut Rng64) -> usize {
         let u = rng.f64();
         // partition_point returns the first index with cdf[i] > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 

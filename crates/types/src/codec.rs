@@ -1,0 +1,139 @@
+//! Error and statistics types for the binary trace codec (`ipsim-stream`).
+//!
+//! They live here rather than in `ipsim-stream` so that any crate can
+//! mention a codec outcome in its API without depending on the I/O layer
+//! itself (mirroring how [`crate::error::ConfigError`] serves every crate
+//! that validates configuration).
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure while encoding or decoding a binary trace stream.
+///
+/// Every variant carries enough context to say *where* a file went bad,
+/// which is what makes quarantine messages actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// An underlying I/O error (message only, so the type stays `Clone`).
+    Io(String),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file ended before a complete structure could be read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// A checksum did not match its protected bytes.
+    CrcMismatch {
+        /// Which region failed (`"header"`, `"index"`, or `"block N"`).
+        what: &'static str,
+        /// Block ordinal for block failures; 0 otherwise.
+        block: u64,
+    },
+    /// An event record used an undefined tag byte.
+    BadTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A varint ran past the 64-bit range.
+    VarintOverflow,
+    /// A block's payload decoded to a different op count than it declared.
+    CountMismatch {
+        /// Ops the structure declared.
+        expected: u64,
+        /// Ops actually found.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(msg) => write!(f, "trace i/o error: {msg}"),
+            CodecError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            CodecError::Truncated { what } => write!(f, "trace truncated while reading {what}"),
+            CodecError::CrcMismatch { what, block } => {
+                if *what == "block" {
+                    write!(f, "crc mismatch in block {block}")
+                } else {
+                    write!(f, "crc mismatch in {what}")
+                }
+            }
+            CodecError::BadTag { tag } => write!(f, "undefined event tag {tag:#04x}"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::CountMismatch { expected, found } => {
+                write!(f, "op count mismatch: declared {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> CodecError {
+        CodecError::Io(e.to_string())
+    }
+}
+
+/// Size and shape statistics for one encoded trace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Dynamic instructions (events) in the stream.
+    pub ops: u64,
+    /// Encoded blocks.
+    pub blocks: u64,
+    /// Bytes of encoded event payload (pre-framing).
+    pub payload_bytes: u64,
+    /// Total file bytes including header, block framing and index.
+    pub file_bytes: u64,
+}
+
+impl StreamStats {
+    /// Mean encoded bytes per instruction (0 for an empty stream).
+    pub fn bytes_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CodecError::BadTag { tag: 0xff }
+            .to_string()
+            .contains("0xff"));
+        assert!(CodecError::CrcMismatch {
+            what: "block",
+            block: 7
+        }
+        .to_string()
+        .contains("block 7"));
+        assert!(CodecError::Truncated { what: "footer" }
+            .to_string()
+            .contains("footer"));
+        let io: CodecError = std::io::Error::other("disk on fire").into();
+        assert!(io.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn stats_bytes_per_op() {
+        let mut s = StreamStats::default();
+        assert_eq!(s.bytes_per_op(), 0.0);
+        s.ops = 4;
+        s.payload_bytes = 10;
+        assert_eq!(s.bytes_per_op(), 2.5);
+    }
+}

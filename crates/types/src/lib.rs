@@ -12,7 +12,9 @@
 //! * [`stats`] — miss-category accounting and counter plumbing,
 //! * [`rng`] — a small, fast, seedable PRNG so every simulation is
 //!   deterministic and reproducible without external dependencies,
-//! * [`error`] — configuration error types.
+//! * [`error`] — configuration error types,
+//! * [`codec`] — error/statistics types for the binary trace codec
+//!   (`ipsim-stream`).
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod instr;
@@ -39,6 +42,7 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LineSize};
+pub use codec::{CodecError, StreamStats};
 pub use config::{CacheConfig, CoreConfig, MemConfig, SystemConfig};
 pub use error::ConfigError;
 pub use instr::{CtiClass, OpKind, TraceOp};

@@ -113,11 +113,14 @@ impl MissCategory {
     /// [`MissCategory::Sequential`].
     pub fn from_transition(prev: Option<&(Addr, OpKind)>) -> MissCategory {
         match prev {
-            Some((pc, OpKind::Cti {
-                class,
-                taken,
-                target,
-            })) => match (class, taken) {
+            Some((
+                pc,
+                OpKind::Cti {
+                    class,
+                    taken,
+                    target,
+                },
+            )) => match (class, taken) {
                 (CtiClass::CondBranch, true) => {
                     if target.0 > pc.0 {
                         MissCategory::CondTakenFwd
@@ -281,7 +284,10 @@ mod tests {
             MissCategory::from_transition(Some(&plain)),
             MissCategory::Sequential
         );
-        assert_eq!(MissCategory::from_transition(None), MissCategory::Sequential);
+        assert_eq!(
+            MissCategory::from_transition(None),
+            MissCategory::Sequential
+        );
     }
 
     #[test]

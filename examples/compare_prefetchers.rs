@@ -32,7 +32,10 @@ fn main() -> Result<(), ConfigError> {
         Some("mixed") => WorkloadSet::mixed(),
         _ => WorkloadSet::homogeneous(Workload::JApp),
     };
-    println!("4-way CMP, workload {}, bypass install policy\n", workload.name());
+    println!(
+        "4-way CMP, workload {}, bypass install policy\n",
+        workload.name()
+    );
 
     let base = run(None, InstallPolicy::InstallBoth, &workload)?;
     println!(
@@ -49,7 +52,9 @@ fn main() -> Result<(), ConfigError> {
         PrefetcherKind::NextLineTagged,
         PrefetcherKind::NextNLineTagged { n: 4 },
         PrefetcherKind::Lookahead { n: 4 },
-        PrefetcherKind::Target { table_entries: 8192 },
+        PrefetcherKind::Target {
+            table_entries: 8192,
+        },
         PrefetcherKind::discontinuity_2nl(),
         PrefetcherKind::discontinuity_default(),
     ];

@@ -28,7 +28,10 @@ fn main() -> Result<(), ConfigError> {
 
     for (label, policy) in [
         ("discontinuity, install in L2", InstallPolicy::InstallBoth),
-        ("discontinuity, bypass until useful", InstallPolicy::BypassL2UntilUseful),
+        (
+            "discontinuity, bypass until useful",
+            InstallPolicy::BypassL2UntilUseful,
+        ),
     ] {
         let mut system = SystemBuilder::cmp4()
             .prefetcher(PrefetcherKind::discontinuity_default())

@@ -16,7 +16,10 @@ fn main() -> Result<(), ConfigError> {
     let workload = WorkloadSet::homogeneous(Workload::Db);
     let (warm, measure) = (2_000_000, 5_000_000);
 
-    println!("workload: {} on a 4-way CMP (shared 2MB L2)", workload.name());
+    println!(
+        "workload: {} on a 4-way CMP (shared 2MB L2)",
+        workload.name()
+    );
 
     // Baseline: no prefetching.
     let mut baseline = SystemBuilder::cmp4().build()?;

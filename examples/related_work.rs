@@ -16,7 +16,10 @@ use ipsim::types::ConfigError;
 fn main() -> Result<(), ConfigError> {
     let workload = WorkloadSet::homogeneous(Workload::Db);
     let (warm, measure) = (2_000_000, 5_000_000);
-    println!("related-work shoot-out: {} on a 4-way CMP\n", workload.name());
+    println!(
+        "related-work shoot-out: {} on a 4-way CMP\n",
+        workload.name()
+    );
 
     let mut baseline = SystemBuilder::cmp4().build()?;
     let base = baseline.run_workload(&workload, warm, measure);
@@ -30,7 +33,9 @@ fn main() -> Result<(), ConfigError> {
     let contenders = [
         PrefetcherKind::WrongPath { next_line: false },
         PrefetcherKind::WrongPath { next_line: true },
-        PrefetcherKind::Target { table_entries: 8192 },
+        PrefetcherKind::Target {
+            table_entries: 8192,
+        },
         PrefetcherKind::Markov {
             table_entries: 8192,
             ahead: 4,

@@ -101,7 +101,9 @@ impl Options {
                         "next-4-line" => PrefetcherKind::NextNLineTagged { n: 4 },
                         "discontinuity" => PrefetcherKind::discontinuity_default(),
                         "discont-2nl" => PrefetcherKind::discontinuity_2nl(),
-                        "target" => PrefetcherKind::Target { table_entries: 8192 },
+                        "target" => PrefetcherKind::Target {
+                            table_entries: 8192,
+                        },
                         "wrong-path" => PrefetcherKind::WrongPath { next_line: true },
                         "markov" => PrefetcherKind::Markov {
                             table_entries: 8192,
@@ -190,7 +192,9 @@ fn cmd_compare(opts: &Options) {
         PrefetcherKind::NextLineTagged,
         PrefetcherKind::NextNLineTagged { n: 4 },
         PrefetcherKind::WrongPath { next_line: true },
-        PrefetcherKind::Target { table_entries: 8192 },
+        PrefetcherKind::Target {
+            table_entries: 8192,
+        },
         PrefetcherKind::Markov {
             table_entries: 8192,
             ahead: 4,

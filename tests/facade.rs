@@ -51,7 +51,10 @@ fn custom_engines_plug_into_cores() {
     assert_eq!(core.prefetcher_name(), "counting");
     let m = core.metrics();
     assert!(m.prefetch.generated > 0, "custom engine saw fetch events");
-    assert!(m.prefetch.issued > 0, "custom engine's requests were issued");
+    assert!(
+        m.prefetch.issued > 0,
+        "custom engine's requests were issued"
+    );
 }
 
 #[test]
@@ -70,7 +73,9 @@ fn every_public_prefetcher_kind_runs_end_to_end() {
             ahead: 4,
             min_confidence: 2,
         },
-        PrefetcherKind::Target { table_entries: 1024 },
+        PrefetcherKind::Target {
+            table_entries: 1024,
+        },
         PrefetcherKind::WrongPath { next_line: true },
         PrefetcherKind::Markov {
             table_entries: 1024,

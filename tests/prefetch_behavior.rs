@@ -28,7 +28,11 @@ fn scheme_ordering_matches_figure_5() {
     // Discontinuity < next-4-line < next-line on L1I misses.
     let ws = WorkloadSet::homogeneous(Workload::Db);
     let base = baseline(&ws);
-    let nl = run(PrefetcherKind::NextLineOnMiss, InstallPolicy::InstallBoth, &ws);
+    let nl = run(
+        PrefetcherKind::NextLineOnMiss,
+        InstallPolicy::InstallBoth,
+        &ws,
+    );
     let n4l = run(
         PrefetcherKind::NextNLineTagged { n: 4 },
         InstallPolicy::InstallBoth,
@@ -40,7 +44,12 @@ fn scheme_ordering_matches_figure_5() {
         &ws,
     );
     let r = |m: &SystemMetrics| m.l1i_miss_ratio_vs(&base);
-    assert!(r(&disc) < r(&n4l), "discontinuity {} vs n4l {}", r(&disc), r(&n4l));
+    assert!(
+        r(&disc) < r(&n4l),
+        "discontinuity {} vs n4l {}",
+        r(&disc),
+        r(&n4l)
+    );
     assert!(r(&n4l) < r(&nl), "n4l {} vs next-line {}", r(&n4l), r(&nl));
     assert!(r(&nl) < 1.0, "next-line must help: {}", r(&nl));
     assert!(
@@ -68,9 +77,7 @@ fn accuracy_falls_with_aggressiveness() {
     // Figure 9(i): next-line most accurate, discontinuity least; the 2NL
     // variant recovers accuracy.
     let ws = WorkloadSet::homogeneous(Workload::Db);
-    let acc = |kind| {
-        run(kind, InstallPolicy::BypassL2UntilUseful, &ws).prefetch_accuracy()
-    };
+    let acc = |kind| run(kind, InstallPolicy::BypassL2UntilUseful, &ws).prefetch_accuracy();
     let nl = acc(PrefetcherKind::NextLineOnMiss);
     let n4l = acc(PrefetcherKind::NextNLineTagged { n: 4 });
     let disc = acc(PrefetcherKind::discontinuity_default());

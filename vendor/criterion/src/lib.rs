@@ -44,11 +44,7 @@ impl Criterion {
     }
 
     /// Runs a single ungrouped benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Criterion {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
         run_one(name, f);
         self
     }
@@ -121,8 +117,8 @@ impl Bencher {
 
         // Batch enough calls that per-batch timing overhead is negligible,
         // without overshooting the window on slow routines.
-        let batch = (Duration::from_millis(5).as_nanos() / first.as_nanos())
-            .clamp(1, 1_000_000) as u64;
+        let batch =
+            (Duration::from_millis(5).as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
         let deadline = Instant::now() + TARGET;
         let mut iters = 0u64;
         let mut elapsed = Duration::ZERO;
