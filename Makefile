@@ -1,0 +1,31 @@
+# Developer entry points. Everything here is a thin wrapper over cargo;
+# CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: build test lint figures bench bench-snapshot bench-check
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q --workspace
+
+lint:
+	cargo fmt --all -- --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+figures:
+	cargo run --release -p ipsim-experiments --bin all_figures
+
+bench:
+	cargo bench -p ipsim-bench
+
+# Regenerate BENCH_sim_kernel.json (run on a quiet machine; the committed
+# "baseline" block is preserved). Commit the result so the kernel's perf
+# trajectory stays machine-readable.
+bench-snapshot:
+	cargo run --release -p ipsim-bench --bin bench_snapshot
+
+# Fail if system/* throughput regressed >10% vs the committed snapshot.
+# Widen with IPSIM_BENCH_TOLERANCE=<percent> on noisy machines.
+bench-check:
+	cargo run --release -p ipsim-bench --bin bench_snapshot -- --check

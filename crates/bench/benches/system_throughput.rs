@@ -6,8 +6,34 @@ use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{OpSource, SystemBuilder};
 use ipsim_trace::{TraceWalker, Workload};
+use ipsim_types::TraceOp;
 
 const INSTRS: u64 = 100_000;
+
+/// Serves a pre-generated op buffer, cycling — isolates the simulation
+/// kernel (core/cache/memsys) from walker generation cost.
+struct SliceSource<'a> {
+    ops: &'a [TraceOp],
+    pos: usize,
+}
+
+impl OpSource for SliceSource<'_> {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        for slot in out {
+            *slot = self.ops[self.pos];
+            self.pos += 1;
+            if self.pos == self.ops.len() {
+                self.pos = 0;
+            }
+        }
+    }
+}
 
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system");
@@ -21,6 +47,22 @@ fn bench_system(c: &mut Criterion) {
             let mut system = SystemBuilder::single_core().build().unwrap();
             let mut walker = TraceWalker::new(&prog, Workload::Web.profile(), 0, 5);
             let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+            system.run(&mut sources, INSTRS);
+            black_box(system.metrics().instructions())
+        });
+    });
+
+    group.bench_function("single_core_kernel_only_100k", |b| {
+        // Same run as the baseline bench but over pre-generated ops: the
+        // difference between the two is pure walker-generation cost.
+        let mut walker = TraceWalker::new(&prog, Workload::Web.profile(), 0, 5);
+        let ops: Vec<ipsim_types::TraceOp> = (0..INSTRS)
+            .map(|_| ipsim_stream::TraceSource::next_op(&mut walker))
+            .collect();
+        b.iter(|| {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut source = SliceSource { ops: &ops, pos: 0 };
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
             system.run(&mut sources, INSTRS);
             black_box(system.metrics().instructions())
         });

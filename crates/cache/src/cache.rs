@@ -2,7 +2,7 @@
 
 use ipsim_types::{CacheConfig, LineAddr};
 
-use crate::set::{Entry, Set};
+use crate::set::{FillSlot, FlatSets, FLAG_DIRTY, FLAG_PREFETCHED, FLAG_USED};
 use crate::stats::CacheStats;
 
 /// Result of a demand access to a [`SetAssocCache`].
@@ -50,14 +50,29 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
+impl Evicted {
+    #[inline]
+    fn from_lanes(line: LineAddr, flags: u8) -> Evicted {
+        Evicted {
+            line,
+            prefetched: flags & FLAG_PREFETCHED != 0,
+            used: flags & FLAG_USED != 0,
+            dirty: flags & FLAG_DIRTY != 0,
+        }
+    }
+}
+
 /// An LRU set-associative cache over line addresses.
 ///
 /// The cache stores no data — only presence and per-line flags — which is all
-/// a trace-driven simulator needs. See the crate docs for an example.
+/// a trace-driven simulator needs. Storage is three flat lanes (lines, flags,
+/// LRU stamps) covering every set contiguously; see [`crate::set`] for the
+/// layout and the argument that stamp order reproduces list-LRU exactly.
+/// See the crate docs for an example.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Set>,
+    sets: FlatSets,
     set_mask: u64,
     stats: CacheStats,
 }
@@ -68,9 +83,7 @@ impl SetAssocCache {
         let n_sets = config.sets() as usize;
         SetAssocCache {
             config,
-            sets: (0..n_sets)
-                .map(|_| Set::new(config.assoc() as usize))
-                .collect(),
+            sets: FlatSets::new(n_sets, config.assoc() as usize),
             set_mask: n_sets as u64 - 1,
             stats: CacheStats::default(),
         }
@@ -112,13 +125,15 @@ impl SetAssocCache {
     fn access_inner(&mut self, line: LineAddr, write: bool) -> Access {
         self.stats.accesses += 1;
         let idx = self.set_index(line);
-        match self.sets[idx].touch(line) {
-            Some(e) => {
-                let first_use = e.prefetched && !e.used;
-                e.used = true;
+        match self.sets.touch(idx, line) {
+            Some(slot) => {
+                let flags = self.sets.flags(slot);
+                let first_use = flags & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED;
+                let mut updated = flags | FLAG_USED;
                 if write {
-                    e.dirty = true;
+                    updated |= FLAG_DIRTY;
                 }
+                self.sets.set_flags(slot, updated);
                 if first_use {
                     self.stats.prefetch_first_uses += 1;
                 }
@@ -133,10 +148,89 @@ impl SetAssocCache {
         }
     }
 
+    /// A demand access fused with the fill that a miss would trigger: one
+    /// scan of the set classifies the line and, when absent and
+    /// `fill_on_miss` is given, installs it over the set's LRU victim.
+    ///
+    /// Equivalent to [`SetAssocCache::access`] (or
+    /// [`SetAssocCache::access_write`] when `write`) followed on a miss by
+    /// [`SetAssocCache::fill`] — but in a single pass over the set's lanes,
+    /// which matters for the L2: its lane arrays exceed the host's caches,
+    /// so every extra pass over a cold set costs real memory latency. A
+    /// write that misses installs the line already dirty, matching the
+    /// write-allocate-then-dirty sequence of the unfused calls. With
+    /// `fill_on_miss: None` a miss leaves the set untouched (the probe
+    /// behaviour of a plain access).
+    pub fn access_and_fill(
+        &mut self,
+        line: LineAddr,
+        write: bool,
+        fill_on_miss: Option<FillKind>,
+    ) -> (Access, Option<Evicted>) {
+        self.stats.accesses += 1;
+        let idx = self.set_index(line);
+        match self.sets.locate_for_fill(idx, line) {
+            FillSlot::Resident(slot) => {
+                self.sets.promote(slot);
+                let flags = self.sets.flags(slot);
+                let first_use = flags & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED;
+                let mut updated = flags | FLAG_USED;
+                if write {
+                    updated |= FLAG_DIRTY;
+                }
+                self.sets.set_flags(slot, updated);
+                if first_use {
+                    self.stats.prefetch_first_uses += 1;
+                }
+                (
+                    Access::Hit {
+                        first_use_of_prefetch: first_use,
+                    },
+                    None,
+                )
+            }
+            FillSlot::Vacant(slot) => {
+                self.stats.misses += 1;
+                let Some(kind) = fill_on_miss else {
+                    return (Access::Miss, None);
+                };
+                self.count_fill(kind);
+                self.sets
+                    .install(slot, line, Self::miss_fill_flags(kind, write));
+                (Access::Miss, None)
+            }
+            FillSlot::Evict(slot) => {
+                self.stats.misses += 1;
+                let Some(kind) = fill_on_miss else {
+                    return (Access::Miss, None);
+                };
+                self.count_fill(kind);
+                let victim = Evicted::from_lanes(self.sets.line(slot), self.sets.flags(slot));
+                self.stats.evictions += 1;
+                if victim.prefetched && !victim.used {
+                    self.stats.useless_prefetch_evictions += 1;
+                }
+                self.sets
+                    .install(slot, line, Self::miss_fill_flags(kind, write));
+                (Access::Miss, Some(victim))
+            }
+        }
+    }
+
+    #[inline]
+    fn miss_fill_flags(kind: FillKind, write: bool) -> u8 {
+        let mut flags = Self::fill_flags(kind);
+        if write {
+            flags |= FLAG_USED | FLAG_DIRTY;
+        }
+        flags
+    }
+
     /// A tag probe that does not disturb LRU order or statistics — what the
     /// prefetcher's filtered tag inspections do.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].peek(line).is_some()
+        self.sets.find(self.set_index(line), line).is_some()
     }
 
     /// Installs `line`, evicting the set's LRU entry when the set is full.
@@ -148,59 +242,70 @@ impl SetAssocCache {
     /// [`CacheStats::redundant_fills`]).
     pub fn fill(&mut self, line: LineAddr, kind: FillKind) -> Option<Evicted> {
         let idx = self.set_index(line);
-        if self.sets[idx].peek(line).is_some() {
-            self.stats.redundant_fills += 1;
-            // Promote, and upgrade a resident prefetched line to demand on a
-            // demand fill (the demand stream has caught up with it).
-            let e = self.sets[idx].touch(line).expect("peeked entry exists");
-            if kind == FillKind::Demand {
-                e.used = true;
+        // One fused scan classifies the fill; the old code paid a `peek`
+        // scan followed by a `touch` or `insert` scan of the same set.
+        match self.sets.locate_for_fill(idx, line) {
+            FillSlot::Resident(slot) => {
+                self.stats.redundant_fills += 1;
+                // Promote, and upgrade a resident prefetched line to demand
+                // on a demand fill (the demand stream has caught up with it).
+                self.sets.promote(slot);
+                if kind == FillKind::Demand {
+                    let flags = self.sets.flags(slot);
+                    self.sets.set_flags(slot, flags | FLAG_USED);
+                }
+                None
             }
-            return None;
+            FillSlot::Vacant(slot) => {
+                self.count_fill(kind);
+                self.sets.install(slot, line, Self::fill_flags(kind));
+                None
+            }
+            FillSlot::Evict(slot) => {
+                self.count_fill(kind);
+                let victim = Evicted::from_lanes(self.sets.line(slot), self.sets.flags(slot));
+                self.stats.evictions += 1;
+                if victim.prefetched && !victim.used {
+                    self.stats.useless_prefetch_evictions += 1;
+                }
+                self.sets.install(slot, line, Self::fill_flags(kind));
+                Some(victim)
+            }
         }
+    }
+
+    #[inline]
+    fn count_fill(&mut self, kind: FillKind) {
         match kind {
             FillKind::Demand => self.stats.demand_fills += 1,
             FillKind::Prefetch => self.stats.prefetch_fills += 1,
         }
-        let victim = self.sets[idx].insert(Entry {
-            line,
-            prefetched: kind == FillKind::Prefetch,
-            used: kind == FillKind::Demand,
-            dirty: false,
-        });
-        victim.map(|v| {
-            self.stats.evictions += 1;
-            if v.prefetched && !v.used {
-                self.stats.useless_prefetch_evictions += 1;
-            }
-            Evicted {
-                line: v.line,
-                prefetched: v.prefetched,
-                used: v.used,
-                dirty: v.dirty,
-            }
-        })
+    }
+
+    #[inline]
+    fn fill_flags(kind: FillKind) -> u8 {
+        match kind {
+            FillKind::Demand => FLAG_USED,
+            FillKind::Prefetch => FLAG_PREFETCHED,
+        }
     }
 
     /// Removes `line` if resident, returning its flags.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         let idx = self.set_index(line);
-        self.sets[idx].invalidate(line).map(|v| Evicted {
-            line: v.line,
-            prefetched: v.prefetched,
-            used: v.used,
-            dirty: v.dirty,
-        })
+        self.sets
+            .invalidate(idx, line)
+            .map(|flags| Evicted::from_lanes(line, flags))
     }
 
     /// Number of currently resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.sets.resident()
     }
 
     /// Iterates all resident lines (diagnostics / tests).
     pub fn iter_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets.iter().flat_map(|s| s.iter().map(|e| e.line))
+        self.sets.iter_resident().map(|(line, _)| line)
     }
 }
 

@@ -42,6 +42,10 @@ pub struct MshrEntry {
 pub struct Mshr {
     entries: Vec<MshrEntry>,
     capacity: usize,
+    /// Earliest `ready_at` among `entries` (`Cycle::MAX` when empty),
+    /// maintained on insert/retire so the per-access retirement check in
+    /// the simulation loop is one comparison instead of a scan.
+    next_ready: Cycle,
 }
 
 impl Mshr {
@@ -56,6 +60,7 @@ impl Mshr {
         Mshr {
             entries: Vec::with_capacity(capacity),
             capacity,
+            next_ready: Cycle::MAX,
         }
     }
 
@@ -76,6 +81,7 @@ impl Mshr {
             prefetch,
             demand_merged: !prefetch,
         });
+        self.next_ready = self.next_ready.min(ready_at);
         true
     }
 
@@ -90,15 +96,28 @@ impl Mshr {
     /// Removes and returns every fill that has completed by `now`.
     pub fn retire_ready(&mut self, now: Cycle) -> Vec<MshrEntry> {
         let mut done = Vec::new();
+        self.retire_ready_into(now, &mut done);
+        done
+    }
+
+    /// Like [`Mshr::retire_ready`], but appends into a caller-owned buffer
+    /// — the hot simulation loop reuses one buffer per core so retiring
+    /// fills never allocates.
+    pub fn retire_ready_into(&mut self, now: Cycle, done: &mut Vec<MshrEntry>) {
+        if now < self.next_ready {
+            return;
+        }
+        let mut remaining_min = Cycle::MAX;
         self.entries.retain(|e| {
             if e.ready_at <= now {
                 done.push(*e);
                 false
             } else {
+                remaining_min = remaining_min.min(e.ready_at);
                 true
             }
         });
-        done
+        self.next_ready = remaining_min;
     }
 
     /// Number of outstanding fills.
@@ -118,7 +137,14 @@ impl Mshr {
 
     /// Earliest completion time among outstanding fills.
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.entries.iter().map(|e| e.ready_at).min()
+        (self.next_ready != Cycle::MAX).then_some(self.next_ready)
+    }
+
+    /// `true` when no outstanding fill has completed by `now` — the O(1)
+    /// common case the simulation loop checks before draining.
+    #[inline]
+    pub fn none_ready(&self, now: Cycle) -> bool {
+        now < self.next_ready
     }
 }
 

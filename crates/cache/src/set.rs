@@ -1,79 +1,171 @@
-//! A single cache set with true-LRU replacement.
+//! Flat, data-oriented storage for a cache's sets.
+//!
+//! Instead of one `Vec<Entry>` per set (a pointer chase per access plus
+//! `remove`/`insert(0)` memmoves to maintain list-order LRU), every set in
+//! the cache lives in three contiguous lanes sized `n_sets * ways`:
+//!
+//! * `lines`  — full line addresses ([`INVALID_LINE`] marks an empty way),
+//! * `flags`  — per-line bookkeeping bits (prefetched / used / dirty),
+//! * `stamps` — LRU stamps from one monotonically increasing counter.
+//!
+//! A set is the slice `[set * ways, set * ways + ways)` of each lane. Hits
+//! promote by writing a fresh stamp (one store, no data movement); the
+//! eviction victim is the minimum stamp. Because every insert and every
+//! promotion takes a unique, strictly increasing stamp, stamp order is
+//! exactly the recency order the old list maintained — the victim choice
+//! (and therefore every simulated figure) is bit-for-bit unchanged, which
+//! `tests/properties.rs` proves against a list-based reference model.
 
 use ipsim_types::LineAddr;
 
-/// One resident cache line's bookkeeping.
+/// Sentinel marking an empty way. Real line addresses come from realistic
+/// PC/target ranges and never reach `u64::MAX` (the recent-fetch filter in
+/// `ipsim-core` relies on the same convention).
+pub(crate) const INVALID_LINE: LineAddr = LineAddr(u64::MAX);
+
+/// Line was brought in by a prefetch (any level) rather than a demand miss.
+pub(crate) const FLAG_PREFETCHED: u8 = 1 << 0;
+/// Line was demand-referenced since it was filled.
+pub(crate) const FLAG_USED: u8 = 1 << 1;
+/// Line was written since it was filled.
+pub(crate) const FLAG_DIRTY: u8 = 1 << 2;
+
+/// Where a fill should go, from one fused scan of the set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Entry {
-    /// Full line address (we store the whole line address instead of a tag;
-    /// the set index is implied by the container).
-    pub line: LineAddr,
-    /// Filled by a prefetch (any level) rather than a demand miss.
-    pub prefetched: bool,
-    /// Demand-referenced since it was filled.
-    pub used: bool,
-    /// Written since it was filled.
-    pub dirty: bool,
+pub(crate) enum FillSlot {
+    /// The line is already resident at this slot (redundant fill).
+    Resident(usize),
+    /// The set has a free way at this slot.
+    Vacant(usize),
+    /// The set is full; this slot holds the LRU victim.
+    Evict(usize),
 }
 
-/// A cache set: a small vector of entries kept in LRU order
-/// (index 0 = most recently used, last = least recently used).
+/// All sets of one cache, stored as struct-of-arrays lanes.
 #[derive(Debug, Clone)]
-pub(crate) struct Set {
-    entries: Vec<Entry>,
+pub(crate) struct FlatSets {
+    lines: Box<[LineAddr]>,
+    flags: Box<[u8]>,
+    stamps: Box<[u64]>,
     ways: usize,
+    next_stamp: u64,
 }
 
-impl Set {
-    pub(crate) fn new(ways: usize) -> Set {
-        Set {
-            entries: Vec::with_capacity(ways),
+impl FlatSets {
+    pub(crate) fn new(n_sets: usize, ways: usize) -> FlatSets {
+        let slots = n_sets * ways;
+        FlatSets {
+            lines: vec![INVALID_LINE; slots].into_boxed_slice(),
+            flags: vec![0u8; slots].into_boxed_slice(),
+            stamps: vec![0u64; slots].into_boxed_slice(),
             ways,
+            next_stamp: 1,
         }
     }
 
-    /// Finds `line` without touching LRU order.
-    pub(crate) fn peek(&self, line: LineAddr) -> Option<&Entry> {
-        self.entries.iter().find(|e| e.line == line)
+    /// The line resident at `slot` ([`INVALID_LINE`] if the way is empty).
+    #[inline]
+    pub(crate) fn line(&self, slot: usize) -> LineAddr {
+        self.lines[slot]
     }
 
-    /// Finds `line` and promotes it to MRU, returning a mutable reference.
-    pub(crate) fn touch(&mut self, line: LineAddr) -> Option<&mut Entry> {
-        let pos = self.entries.iter().position(|e| e.line == line)?;
-        let entry = self.entries.remove(pos);
-        self.entries.insert(0, entry);
-        Some(&mut self.entries[0])
+    /// The flag bits of the line at `slot`.
+    #[inline]
+    pub(crate) fn flags(&self, slot: usize) -> u8 {
+        self.flags[slot]
     }
 
-    /// Inserts `entry` at MRU, evicting the LRU entry if the set is full.
-    /// Must not be called when `entry.line` is already resident.
-    pub(crate) fn insert(&mut self, entry: Entry) -> Option<Entry> {
-        debug_assert!(
-            self.peek(entry.line).is_none(),
-            "inserting already-resident line {}",
-            entry.line
-        );
-        let victim = if self.entries.len() == self.ways {
-            self.entries.pop()
+    /// Overwrites the flag bits of the line at `slot`.
+    #[inline]
+    pub(crate) fn set_flags(&mut self, slot: usize, flags: u8) {
+        self.flags[slot] = flags;
+    }
+
+    /// Finds `line` in `set` without touching LRU order (tag probe).
+    #[inline]
+    pub(crate) fn find(&self, set: usize, line: LineAddr) -> Option<usize> {
+        let base = set * self.ways;
+        let lane = &self.lines[base..base + self.ways];
+        lane.iter().position(|&l| l == line).map(|w| base + w)
+    }
+
+    /// Finds `line` in `set` and promotes it to MRU, returning its slot.
+    #[inline]
+    pub(crate) fn touch(&mut self, set: usize, line: LineAddr) -> Option<usize> {
+        let slot = self.find(set, line)?;
+        self.promote(slot);
+        Some(slot)
+    }
+
+    /// Stamps `slot` as the most recently used way of its set.
+    #[inline]
+    pub(crate) fn promote(&mut self, slot: usize) {
+        self.stamps[slot] = self.next_stamp;
+        self.next_stamp += 1;
+    }
+
+    /// One fused scan deciding where a fill of `line` lands: resident hit,
+    /// first vacant way, or the minimum-stamp (LRU) victim.
+    #[inline]
+    pub(crate) fn locate_for_fill(&self, set: usize, line: LineAddr) -> FillSlot {
+        let base = set * self.ways;
+        let mut vacant = usize::MAX;
+        let mut lru_slot = base;
+        let mut lru_stamp = u64::MAX;
+        for slot in base..base + self.ways {
+            let resident = self.lines[slot];
+            if resident == line {
+                return FillSlot::Resident(slot);
+            }
+            if resident == INVALID_LINE {
+                if vacant == usize::MAX {
+                    vacant = slot;
+                }
+            } else if self.stamps[slot] < lru_stamp {
+                lru_stamp = self.stamps[slot];
+                lru_slot = slot;
+            }
+        }
+        if vacant != usize::MAX {
+            FillSlot::Vacant(vacant)
         } else {
-            None
-        };
-        self.entries.insert(0, entry);
-        victim
+            FillSlot::Evict(lru_slot)
+        }
     }
 
-    /// Removes `line` if resident.
-    pub(crate) fn invalidate(&mut self, line: LineAddr) -> Option<Entry> {
-        let pos = self.entries.iter().position(|e| e.line == line)?;
-        Some(self.entries.remove(pos))
+    /// Writes `line` with `flags` into `slot` and stamps it MRU. The
+    /// previous occupant (if any) is simply overwritten — the caller reads
+    /// victim state out of the lanes first.
+    #[inline]
+    pub(crate) fn install(&mut self, slot: usize, line: LineAddr, flags: u8) {
+        debug_assert_ne!(line, INVALID_LINE, "installing the sentinel line");
+        self.lines[slot] = line;
+        self.flags[slot] = flags;
+        self.promote(slot);
     }
 
-    pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+    /// Removes `line` from `set` if resident, returning its flag bits.
+    pub(crate) fn invalidate(&mut self, set: usize, line: LineAddr) -> Option<u8> {
+        let slot = self.find(set, line)?;
+        let flags = self.flags[slot];
+        self.lines[slot] = INVALID_LINE;
+        self.flags[slot] = 0;
+        self.stamps[slot] = 0;
+        Some(flags)
     }
 
-    pub(crate) fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter()
+    /// Number of resident lines across all sets.
+    pub(crate) fn resident(&self) -> usize {
+        self.lines.iter().filter(|&&l| l != INVALID_LINE).count()
+    }
+
+    /// Iterates all resident lines with their flags (diagnostics / tests).
+    pub(crate) fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, u8)> + '_ {
+        self.lines
+            .iter()
+            .zip(self.flags.iter())
+            .filter(|(&l, _)| l != INVALID_LINE)
+            .map(|(&l, &f)| (l, f))
     }
 }
 
@@ -81,63 +173,86 @@ impl Set {
 mod tests {
     use super::*;
 
-    fn entry(l: u64) -> Entry {
-        Entry {
-            line: LineAddr(l),
-            prefetched: false,
-            used: false,
-            dirty: false,
+    /// Fills `line` into set 0 the way the cache does, returning the
+    /// evicted line (if any).
+    fn insert(s: &mut FlatSets, line: u64) -> Option<LineAddr> {
+        match s.locate_for_fill(0, LineAddr(line)) {
+            FillSlot::Resident(_) => panic!("line {line} already resident"),
+            FillSlot::Vacant(slot) => {
+                s.install(slot, LineAddr(line), 0);
+                None
+            }
+            FillSlot::Evict(slot) => {
+                let victim = s.line(slot);
+                s.install(slot, LineAddr(line), 0);
+                Some(victim)
+            }
         }
     }
 
     #[test]
     fn insert_until_full_then_evict_lru() {
-        let mut s = Set::new(2);
-        assert_eq!(s.insert(entry(1)), None);
-        assert_eq!(s.insert(entry(2)), None);
+        let mut s = FlatSets::new(1, 2);
+        assert_eq!(insert(&mut s, 1), None);
+        assert_eq!(insert(&mut s, 2), None);
         // 2 is MRU, 1 is LRU; inserting 3 evicts 1.
-        let v = s.insert(entry(3)).unwrap();
-        assert_eq!(v.line, LineAddr(1));
-        assert_eq!(s.len(), 2);
+        assert_eq!(insert(&mut s, 3), Some(LineAddr(1)));
+        assert_eq!(s.resident(), 2);
     }
 
     #[test]
     fn touch_promotes_to_mru() {
-        let mut s = Set::new(2);
-        s.insert(entry(1));
-        s.insert(entry(2));
-        s.touch(LineAddr(1)).unwrap();
+        let mut s = FlatSets::new(1, 2);
+        insert(&mut s, 1);
+        insert(&mut s, 2);
+        s.touch(0, LineAddr(1)).unwrap();
         // Now 2 is LRU.
-        let v = s.insert(entry(3)).unwrap();
-        assert_eq!(v.line, LineAddr(2));
+        assert_eq!(insert(&mut s, 3), Some(LineAddr(2)));
     }
 
     #[test]
-    fn peek_does_not_promote() {
-        let mut s = Set::new(2);
-        s.insert(entry(1));
-        s.insert(entry(2));
-        assert!(s.peek(LineAddr(1)).is_some());
-        let v = s.insert(entry(3)).unwrap();
-        assert_eq!(v.line, LineAddr(1), "peek must not promote");
+    fn find_does_not_promote() {
+        let mut s = FlatSets::new(1, 2);
+        insert(&mut s, 1);
+        insert(&mut s, 2);
+        assert!(s.find(0, LineAddr(1)).is_some());
+        assert_eq!(
+            insert(&mut s, 3),
+            Some(LineAddr(1)),
+            "find must not promote"
+        );
     }
 
     #[test]
-    fn invalidate_removes() {
-        let mut s = Set::new(4);
-        s.insert(entry(1));
-        s.insert(entry(2));
-        assert!(s.invalidate(LineAddr(1)).is_some());
-        assert!(s.peek(LineAddr(1)).is_none());
-        assert!(s.invalidate(LineAddr(1)).is_none());
-        assert_eq!(s.len(), 1);
+    fn invalidate_removes_and_frees_the_way() {
+        let mut s = FlatSets::new(1, 4);
+        insert(&mut s, 1);
+        insert(&mut s, 2);
+        assert!(s.invalidate(0, LineAddr(1)).is_some());
+        assert!(s.find(0, LineAddr(1)).is_none());
+        assert!(s.invalidate(0, LineAddr(1)).is_none());
+        assert_eq!(s.resident(), 1);
+        // The freed way is reused without evicting anyone.
+        assert_eq!(insert(&mut s, 3), None);
     }
 
     #[test]
     fn direct_mapped_set_replaces_immediately() {
-        let mut s = Set::new(1);
-        s.insert(entry(1));
-        let v = s.insert(entry(2)).unwrap();
-        assert_eq!(v.line, LineAddr(1));
+        let mut s = FlatSets::new(1, 1);
+        insert(&mut s, 1);
+        assert_eq!(insert(&mut s, 2), Some(LineAddr(1)));
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let mut s = FlatSets::new(1, 2);
+        let slot = match s.locate_for_fill(0, LineAddr(7)) {
+            FillSlot::Vacant(slot) => slot,
+            _ => unreachable!(),
+        };
+        s.install(slot, LineAddr(7), FLAG_PREFETCHED);
+        assert_eq!(s.flags(slot), FLAG_PREFETCHED);
+        s.set_flags(slot, FLAG_PREFETCHED | FLAG_USED | FLAG_DIRTY);
+        assert_eq!(s.invalidate(0, LineAddr(7)), Some(0b111));
     }
 }

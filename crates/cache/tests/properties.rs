@@ -38,18 +38,29 @@ impl RefCache {
         }
     }
 
-    fn fill(&mut self, line: u64) {
+    /// Fills `line`, returning the evicted LRU line if the set was full —
+    /// the old `Vec`-based `Set` semantics the flat lanes must reproduce.
+    fn fill(&mut self, line: u64) -> Option<u64> {
         let ways = self.ways;
         let set = self.set(line);
         if let Some(pos) = set.iter().position(|&l| l == line) {
             let v = set.remove(pos).unwrap();
             set.push_front(v);
-            return;
+            return None;
         }
-        if set.len() == ways {
-            set.pop_back();
-        }
+        let victim = if set.len() == ways {
+            set.pop_back()
+        } else {
+            None
+        };
         set.push_front(line);
+        victim
+    }
+
+    fn resident_sorted(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self.sets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
     }
 
     fn probe(&mut self, line: u64) -> bool {
@@ -93,8 +104,12 @@ proptest! {
                 }
                 Op::Fill(l, p) => {
                     let kind = if p { FillKind::Prefetch } else { FillKind::Demand };
-                    dut.fill(LineAddr(l), kind);
-                    re.fill(l);
+                    // The victim must be the exact line the list-LRU
+                    // reference evicts — not just "some line of the set".
+                    // This is what makes stamp-based LRU provably
+                    // order-equivalent to the old `Vec`-based `Set`.
+                    let victim = dut.fill(LineAddr(l), kind).map(|v| v.line.0);
+                    prop_assert_eq!(victim, re.fill(l), "fill {} victim", l);
                 }
                 Op::Probe(l) => {
                     prop_assert_eq!(dut.probe(LineAddr(l)), re.probe(l), "probe {}", l);
@@ -109,6 +124,34 @@ proptest! {
             }
             prop_assert!(dut.resident_lines() <= 8);
         }
+        // Same resident population at the end, not merely the same count.
+        let mut dut_lines: Vec<u64> = dut.iter_lines().map(|l| l.0).collect();
+        dut_lines.sort_unstable();
+        prop_assert_eq!(dut_lines, re.resident_sorted());
+    }
+
+    /// Pure fill/touch streams (no invalidations) drive every set through
+    /// full-capacity churn; the eviction *sequence* must match the
+    /// reference model exactly, element for element.
+    #[test]
+    fn eviction_sequence_matches_reference(stream in prop::collection::vec(0u64..48, 1..600)) {
+        let mut dut = SetAssocCache::new(CacheConfig::new(512, 2, 64).unwrap());
+        let mut re = RefCache::new(4, 2);
+        let mut dut_evictions = Vec::new();
+        let mut ref_evictions = Vec::new();
+        for (i, &l) in stream.iter().enumerate() {
+            if i % 3 == 0 {
+                // Interleave demand accesses so LRU promotion order matters.
+                dut.access(LineAddr(l));
+                re.access(l);
+            } else if let Some(v) = dut.fill(LineAddr(l), FillKind::Demand) {
+                dut_evictions.push(v.line.0);
+                ref_evictions.push(re.fill(l).expect("reference also evicts"));
+            } else {
+                prop_assert_eq!(re.fill(l), None, "reference evicted but cache did not");
+            }
+        }
+        prop_assert_eq!(dut_evictions, ref_evictions);
     }
 
     /// A prefetched line reports first-use exactly once, whatever happens

@@ -111,8 +111,14 @@ impl BranchUnit {
         ((pc.0 >> 2) & self.btb_mask) as usize
     }
 
+    // The stack depth is a runtime configuration value, so wrap-around is
+    // a compare instead of a `%` (which would be a hardware divide on the
+    // hot call/return path).
     fn ras_push(&mut self, addr: Addr) {
-        self.ras_top = (self.ras_top + 1) % self.ras.len();
+        self.ras_top += 1;
+        if self.ras_top == self.ras.len() {
+            self.ras_top = 0;
+        }
         self.ras[self.ras_top] = addr;
         self.ras_depth = (self.ras_depth + 1).min(self.ras.len());
     }
@@ -122,7 +128,11 @@ impl BranchUnit {
             return None;
         }
         let v = self.ras[self.ras_top];
-        self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
+        self.ras_top = if self.ras_top == 0 {
+            self.ras.len() - 1
+        } else {
+            self.ras_top - 1
+        };
         self.ras_depth -= 1;
         Some(v)
     }

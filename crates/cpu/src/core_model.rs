@@ -1,12 +1,10 @@
 //! One out-of-order core: fetch, branch prediction, data path and the
 //! prefetch issue pipeline, in a cycle-accounting model.
 
-use std::collections::HashMap;
-
 use ipsim_cache::{Access, FillKind, Mshr, SetAssocCache};
 use ipsim_core::{
-    FetchEvent, PrefetchEngine, PrefetchQueue, PrefetchRequest, PrefetchSource, PrefetchStats,
-    PrefetcherKind, RecentFetchFilter,
+    FetchEvent, PrefetchEngine, PrefetchQueue, PrefetchRequest, PrefetchStats, PrefetcherKind,
+    RecentFetchFilter,
 };
 use ipsim_types::addr::LineSize;
 use ipsim_types::instr::OpKind;
@@ -18,6 +16,7 @@ use crate::limit::LimitSpec;
 use crate::memsys::MemSystem;
 use crate::metrics::CoreMetrics;
 use crate::mlp::MlpWindow;
+use crate::pf_table::PfSourceTable;
 use crate::tlb::Tlb;
 
 /// Prefetch-queue slots per core (paper Section 5).
@@ -60,13 +59,17 @@ pub struct Core {
     engine: Box<dyn PrefetchEngine>,
     queue: PrefetchQueue,
     filter: RecentFetchFilter,
-    pf_sources: HashMap<LineAddr, PrefetchSource>,
+    pf_sources: PfSourceTable,
     pf_stats: PrefetchStats,
     req_buf: Vec<PrefetchRequest>,
+    retire_buf: Vec<ipsim_cache::MshrEntry>,
 
     cur_line: Option<LineAddr>,
     prev_line: Option<LineAddr>,
-    prev_op: Option<(Addr, OpKind)>,
+    /// Miss category a fetch transition would be charged to, given the
+    /// previously executed instruction. Precomputed each step so the
+    /// fetch path reads one byte instead of re-classifying a stored op.
+    prev_cat: MissCategory,
 
     // Measurement window baselines (set by reset_stats).
     start_clock: Cycle,
@@ -118,12 +121,18 @@ impl Core {
             engine,
             queue: PrefetchQueue::new(PREFETCH_QUEUE_ENTRIES),
             filter: RecentFetchFilter::new(RECENT_FILTER_ENTRIES),
-            pf_sources: HashMap::new(),
+            // An attribution is live only while its line sits in the
+            // instruction MSHR or the L1I, so this bound cannot be
+            // exceeded (the table panics if that invariant ever breaks).
+            pf_sources: PfSourceTable::with_bound(
+                config.l1i.lines() as usize + config.mshrs as usize,
+            ),
             pf_stats: PrefetchStats::default(),
             req_buf: Vec::with_capacity(16),
+            retire_buf: Vec::with_capacity(config.mshrs as usize),
             cur_line: None,
             prev_line: None,
-            prev_op: None,
+            prev_cat: MissCategory::Sequential,
             start_clock: 0,
             start_idx: 0,
             line_fetches: 0,
@@ -152,6 +161,15 @@ impl Core {
     /// The prefetch engine's display name.
     pub fn prefetcher_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// Live prefetch attributions and the table's fixed slot count —
+    /// diagnostics for the boundedness regression test. Live entries can
+    /// never exceed `l1i_lines + mshr_entries` (the table panics if they
+    /// would).
+    #[doc(hidden)]
+    pub fn pf_attribution_usage(&self) -> (usize, usize) {
+        (self.pf_sources.len(), self.pf_sources.capacity())
     }
 
     /// Executes one instruction, advancing the local clock.
@@ -210,7 +228,21 @@ impl Core {
         // Honour the ROB window for outstanding data misses.
         self.clock = self.mlp.advance(self.idx, self.clock);
 
-        self.prev_op = Some((op.pc, op.kind));
+        self.prev_cat = if matches!(op.kind, OpKind::Cti { .. }) {
+            MissCategory::from_transition(Some(&(op.pc, op.kind)))
+        } else {
+            MissCategory::Sequential
+        };
+    }
+
+    /// Executes a block of instructions in order — exactly equivalent to
+    /// calling [`Core::step`] on each. The scheduler pulls ops from a
+    /// source a quantum at a time and hands them over here so the per-op
+    /// path is all static calls.
+    pub fn step_block(&mut self, ops: &[TraceOp], mem: &mut MemSystem) {
+        for &op in ops {
+            self.step(op, mem);
+        }
     }
 
     /// Processes a fetch-stream transition to `line`.
@@ -221,7 +253,7 @@ impl Core {
         }
         self.drain_i_mshr(mem);
 
-        let category = MissCategory::from_transition(self.prev_op.as_ref());
+        let category = self.prev_cat;
         let mut ev = FetchEvent {
             line,
             miss: false,
@@ -341,7 +373,13 @@ impl Core {
 
     /// Retires completed instruction fills into the L1I.
     fn drain_i_mshr(&mut self, mem: &mut MemSystem) {
-        for entry in self.i_mshr.retire_ready(self.clock) {
+        if self.i_mshr.none_ready(self.clock) {
+            return;
+        }
+        let mut retired = std::mem::take(&mut self.retire_buf);
+        retired.clear();
+        self.i_mshr.retire_ready_into(self.clock, &mut retired);
+        for entry in retired.iter().copied() {
             let kind = if entry.prefetch && !entry.demand_merged {
                 FillKind::Prefetch
             } else {
@@ -356,6 +394,7 @@ impl Core {
             }
             self.install_l1i(entry.line, kind, mem);
         }
+        self.retire_buf = retired;
     }
 
     /// Installs a line into the L1I, applying the selective L2-install
@@ -367,7 +406,7 @@ impl Core {
                 // being used; install it in the L2 when the L1I evicts it.
                 mem.install_useful_instr_line(victim.line);
             }
-            if let Some(source) = self.pf_sources.remove(&victim.line) {
+            if let Some(source) = self.pf_sources.remove(victim.line) {
                 if victim.prefetched && !victim.used {
                     self.engine.on_prefetch_useless(victim.line, source);
                 }
@@ -381,11 +420,12 @@ impl Core {
         if late {
             self.pf_stats.late += 1;
         }
-        if let Some(source) = self.pf_sources.remove(&line) {
+        if let Some(source) = self.pf_sources.remove(line) {
             self.engine.on_prefetch_useful(line, source);
         }
     }
 
+    #[inline]
     fn do_load(&mut self, addr: Addr, mem: &mut MemSystem) {
         self.l1d_accesses += 1;
         if let Some(tlb) = &mut self.dtlb {
@@ -413,6 +453,7 @@ impl Core {
         self.mlp.note_miss(self.idx, ready);
     }
 
+    #[inline]
     fn do_store(&mut self, addr: Addr, mem: &mut MemSystem) {
         self.l1d_accesses += 1;
         if let Some(tlb) = &mut self.dtlb {
@@ -437,10 +478,18 @@ impl Core {
     }
 
     /// Retires completed data fills into the L1D.
+    #[inline]
     fn drain_d_mshr(&mut self) {
-        for entry in self.d_mshr.retire_ready(self.clock) {
+        if self.d_mshr.none_ready(self.clock) {
+            return;
+        }
+        let mut retired = std::mem::take(&mut self.retire_buf);
+        retired.clear();
+        self.d_mshr.retire_ready_into(self.clock, &mut retired);
+        for entry in retired.iter().copied() {
             self.l1d.fill(entry.line, FillKind::Demand);
         }
+        self.retire_buf = retired;
     }
 
     /// Resets measurement counters (end of warm-up); microarchitectural

@@ -53,6 +53,7 @@ mod limit;
 mod memsys;
 mod metrics;
 mod mlp;
+mod pf_table;
 mod system;
 mod tlb;
 

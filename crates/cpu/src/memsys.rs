@@ -89,7 +89,12 @@ impl MemSystem {
     }
 
     fn fill_l2(&mut self, line: LineAddr, kind: FillKind) {
-        if let Some(victim) = self.l2.fill(line, kind) {
+        let victim = self.l2.fill(line, kind);
+        self.writeback_victim(victim);
+    }
+
+    fn writeback_victim(&mut self, victim: Option<ipsim_cache::Evicted>) {
+        if let Some(victim) = victim {
             if victim.dirty {
                 // Dirty data evicted by the install: write it back,
                 // consuming off-chip bandwidth.
@@ -109,13 +114,15 @@ impl MemSystem {
         category: MissCategory,
     ) -> Cycle {
         self.stats.l2_instr_accesses += 1;
-        if self.l2.access(line).is_hit() {
+        // Demand instruction fills always install in the L2; the fused
+        // access classifies and installs in one pass over the set.
+        let (access, victim) = self.l2.access_and_fill(line, false, Some(FillKind::Demand));
+        if access.is_hit() {
             now + self.l2_latency
         } else {
             self.stats.l2_instr_misses[category] += 1;
             let ready = self.bus.request(now, self.mem_latency);
-            // Demand instruction fills always install in the L2.
-            self.fill_l2(line, FillKind::Demand);
+            self.writeback_victim(victim);
             ready
         }
     }
@@ -125,14 +132,17 @@ impl MemSystem {
     /// prefetch is *not* installed in the L2.
     pub fn prefetch_instr_line(&mut self, line: LineAddr, now: Cycle) -> Cycle {
         self.stats.l2_prefetch_accesses += 1;
-        if self.l2.access(line).is_hit() {
+        let fill = self
+            .policy
+            .installs_prefetch_in_l2()
+            .then_some(FillKind::Prefetch);
+        let (access, victim) = self.l2.access_and_fill(line, false, fill);
+        if access.is_hit() {
             now + self.l2_latency
         } else {
             self.stats.l2_prefetch_misses += 1;
             let ready = self.bus.request(now, self.mem_latency);
-            if self.policy.installs_prefetch_in_l2() {
-                self.fill_l2(line, FillKind::Prefetch);
-            }
+            self.writeback_victim(victim);
             ready
         }
     }
@@ -157,20 +167,13 @@ impl MemSystem {
     /// completion time.
     pub fn access_data_line(&mut self, line: LineAddr, write: bool, now: Cycle) -> Cycle {
         self.stats.l2_data_accesses += 1;
-        let access = if write {
-            self.l2.access_write(line)
-        } else {
-            self.l2.access(line)
-        };
+        let (access, victim) = self.l2.access_and_fill(line, write, Some(FillKind::Demand));
         if access.is_hit() {
             now + self.l2_latency
         } else {
             self.stats.l2_data_misses += 1;
             let ready = self.bus.request(now, self.mem_latency);
-            self.fill_l2(line, FillKind::Demand);
-            if write {
-                self.l2.access_write(line);
-            }
+            self.writeback_victim(victim);
             ready
         }
     }

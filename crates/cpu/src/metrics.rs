@@ -62,12 +62,28 @@ pub struct SystemMetrics {
     pub bus_transfers: u64,
     /// Cycles spent queueing for the bus during measurement.
     pub bus_queue_cycles: f64,
+    /// Host wall-clock seconds spent inside the measured run (0 when the
+    /// metrics were not produced by a timed entry point). Host-side
+    /// observability only — no simulated quantity depends on it.
+    pub sim_wall_seconds: f64,
 }
 
 impl SystemMetrics {
     /// Total instructions retired across cores.
     pub fn instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Simulation speed in millions of simulated instructions per host
+    /// wall-clock second (0 when the run was not timed). The kernel
+    /// throughput number tracked by the bench snapshot and the harness
+    /// runlog.
+    pub fn sim_mips(&self) -> f64 {
+        if self.sim_wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions() as f64 / 1e6 / self.sim_wall_seconds
+        }
     }
 
     /// Aggregate throughput: the sum of per-core IPCs. For a single core

@@ -271,3 +271,50 @@ fn memconfig_bandwidth_affects_serial_miss_cost() {
     let slow = run(0.5);
     assert!(slow > fast, "slow {slow} vs fast {fast}");
 }
+
+#[test]
+fn prefetch_attribution_stays_bounded_over_long_runs() {
+    // Regression test for the unbounded `pf_sources` map: attribution
+    // entries must be reclaimed when their line is used or evicted, so the
+    // live count can never exceed l1i_lines + mshr_entries no matter how
+    // long the run is or how aggressively the prefetcher fires. Drive a
+    // code footprint far larger than the L1I with a discontinuity-heavy
+    // walk so lines are constantly prefetched, filled and evicted.
+    let config = SystemConfig::single_core();
+    let bound = config.core.l1i.lines() as usize + config.core.mshrs as usize;
+    let mut core = Core::new(
+        0,
+        &config.core,
+        PrefetcherKind::Discontinuity {
+            table_entries: 128,
+            ahead: 4,
+        },
+        None,
+    );
+    let mut mem = MemSystem::new(&config.mem, InstallPolicy::InstallBoth);
+
+    // Deterministic jumpy walk across a 4 MiB footprint (the L1I is 64 KiB).
+    let mut x = 0xDEAD_BEEFu64;
+    let mut pc = 0x10_0000u64;
+    for i in 0..200_000u64 {
+        if i % 12 == 0 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pc = 0x10_0000 + (x % 0x40_0000) / 4 * 4;
+        }
+        core.step(plain(pc), &mut mem);
+        pc += 4;
+        let (live, slots) = core.pf_attribution_usage();
+        assert!(
+            live <= bound,
+            "attribution leak: {live} live > bound {bound}"
+        );
+        assert!(live <= slots);
+    }
+    let (live, _) = core.pf_attribution_usage();
+    assert!(
+        live > 0,
+        "walk never left an in-flight/resident attribution"
+    );
+}

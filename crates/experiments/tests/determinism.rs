@@ -1,10 +1,25 @@
 //! The scheduler's core guarantee: worker count never changes a figure's
 //! rendered bytes. Both sweeps here start from cold caches, so the 1-worker
 //! and 4-worker runs each simulate everything themselves.
+//!
+//! On top of the worker-count comparison, the rendered bytes are pinned to
+//! golden FNV-1a hashes captured before the data-oriented kernel rewrite
+//! (flat cache sets, batched dispatch, bounded prefetch-source table). Any
+//! change to simulated behaviour — however subtle — flips a hash; perf work
+//! on the hot path must keep these green.
 
 use std::path::PathBuf;
 
+use ipsim_harness::hash::fnv1a64;
 use ipsim_harness::{run_sweep, Figure, ProgressMode, RunLengths, SweepOptions, SweepReport};
+
+/// Golden output hashes at warm=10_000 / measure=20_000, captured from the
+/// pre-rewrite `Vec<Entry>`/`HashMap` simulation kernel. The kernel rewrite
+/// must reproduce these bytes exactly.
+const GOLDEN: [(&str, u64); 2] = [
+    ("fig02", 0xE0C2_1790_1C1A_F0A1),
+    ("fig05", 0x8B34_D941_5818_8E70),
+];
 
 fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, PathBuf) {
     let base = std::env::temp_dir().join(format!("ipsim-determinism-{tag}-{}", std::process::id()));
@@ -51,6 +66,18 @@ fn figure_output_is_byte_identical_across_worker_counts() {
             text1.as_bytes(),
             text4.as_bytes(),
             "{}: 1-worker and 4-worker outputs differ",
+            a.name
+        );
+
+        let (_, golden) = GOLDEN
+            .iter()
+            .find(|(name, _)| *name == a.name)
+            .expect("figure missing from GOLDEN table");
+        let actual = fnv1a64(text1.as_bytes());
+        assert_eq!(
+            actual, *golden,
+            "{}: rendered bytes diverged from the pre-rewrite kernel \
+             (got hash {actual:#018x})",
             a.name
         );
     }

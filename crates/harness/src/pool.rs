@@ -104,15 +104,16 @@ fn run_one(
             wall_s: t0.elapsed().as_secs_f64(),
             sim_instructions: 0,
             mips: 0.0,
+            sim_mips: 0.0,
             decode_mips: 0.0,
         };
         return (Ok(summary), record);
     }
     let run = catch_unwind(AssertUnwindSafe(|| traces.execute(spec)))
         .map_err(|panic| panic_message(&*panic));
-    let (result, source, decode_mips) = match run {
-        Ok(run) => (Ok(run.summary), run.source, run.decode_mips),
-        Err(e) => (Err(e), RunSource::Live, 0.0),
+    let (result, source, sim_mips, decode_mips) = match run {
+        Ok(run) => (Ok(run.summary), run.source, run.sim_mips, run.decode_mips),
+        Err(e) => (Err(e), RunSource::Live, 0.0, 0.0),
     };
     if let Ok(summary) = &result {
         cache.store(spec, summary);
@@ -132,6 +133,7 @@ fn run_one(
         } else {
             0.0
         },
+        sim_mips,
         decode_mips,
     };
     (result, record)

@@ -159,6 +159,7 @@ mod tests {
             wall_s: 0.0,
             sim_instructions: 0,
             mips: 0.0,
+            sim_mips: 0.0,
             decode_mips: 0.0,
         };
         p.on_run(&rec);

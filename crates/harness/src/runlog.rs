@@ -7,12 +7,19 @@
 //! up as a drop in MIPS between log sections rather than as a vague "the
 //! sweep felt slower".
 //!
-//! Schema v2 adds stream provenance: a `source` column saying where the
+//! Schema v2 added stream provenance: a `source` column saying where the
 //! run's instruction stream came from (`cache` | `live` | `capture` |
 //! `replay`) and a `dec_mips` column with the pure trace-decode throughput
 //! of replay runs — together they make the capture-once/replay-many
-//! speedup measurable straight from the log. A v1 log found on disk is
-//! rotated to `<path>.v1.bak` rather than mixed or clobbered.
+//! speedup measurable straight from the log.
+//!
+//! Schema v3 adds `sim_mips`: kernel-only throughput over the timed
+//! measure window, excluding system construction, warm-up, trace
+//! validation and capture I/O. `mips` (whole-run wall time) answers "how
+//! fast is a sweep"; `sim_mips` answers "how fast is the simulation
+//! kernel" — the number the bench snapshot tracks, now visible per run.
+//! A log with an older header found on disk is rotated to
+//! `<path>.v<N>.bak` (its own version) rather than mixed or clobbered.
 
 use std::fs::OpenOptions;
 use std::io::{self, Write};
@@ -22,7 +29,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use crate::traces::RunSource;
 
 /// First line of a fresh run log.
-pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v2";
+pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v3";
 
 /// Default run-log path, relative to the working directory.
 pub const DEFAULT_RUNLOG: &str = "results/runlog.tsv";
@@ -55,6 +62,10 @@ pub struct RunRecord {
     pub sim_instructions: u64,
     /// Simulated millions of instructions per wall second; 0 if cached.
     pub mips: f64,
+    /// Kernel-only throughput (million instructions per host second over
+    /// the timed measure window, overhead around the simulation loop
+    /// excluded); 0 if cached.
+    pub sim_mips: f64,
     /// Trace-decode throughput (million ops/s) measured while validating
     /// this run's stored streams; 0 unless the run replayed.
     pub decode_mips: f64,
@@ -85,7 +96,9 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
     if file.metadata()?.len() == 0 {
         out.push_str(RUNLOG_SCHEMA);
         out.push('\n');
-        out.push_str("# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tdec_mips\tkey\tlabel\n");
+        out.push_str(
+            "# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tsim_mips\tdec_mips\tkey\tlabel\n",
+        );
     }
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -93,12 +106,13 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         .unwrap_or(0);
     for r in records {
         out.push_str(&format!(
-            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
+            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
             r.source.as_str(),
             u8::from(r.ok),
             r.wall_s,
             r.sim_instructions as f64 / 1e6,
             r.mips,
+            r.sim_mips,
             r.decode_mips,
             r.key,
             r.label,
@@ -107,8 +121,12 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
     file.write_all(out.as_bytes())
 }
 
-/// Moves a log whose header is not the current schema to `<path>.v1.bak`
-/// (best effort; an unreadable file is left for `append` to surface).
+/// Moves a log whose header is not the current schema to `<path>.v<N>.bak`
+/// — the suffix names the *old* log's version, parsed from its header, so
+/// successive schema bumps never clobber each other's backups. A header
+/// that is not an `# ipsim-runlog vN` line at all falls back to `.v1.bak`
+/// (the v1 header predates the version line). Best effort; an unreadable
+/// file is left for `append` to surface.
 fn rotate_old_schema(path: &Path) {
     let Ok(text) = std::fs::read_to_string(path) else {
         return;
@@ -117,8 +135,12 @@ fn rotate_old_schema(path: &Path) {
     if first == RUNLOG_SCHEMA || text.is_empty() {
         return;
     }
+    let old_version = first
+        .strip_prefix("# ipsim-runlog v")
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .unwrap_or(1);
     let mut backup = path.as_os_str().to_owned();
-    backup.push(".v1.bak");
+    backup.push(format!(".v{old_version}.bak"));
     let _ = std::fs::rename(path, PathBuf::from(backup));
 }
 
@@ -135,6 +157,7 @@ mod tests {
             wall_s: 1.25,
             sim_instructions: 30_000_000,
             mips: 24.0,
+            sim_mips: 31.5,
             decode_mips: 0.0,
         }
     }
@@ -154,7 +177,8 @@ mod tests {
         assert!(lines[2].contains("\tdeadbeefdeadbeef\t"));
         assert!(lines[2].contains("\tlive\t"));
         assert!(lines[3].contains("\treplay\t"));
-        assert_eq!(lines[2].split('\t').count(), 10);
+        assert_eq!(lines[2].split('\t').count(), 11);
+        assert!(lines[2].contains("\t31.50\t"), "sim_mips column present");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -167,25 +191,53 @@ mod tests {
         assert!(!path.exists());
     }
 
+    fn bak(path: &Path, suffix: &str) -> PathBuf {
+        let mut s = path.as_os_str().to_owned();
+        s.push(suffix);
+        PathBuf::from(s)
+    }
+
     #[test]
     fn old_schema_logs_are_rotated_not_mixed() {
         let path =
             std::env::temp_dir().join(format!("ipsim-runlog-rotate-{}.tsv", std::process::id()));
-        let backup = PathBuf::from({
-            let mut s = path.as_os_str().to_owned();
-            s.push(".v1.bak");
-            s
-        });
+        let backup = bak(&path, ".v2.bak");
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&backup);
-        std::fs::write(&path, "# ipsim-runlog v1\n# ts\t...\n1\t2\n").unwrap();
+        std::fs::write(&path, "# ipsim-runlog v2\n# ts\t...\n1\t2\n").unwrap();
         append(&path, 2, &[record(RunSource::Capture)]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with(RUNLOG_SCHEMA));
         assert!(text.contains("\tcapture\t"));
         let old = std::fs::read_to_string(&backup).unwrap();
-        assert!(old.starts_with("# ipsim-runlog v1"));
+        assert!(old.starts_with("# ipsim-runlog v2"));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&backup);
+    }
+
+    #[test]
+    fn rotation_suffix_tracks_the_old_logs_version() {
+        let path =
+            std::env::temp_dir().join(format!("ipsim-runlog-rotate-v1-{}.tsv", std::process::id()));
+        let v1_backup = bak(&path, ".v1.bak");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&v1_backup);
+        // A v1 log, and an unversioned header (pre-dates the version line):
+        // both land in .v1.bak.
+        std::fs::write(&path, "# ipsim-runlog v1\nrow\n").unwrap();
+        append(&path, 1, &[record(RunSource::Live)]).unwrap();
+        assert!(std::fs::read_to_string(&v1_backup)
+            .unwrap()
+            .starts_with("# ipsim-runlog v1"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&v1_backup);
+
+        std::fs::write(&path, "wall_s\tmips\n1.0\t2.0\n").unwrap();
+        append(&path, 1, &[record(RunSource::Live)]).unwrap();
+        assert!(std::fs::read_to_string(&v1_backup)
+            .unwrap()
+            .starts_with("wall_s"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&v1_backup);
     }
 }

@@ -2,7 +2,7 @@
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
-use ipsim_cpu::{LimitSpec, System, SystemBuilder, WorkloadSet};
+use ipsim_cpu::{LimitSpec, System, SystemBuilder, SystemMetrics, WorkloadSet};
 use ipsim_types::SystemConfig;
 
 use crate::cache::RunCache;
@@ -187,9 +187,20 @@ impl RunSpec {
     /// Panics if the configuration is invalid — experiment configs are
     /// static and a bad one is a programming error.
     pub fn execute(&self) -> Summary {
+        Summary::from_metrics(&self.execute_metrics())
+    }
+
+    /// Like [`RunSpec::execute`], but returns the full [`SystemMetrics`] —
+    /// including the timed measure window, so callers can report
+    /// `sim_mips` alongside the cacheable summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — experiment configs are
+    /// static and a bad one is a programming error.
+    pub fn execute_metrics(&self) -> SystemMetrics {
         let mut system = self.build_system();
-        let metrics = system.run_workload(&self.workloads, self.lengths.warm, self.lengths.measure);
-        Summary::from_metrics(&metrics)
+        system.run_workload(&self.workloads, self.lengths.warm, self.lengths.measure)
     }
 
     /// Executes the run, consulting and updating the default on-disk cache

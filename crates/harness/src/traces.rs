@@ -82,6 +82,12 @@ pub struct TracedRun {
     /// runs. A drop in this column means trace I/O or checksumming got
     /// slower, independent of simulation speed.
     pub decode_mips: f64,
+    /// Kernel-only simulation throughput (million simulated instructions
+    /// per host second over the *measured* window, excluding system
+    /// construction, warm-up, trace validation and capture I/O); 0 for
+    /// cache hits. Compare against the run-level `mips` to see how much
+    /// wall time goes to overhead around the simulation loop.
+    pub sim_mips: f64,
 }
 
 /// A trace store rooted at one directory, with capture/replay accounting.
@@ -169,11 +175,7 @@ impl TraceStore {
     /// every store problem downgrades the run, it never aborts it.
     pub fn execute(&self, spec: &RunSpec) -> TracedRun {
         let Some(dir) = self.dir.clone() else {
-            return TracedRun {
-                summary: spec.execute(),
-                source: RunSource::Live,
-                decode_mips: 0.0,
-            };
+            return live_run(spec);
         };
         let key = spec.trace_key();
         match self.try_replay(&dir, spec, &key) {
@@ -225,6 +227,7 @@ impl TraceStore {
             } else {
                 0.0
             },
+            sim_mips: metrics.sim_mips(),
         }
         .into()
     }
@@ -236,11 +239,7 @@ impl TraceStore {
         if !claimed || fs::create_dir_all(dir).is_err() {
             // Someone else is already writing this stream (or the store
             // directory is unusable): plain live run.
-            return TracedRun {
-                summary: spec.execute(),
-                source: RunSource::Live,
-                decode_mips: 0.0,
-            };
+            return live_run(spec);
         }
 
         let n_cores = spec.config.n_cores;
@@ -259,11 +258,7 @@ impl TraceStore {
                 }
                 None => {
                     discard(&tmp_paths);
-                    return TracedRun {
-                        summary: spec.execute(),
-                        source: RunSource::Live,
-                        decode_mips: 0.0,
-                    };
+                    return live_run(spec);
                 }
             }
         }
@@ -281,6 +276,7 @@ impl TraceStore {
             tees.iter_mut().map(|t| t as &mut dyn OpSource).collect();
         let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
         let summary = Summary::from_metrics(&metrics);
+        let sim_mips = metrics.sim_mips();
 
         // Seal and publish. Any sink error (latched mid-run or at finish)
         // voids the whole capture but never the simulation result.
@@ -306,6 +302,7 @@ impl TraceStore {
                 summary,
                 source: RunSource::Live,
                 decode_mips: 0.0,
+                sim_mips,
             };
         }
         self.captured.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +310,7 @@ impl TraceStore {
             summary,
             source: RunSource::Capture,
             decode_mips: 0.0,
+            sim_mips,
         }
     }
 
@@ -324,6 +322,17 @@ impl TraceStore {
         if fs::rename(path, PathBuf::from(quarantined)).is_err() {
             let _ = fs::remove_file(path);
         }
+    }
+}
+
+/// Executes `spec` with plain live generation (no store involvement).
+fn live_run(spec: &RunSpec) -> TracedRun {
+    let metrics = spec.execute_metrics();
+    TracedRun {
+        summary: Summary::from_metrics(&metrics),
+        source: RunSource::Live,
+        decode_mips: 0.0,
+        sim_mips: metrics.sim_mips(),
     }
 }
 
@@ -375,6 +384,8 @@ mod tests {
         assert_eq!(second.source, RunSource::Replay);
         assert_eq!(second.summary, live);
         assert!(second.decode_mips >= 0.0);
+        assert!(first.sim_mips > 0.0, "capture runs are timed");
+        assert!(second.sim_mips > 0.0, "replay runs are timed");
 
         assert_eq!((store.captured(), store.replayed()), (1, 1));
         let _ = fs::remove_dir_all(&dir);
@@ -436,6 +447,7 @@ mod tests {
         let store = TraceStore::disabled();
         let run = store.execute(&spec());
         assert_eq!(run.source, RunSource::Live);
+        assert!(run.sim_mips > 0.0, "live runs are timed");
         assert_eq!((store.captured(), store.replayed()), (0, 0));
     }
 

@@ -67,11 +67,30 @@ pub use writer::{TraceWriter, BLOCK_TARGET_BYTES, FORMAT_VERSION};
 pub trait TraceSource {
     /// Produces the next instruction.
     fn next_op(&mut self) -> TraceOp;
+
+    /// Fills `out` with the next `out.len()` instructions, in stream
+    /// order — exactly equivalent to `out.len()` calls to
+    /// [`TraceSource::next_op`].
+    ///
+    /// The CPU model consumes sources through `&mut dyn TraceSource`; this
+    /// batched entry point amortises the virtual call (and, for
+    /// implementations that override it, per-op decode dispatch) over a
+    /// scheduler quantum instead of paying it per instruction. The default
+    /// simply loops `next_op`, so implementing it is optional.
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        for slot in out {
+            *slot = self.next_op();
+        }
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
+    }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        (**self).next_block(out)
     }
 }
 
@@ -133,6 +152,18 @@ impl<S: TraceSource, K: TraceSink> TraceSource for Tee<S, K> {
         }
         op
     }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        self.source.next_block(out);
+        if self.error.is_none() {
+            for op in out.iter() {
+                if let Err(e) = self.sink.record(op) {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// Replays a stored trace as an infallible [`TraceSource`].
@@ -169,5 +200,17 @@ impl<R: Read + Seek> TraceSource for ReplaySource<R> {
             .next_op()
             .expect("validated trace failed mid-replay")
             .expect("replay ran past end of trace")
+    }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        // One virtual call per scheduler quantum; the decode loop itself
+        // is monomorphised here rather than re-entered through the vtable.
+        for slot in out {
+            *slot = self
+                .reader
+                .next_op()
+                .expect("validated trace failed mid-replay")
+                .expect("replay ran past end of trace");
+        }
     }
 }

@@ -130,14 +130,14 @@ impl ProgramBuilder {
             functions.push(Function { blocks });
         }
 
-        let program = Program {
+        let program = Program::assemble(
             functions,
             code_start,
-            code_bytes: cursor.0 - code_start.0,
-            n_regular: n,
+            cursor.0 - code_start.0,
+            n,
             by_rank,
             dispatch,
-        };
+        );
         debug_assert_eq!(program.validate(), Ok(()));
         program
     }

@@ -71,6 +71,7 @@ impl DataGen {
     }
 
     /// Draws the next data reference address.
+    #[inline]
     pub fn next_addr(&mut self) -> Addr {
         let r = self.rng.f64();
         let line = if r < self.hot_prob {

@@ -119,6 +119,30 @@ impl Function {
     }
 }
 
+/// Compact terminator discriminant for the flat walk table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalkKind {
+    FallThrough,
+    CondBranch,
+    UncondBranch,
+    Call,
+    IndirectCall,
+    Return,
+}
+
+/// One basic block in the flat walk table: everything the walker's
+/// dispatch loop needs, in 24 bytes with no nested indirection. `target`
+/// is overloaded by `kind` — a block index (branches), a callee function
+/// (calls) or an index into the indirect-callee side table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WalkBlock {
+    pub(crate) start: Addr,
+    pub(crate) n_instrs: u32,
+    pub(crate) target: u32,
+    pub(crate) prob: f32,
+    pub(crate) kind: WalkKind,
+}
+
 /// A complete synthetic static program.
 ///
 /// Built by [`ProgramBuilder`](crate::ProgramBuilder); walked by
@@ -138,9 +162,81 @@ pub struct Program {
     pub(crate) by_rank: Vec<FuncId>,
     /// Sampler over popularity ranks used for transaction dispatch.
     pub(crate) dispatch: TierSampler,
+    /// Flat walk table: every function's blocks, concatenated in layout
+    /// order. A pure access-path mirror of `functions` — the walker reads
+    /// one 24-byte record per control transfer instead of chasing two
+    /// `Vec`s into a 48-byte `Block` with an enum payload.
+    pub(crate) walk: Vec<WalkBlock>,
+    /// `func_base[f]` is the index of function `f`'s first block in `walk`.
+    pub(crate) func_base: Vec<u32>,
+    /// Indirect-call candidate tables, referenced by `WalkBlock::target`.
+    pub(crate) indirect: Vec<Vec<(FuncId, f32)>>,
 }
 
 impl Program {
+    /// Assembles a program from its structural parts, deriving the flat
+    /// walk table (the builder's single construction point).
+    pub(crate) fn assemble(
+        functions: Vec<Function>,
+        code_start: Addr,
+        code_bytes: u64,
+        n_regular: u32,
+        by_rank: Vec<FuncId>,
+        dispatch: TierSampler,
+    ) -> Program {
+        let mut func_base = Vec::with_capacity(functions.len());
+        let mut walk = Vec::new();
+        let mut indirect = Vec::new();
+        for f in &functions {
+            func_base.push(walk.len() as u32);
+            for b in &f.blocks {
+                let (kind, target, prob) = match &b.terminator {
+                    Terminator::FallThrough => (WalkKind::FallThrough, 0, 0.0),
+                    Terminator::CondBranch { target, taken_prob } => {
+                        (WalkKind::CondBranch, *target, *taken_prob)
+                    }
+                    Terminator::UncondBranch { target } => (WalkKind::UncondBranch, *target, 0.0),
+                    Terminator::Call { callee } => (WalkKind::Call, callee.0, 0.0),
+                    Terminator::IndirectCall { callees } => {
+                        indirect.push(callees.clone());
+                        (WalkKind::IndirectCall, (indirect.len() - 1) as u32, 0.0)
+                    }
+                    Terminator::Return => (WalkKind::Return, 0, 0.0),
+                };
+                walk.push(WalkBlock {
+                    start: b.start,
+                    n_instrs: b.n_instrs,
+                    target,
+                    prob,
+                    kind,
+                });
+            }
+        }
+        Program {
+            functions,
+            code_start,
+            code_bytes,
+            n_regular,
+            by_rank,
+            dispatch,
+            walk,
+            func_base,
+            indirect,
+        }
+    }
+
+    /// The walk-table record for block `block` of function `func`.
+    #[inline]
+    pub(crate) fn walk_block(&self, func: u32, block: u32) -> &WalkBlock {
+        &self.walk[(self.func_base[func as usize] + block) as usize]
+    }
+
+    /// Entry address of function `id`, served from the walk table.
+    #[inline]
+    pub(crate) fn entry_addr(&self, id: FuncId) -> Addr {
+        self.walk[self.func_base[id.0 as usize] as usize].start
+    }
+
     /// The function with id `id`.
     ///
     /// # Panics

@@ -6,7 +6,7 @@ use ipsim_types::Rng64;
 
 use crate::data::DataGen;
 use crate::profile::WorkloadProfile;
-use crate::program::{FuncId, Program, Terminator};
+use crate::program::{FuncId, Program, WalkKind};
 
 /// A position within the program: function, block, instruction-in-block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,12 @@ pub struct TraceWalker<'p> {
     data: DataGen,
     stack: Vec<Pos>,
     pos: Pos,
+    /// Start address and length of the block `pos` points into, cached so
+    /// body instructions (the common case) need no program indexing.
+    /// Maintained by [`TraceWalker::goto_pos`]; purely an access-path
+    /// cache, the emitted stream is unchanged.
+    cur_start: ipsim_types::Addr,
+    cur_n: u32,
     trap_prob: f64,
     load_frac: f64,
     store_frac: f64,
@@ -103,6 +109,8 @@ impl<'p> TraceWalker<'p> {
                 block: 0,
                 instr: 0,
             },
+            cur_start: ipsim_types::Addr(0),
+            cur_n: 0,
             trap_prob: profile.trap_prob,
             load_frac: profile.load_frac,
             store_frac: profile.store_frac,
@@ -121,12 +129,21 @@ impl<'p> TraceWalker<'p> {
         };
         walker.start_transaction();
         let entry = walker.next_phase();
-        walker.pos = Pos {
+        walker.goto_pos(Pos {
             func: entry.0,
             block: 0,
             instr: 0,
-        };
+        });
         walker
+    }
+
+    /// Moves to `pos` and refreshes the cached block geometry.
+    #[inline]
+    fn goto_pos(&mut self, pos: Pos) {
+        let block = self.prog.walk_block(pos.func, pos.block);
+        self.cur_start = block.start;
+        self.cur_n = block.n_instrs;
+        self.pos = pos;
     }
 
     /// Samples the next transaction's instruction budget (exponential with
@@ -165,57 +182,39 @@ impl<'p> TraceWalker<'p> {
     pub fn next_op(&mut self) -> TraceOp {
         self.txn_budget -= 1;
         let prog = self.prog;
-        let func = &prog.functions[self.pos.func as usize];
-        let block = &func.blocks[self.pos.block as usize];
-        let pc = block.instr_addr(self.pos.instr);
+        let pc = self
+            .cur_start
+            .offset(self.pos.instr as u64 * ipsim_types::instr::INSTR_BYTES);
 
-        if self.pos.instr + 1 < block.n_instrs {
-            // Body instruction: possibly a trap, else load/store/other.
-            if self.pos.func < prog.n_regular
-                && self.stack.len() < self.max_depth
-                && self.trap_prob > 0.0
-                && self.rng.chance(self.trap_prob)
-            {
-                let handler = prog.trap_handler(&mut self.rng);
-                self.stack.push(Pos {
-                    func: self.pos.func,
-                    block: self.pos.block,
-                    instr: self.pos.instr + 1,
-                });
-                let target = prog.function(handler).entry();
-                self.pos = Pos {
-                    func: handler.0,
-                    block: 0,
-                    instr: 0,
-                };
-                return TraceOp {
-                    pc,
-                    kind: OpKind::Cti {
-                        class: CtiClass::Trap,
-                        taken: true,
-                        target,
-                    },
-                };
+        if self.pos.instr + 1 < self.cur_n {
+            // Body instruction (the common case — served entirely from the
+            // cached block geometry): possibly a trap, else
+            // load/store/other.
+            if self.may_trap() && self.rng.chance(self.trap_prob) {
+                return self.take_trap(pc);
             }
             let kind = self.body_kind();
             self.pos.instr += 1;
             return TraceOp { pc, kind };
         }
 
-        // Terminator slot.
-        match &block.terminator {
-            Terminator::FallThrough => {
+        // Terminator slot: one flat walk-table record holds everything the
+        // dispatch needs.
+        let block = *prog.walk_block(self.pos.func, self.pos.block);
+        match block.kind {
+            WalkKind::FallThrough => {
                 let kind = self.body_kind();
-                self.pos = Pos {
+                self.goto_pos(Pos {
                     func: self.pos.func,
                     block: self.pos.block + 1,
                     instr: 0,
-                };
+                });
                 TraceOp { pc, kind }
             }
-            Terminator::CondBranch { target, taken_prob } => {
-                let mut taken = self.rng.chance(*taken_prob as f64);
-                if *target <= self.pos.block {
+            WalkKind::CondBranch => {
+                let target = block.target;
+                let mut taken = self.rng.chance(block.prob as f64);
+                if target <= self.pos.block {
                     // Backward branch: enforce the trip-count cap.
                     let here = self.pos;
                     if self.loop_site == here {
@@ -233,13 +232,13 @@ impl<'p> TraceWalker<'p> {
                         self.loop_takes = taken as u32;
                     }
                 }
-                let target_addr = func.blocks[*target as usize].start;
-                let next_block = if taken { *target } else { self.pos.block + 1 };
-                self.pos = Pos {
+                let target_addr = prog.walk_block(self.pos.func, target).start;
+                let next_block = if taken { target } else { self.pos.block + 1 };
+                self.goto_pos(Pos {
                     func: self.pos.func,
                     block: next_block,
                     instr: 0,
-                };
+                });
                 TraceOp {
                     pc,
                     kind: OpKind::Cti {
@@ -249,13 +248,14 @@ impl<'p> TraceWalker<'p> {
                     },
                 }
             }
-            Terminator::UncondBranch { target } => {
-                let target_addr = func.blocks[*target as usize].start;
-                self.pos = Pos {
+            WalkKind::UncondBranch => {
+                let target = block.target;
+                let target_addr = prog.walk_block(self.pos.func, target).start;
+                self.goto_pos(Pos {
                     func: self.pos.func,
-                    block: *target,
+                    block: target,
                     instr: 0,
-                };
+                });
                 TraceOp {
                     pc,
                     kind: OpKind::Cti {
@@ -265,12 +265,12 @@ impl<'p> TraceWalker<'p> {
                     },
                 }
             }
-            Terminator::Call { callee } => self.enter(pc, *callee, CtiClass::Call),
-            Terminator::IndirectCall { callees } => {
-                let callee = self.pick_weighted(callees);
+            WalkKind::Call => self.enter(pc, FuncId(block.target), CtiClass::Call),
+            WalkKind::IndirectCall => {
+                let callee = self.pick_weighted(&prog.indirect[block.target as usize]);
                 self.enter(pc, callee, CtiClass::Jump)
             }
-            Terminator::Return => {
+            WalkKind::Return => {
                 let (target_pos, class) = match self.stack.pop() {
                     Some(p) => (p, CtiClass::Return),
                     None => {
@@ -291,10 +291,10 @@ impl<'p> TraceWalker<'p> {
                         )
                     }
                 };
-                let target = prog.functions[target_pos.func as usize].blocks
-                    [target_pos.block as usize]
-                    .instr_addr(target_pos.instr);
-                self.pos = target_pos;
+                self.goto_pos(target_pos);
+                let target = self
+                    .cur_start
+                    .offset(target_pos.instr as u64 * ipsim_types::instr::INSTR_BYTES);
                 TraceOp {
                     pc,
                     kind: OpKind::Cti {
@@ -307,6 +307,81 @@ impl<'p> TraceWalker<'p> {
         }
     }
 
+    /// `true` when the walker is in a state where a body instruction may
+    /// trap (regular code, stack has room, traps configured). Invariant
+    /// across a run of body instructions — no frames open or close.
+    #[inline]
+    fn may_trap(&self) -> bool {
+        self.pos.func < self.prog.n_regular
+            && self.stack.len() < self.max_depth
+            && self.trap_prob > 0.0
+    }
+
+    /// Takes a trap at `pc` (the trap chance has already been drawn):
+    /// pushes the resume frame and transfers to a sampled handler.
+    fn take_trap(&mut self, pc: ipsim_types::Addr) -> TraceOp {
+        let handler = self.prog.trap_handler(&mut self.rng);
+        self.stack.push(Pos {
+            func: self.pos.func,
+            block: self.pos.block,
+            instr: self.pos.instr + 1,
+        });
+        let target = self.prog.entry_addr(handler);
+        self.goto_pos(Pos {
+            func: handler.0,
+            block: 0,
+            instr: 0,
+        });
+        TraceOp {
+            pc,
+            kind: OpKind::Cti {
+                class: CtiClass::Trap,
+                taken: true,
+                target,
+            },
+        }
+    }
+
+    /// Fills `out` with the next ops of the stream — behaviourally
+    /// identical to calling [`TraceWalker::next_op`] once per slot (same
+    /// RNG draw sequence, same stream), but runs of body instructions are
+    /// emitted from a tight loop with the per-block state (start address,
+    /// trap eligibility) hoisted out.
+    pub fn next_block(&mut self, out: &mut [TraceOp]) {
+        let n = out.len();
+        let mut i = 0;
+        'refill: while i < n {
+            if self.pos.instr + 1 >= self.cur_n {
+                // Terminator (or single-slot block): general path.
+                out[i] = self.next_op();
+                i += 1;
+                continue;
+            }
+            let may_trap = self.may_trap();
+            let mut instr = self.pos.instr;
+            let mut pc = self
+                .cur_start
+                .offset(instr as u64 * ipsim_types::instr::INSTR_BYTES);
+            while i < n && instr + 1 < self.cur_n {
+                self.txn_budget -= 1;
+                if may_trap && self.rng.chance(self.trap_prob) {
+                    self.pos.instr = instr;
+                    out[i] = self.take_trap(pc);
+                    i += 1;
+                    continue 'refill;
+                }
+                out[i] = TraceOp {
+                    pc,
+                    kind: self.body_kind(),
+                };
+                i += 1;
+                instr += 1;
+                pc = pc.offset(ipsim_types::instr::INSTR_BYTES);
+            }
+            self.pos.instr = instr;
+        }
+    }
+
     /// Enters `callee` from a call-class terminator at `pc`; when the stack
     /// is at maximum depth, or the transaction budget is exhausted (the
     /// transaction is winding down), the call site degrades to a plain
@@ -314,11 +389,11 @@ impl<'p> TraceWalker<'p> {
     fn enter(&mut self, pc: ipsim_types::Addr, callee: FuncId, class: CtiClass) -> TraceOp {
         if self.stack.len() >= self.max_depth || self.txn_budget <= 0 {
             let kind = self.body_kind();
-            self.pos = Pos {
+            self.goto_pos(Pos {
                 func: self.pos.func,
                 block: self.pos.block + 1,
                 instr: 0,
-            };
+            });
             return TraceOp { pc, kind };
         }
         self.stack.push(Pos {
@@ -326,12 +401,12 @@ impl<'p> TraceWalker<'p> {
             block: self.pos.block + 1,
             instr: 0,
         });
-        let target = self.prog.function(callee).entry();
-        self.pos = Pos {
+        let target = self.prog.entry_addr(callee);
+        self.goto_pos(Pos {
             func: callee.0,
             block: 0,
             instr: 0,
-        };
+        });
         TraceOp {
             pc,
             kind: OpKind::Cti {
@@ -385,6 +460,12 @@ impl Iterator for TraceWalker<'_> {
 impl ipsim_stream::TraceSource for TraceWalker<'_> {
     fn next_op(&mut self) -> TraceOp {
         TraceWalker::next_op(self)
+    }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        // Generate a quantum's worth of ops behind a single virtual call,
+        // with runs of body instructions served from the batched loop.
+        TraceWalker::next_block(self, out);
     }
 }
 
@@ -509,6 +590,31 @@ mod tests {
         assert!(loads > 5_000, "loads {loads}");
         assert!(stores > 1_000, "stores {stores}");
         assert!(loads > stores);
+    }
+
+    #[test]
+    fn next_block_matches_next_op_stream() {
+        let prog = Workload::Db.build_program(1);
+        // Block sizes that straddle basic-block boundaries in different
+        // ways; 200k ops is enough to hit traps, deep calls and dispatch.
+        for block in [1usize, 7, 16, 64] {
+            let mut by_op = walker(&prog, Workload::Db, 11);
+            let mut by_block = walker(&prog, Workload::Db, 11);
+            let mut buf = vec![
+                TraceOp {
+                    pc: ipsim_types::Addr(0),
+                    kind: OpKind::Other
+                };
+                block
+            ];
+            for round in 0..200_000 / block {
+                by_block.next_block(&mut buf);
+                for (k, got) in buf.iter().enumerate() {
+                    let want = by_op.next_op();
+                    assert_eq!(*got, want, "block={block} round={round} slot={k}");
+                }
+            }
+        }
     }
 
     #[test]
