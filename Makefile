@@ -1,7 +1,8 @@
 # Developer entry points. Everything here is a thin wrapper over cargo;
 # CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: build test lint figures bench bench-snapshot bench-check
+.PHONY: build test lint figures bench bench-snapshot bench-check \
+        sim-report telemetry-check
 
 build:
 	cargo build --release
@@ -26,6 +27,18 @@ bench-snapshot:
 	cargo run --release -p ipsim-bench --bin bench_snapshot
 
 # Fail if system/* throughput regressed >10% vs the committed snapshot.
-# Widen with IPSIM_BENCH_TOLERANCE=<percent> on noisy machines.
+# Widen with IPSIM_BENCH_TOLERANCE=<percent> on noisy machines. The
+# snapshot path follows --out / IPSIM_BENCH_BASELINE.
 bench-check:
 	cargo run --release -p ipsim-bench --bin bench_snapshot -- --check
+
+# Telemetry-enabled diagnosis sweep: per-workload prefetcher accuracy /
+# coverage / timeliness from the artifacts under results/telemetry/.
+# Use SIM_REPORT_FLAGS="--quick" (or --smoke) for shorter windows.
+sim-report:
+	cargo run --release -p ipsim-experiments --bin sim_report -- $(SIM_REPORT_FLAGS)
+
+# Re-validate every telemetry artifact directory with the exporters' own
+# parsers (JSONL schema, lifecycle state machine, Chrome trace, TSVs).
+telemetry-check:
+	cargo run --release -p ipsim-experiments --bin telemetry_check

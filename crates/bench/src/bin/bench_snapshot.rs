@@ -12,7 +12,10 @@
 //!
 //! `--check` re-measures and fails (exit 1) when any `system/*` bench is
 //! more than `IPSIM_BENCH_TOLERANCE` percent (default 10) slower than the
-//! committed snapshot. The min-of-N estimator is deliberate: minima track
+//! committed snapshot. The snapshot path defaults to
+//! `BENCH_sim_kernel.json` and can be redirected with `--out PATH` or the
+//! `IPSIM_BENCH_BASELINE` environment variable (`--out` wins) — useful
+//! for comparing against an alternate baseline without moving files. The min-of-N estimator is deliberate: minima track
 //! the code's floor and are far less sensitive to scheduler noise than
 //! means, which is what a regression gate needs. A `"baseline"` block in
 //! the JSON (pre-optimisation reference numbers, written by hand once) is
@@ -30,7 +33,12 @@ use ipsim_types::{CacheConfig, LineAddr, Rng64, TraceOp};
 
 /// Default snapshot path, relative to the workspace root (the tool is run
 /// via `cargo run`, whose working directory is the workspace root).
+/// Overridable with `--out PATH` or the `IPSIM_BENCH_BASELINE` environment
+/// variable (`--out` wins); `--check` compares against the same path.
 const DEFAULT_PATH: &str = "BENCH_sim_kernel.json";
+
+/// Environment override for the snapshot path.
+const BASELINE_ENV: &str = "IPSIM_BENCH_BASELINE";
 
 /// Instructions per sample for the system benches (matches
 /// `benches/system_throughput.rs`).
@@ -51,6 +59,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
+        .or_else(|| std::env::var(BASELINE_ENV).ok().filter(|v| !v.is_empty()))
         .unwrap_or_else(|| DEFAULT_PATH.to_string());
 
     let reps = std::env::var("IPSIM_BENCH_REPS")

@@ -1,0 +1,112 @@
+//! Guard: the telemetry hooks must be (almost) free when telemetry is
+//! disabled.
+//!
+//! Every hook in the simulation kernel is one never-taken `Option` branch
+//! while telemetry is off. A disabled run and a run on a hypothetical
+//! hook-free build cannot be distinguished at runtime, so the guard bounds
+//! the disabled cost from above: the B side enables telemetry with a
+//! zero-size event buffer (`max_events_per_core: 0`) and an unreachable
+//! sampling interval, which makes every hook *taken* — branch, call, and
+//! exact counter bump — but skips the buffering that full telemetry pays
+//! for. The disabled path executes a strict subset of that work (the
+//! branch alone, not taken), so if B is within
+//! `IPSIM_TELEMETRY_OVERHEAD_PCT` percent (default 3) of the disabled A
+//! side, the disabled overhead is under the bound a fortiori.
+//!
+//! The measurement uses the flagship configuration (discontinuity
+//! prefetcher — the noisiest event source) and interleaves min-of-N A/B
+//! samples so both sides see the same machine conditions (frequency
+//! scaling, background load). The min-of-N estimator tracks each side's
+//! floor, as in `bench_snapshot`. On a pathologically noisy machine widen
+//! the bound via the environment (e.g. `IPSIM_TELEMETRY_OVERHEAD_PCT=25`),
+//! mirroring `IPSIM_BENCH_TOLERANCE` for the snapshot gate.
+
+use std::time::Instant;
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{OpSource, System, SystemBuilder};
+use ipsim_telemetry::TelemetryConfig;
+use ipsim_trace::{TraceWalker, Workload};
+
+/// Instructions per sample. Larger than the `system_throughput` bench's
+/// window: a ~30 ms sample keeps timer and scheduler jitter well under
+/// the few-percent effect being measured.
+const INSTRS: u64 = 400_000;
+
+fn build_system(telemetry: bool) -> System {
+    let mut system = SystemBuilder::single_core()
+        .prefetcher(PrefetcherKind::discontinuity_default())
+        .install_policy(InstallPolicy::BypassL2UntilUseful)
+        .build()
+        .unwrap();
+    if telemetry {
+        // Hooks on, buffering off: every event takes the branch and bumps
+        // its exact counter, nothing is stored, and the sampler never
+        // fires. This is a strict superset of the disabled path's work.
+        system.enable_telemetry(TelemetryConfig {
+            interval: u64::MAX,
+            max_events_per_core: 0,
+        });
+    }
+    system
+}
+
+/// One timed sample: a fresh system and a fresh (identically seeded)
+/// walker, so both sides simulate the same instruction stream.
+fn sample(prog: &ipsim_trace::Program, telemetry: bool) -> f64 {
+    let mut system = build_system(telemetry);
+    let mut walker = TraceWalker::new(prog, Workload::Web.profile(), 0, 5);
+    let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+    let t0 = Instant::now();
+    system.run(&mut sources, INSTRS);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(system.metrics().instructions(), INSTRS);
+    if telemetry {
+        let run = system.take_telemetry().expect("telemetry was enabled");
+        assert!(
+            run.cores[0].dropped > 1_000,
+            "the B side must actually exercise the hooks \
+             ({} events seen)",
+            run.cores[0].dropped
+        );
+    }
+    wall
+}
+
+#[test]
+fn disabled_telemetry_overhead_is_bounded() {
+    let max_pct: f64 = std::env::var("IPSIM_TELEMETRY_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let reps: u32 = std::env::var("IPSIM_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+
+    let prog = Workload::Web.build_program(1);
+    // Warm-up: page in both paths before any timed sample.
+    sample(&prog, false);
+    sample(&prog, true);
+
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        off = off.min(sample(&prog, false));
+        on = on.min(sample(&prog, true));
+    }
+
+    let overhead_pct = (on / off - 1.0) * 100.0;
+    eprintln!(
+        "telemetry hook overhead: off {:.3} ms, hooks-on {:.3} ms ({overhead_pct:+.2}%), \
+         bound {max_pct}%",
+        off * 1e3,
+        on * 1e3,
+    );
+    assert!(
+        overhead_pct <= max_pct,
+        "telemetry hooks cost {overhead_pct:.2}% (> {max_pct}%); the disabled \
+         path is a strict subset of this — widen with \
+         IPSIM_TELEMETRY_OVERHEAD_PCT on noisy machines"
+    );
+}

@@ -207,8 +207,12 @@ impl SetAssocCache {
                 self.count_fill(kind);
                 let victim = Evicted::from_lanes(self.sets.line(slot), self.sets.flags(slot));
                 self.stats.evictions += 1;
-                if victim.prefetched && !victim.used {
-                    self.stats.useless_prefetch_evictions += 1;
+                if victim.prefetched {
+                    if victim.used {
+                        self.stats.useful_prefetch_evictions += 1;
+                    } else {
+                        self.stats.useless_prefetch_evictions += 1;
+                    }
                 }
                 self.sets
                     .install(slot, line, Self::miss_fill_flags(kind, write));
@@ -265,8 +269,12 @@ impl SetAssocCache {
                 self.count_fill(kind);
                 let victim = Evicted::from_lanes(self.sets.line(slot), self.sets.flags(slot));
                 self.stats.evictions += 1;
-                if victim.prefetched && !victim.used {
-                    self.stats.useless_prefetch_evictions += 1;
+                if victim.prefetched {
+                    if victim.used {
+                        self.stats.useful_prefetch_evictions += 1;
+                    } else {
+                        self.stats.useless_prefetch_evictions += 1;
+                    }
                 }
                 self.sets.install(slot, line, Self::fill_flags(kind));
                 Some(victim)
@@ -378,6 +386,7 @@ mod tests {
         assert_eq!(v.line, LineAddr(0));
         assert!(v.prefetched && v.used);
         assert_eq!(c.stats().useless_prefetch_evictions, 0);
+        assert_eq!(c.stats().useful_prefetch_evictions, 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Evictions of prefetched lines that were never demand-referenced.
     pub useless_prefetch_evictions: u64,
+    /// Evictions of prefetched lines that *were* demand-referenced (the
+    /// telemetry `evict_used` population; with `useless_prefetch_evictions`
+    /// it partitions every prefetched-line eviction).
+    pub useful_prefetch_evictions: u64,
     /// First demand references to prefetched lines (prefetch proved useful).
     pub prefetch_first_uses: u64,
 }
@@ -40,6 +44,7 @@ impl CacheStats {
         self.redundant_fills += other.redundant_fills;
         self.evictions += other.evictions;
         self.useless_prefetch_evictions += other.useless_prefetch_evictions;
+        self.useful_prefetch_evictions += other.useful_prefetch_evictions;
         self.prefetch_first_uses += other.prefetch_first_uses;
     }
 }

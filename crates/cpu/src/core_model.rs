@@ -6,6 +6,7 @@ use ipsim_core::{
     FetchEvent, PrefetchEngine, PrefetchQueue, PrefetchRequest, PrefetchStats, PrefetcherKind,
     RecentFetchFilter,
 };
+use ipsim_telemetry::{CoreTracer, PfEventKind};
 use ipsim_types::addr::LineSize;
 use ipsim_types::instr::OpKind;
 use ipsim_types::stats::CategoryCounts;
@@ -61,6 +62,9 @@ pub struct Core {
     filter: RecentFetchFilter,
     pf_sources: PfSourceTable,
     pf_stats: PrefetchStats,
+    /// Lifecycle event collector; `None` (the default) keeps every
+    /// telemetry hook down to one never-taken branch.
+    tracer: Option<Box<CoreTracer>>,
     req_buf: Vec<PrefetchRequest>,
     retire_buf: Vec<ipsim_cache::MshrEntry>,
 
@@ -128,6 +132,7 @@ impl Core {
                 config.l1i.lines() as usize + config.mshrs as usize,
             ),
             pf_stats: PrefetchStats::default(),
+            tracer: None,
             req_buf: Vec::with_capacity(16),
             retire_buf: Vec::with_capacity(config.mshrs as usize),
             cur_line: None,
@@ -170,6 +175,22 @@ impl Core {
     #[doc(hidden)]
     pub fn pf_attribution_usage(&self) -> (usize, usize) {
         (self.pf_sources.len(), self.pf_sources.capacity())
+    }
+
+    /// Installs (or removes) the lifecycle event collector. Simulation
+    /// behaviour is identical either way; only observation changes.
+    pub fn set_tracer(&mut self, tracer: Option<Box<CoreTracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed event collector, if any.
+    pub fn tracer_mut(&mut self) -> Option<&mut CoreTracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Current prefetch-queue occupancy (interval-sampler snapshot).
+    pub fn pf_queue_waiting(&self) -> usize {
+        self.queue.waiting()
     }
 
     /// Executes one instruction, advancing the local clock.
@@ -278,6 +299,13 @@ impl Core {
                     // flight: stall only for the remaining latency.
                     self.l1i_miss_cats[category] += 1;
                     self.i_mshr.merge_demand(line);
+                    if let Some(t) = &mut self.tracer {
+                        if entry.prefetch {
+                            if let Some(source) = self.pf_sources.get(line) {
+                                t.emit(self.clock, line, source, PfEventKind::DemandWait);
+                            }
+                        }
+                    }
                     self.clock = self.clock.max(entry.ready_at);
                     self.drain_i_mshr(mem);
                     if self.l1i.access(line).is_hit() && entry.prefetch {
@@ -333,9 +361,15 @@ impl Core {
             let req = self.req_buf[i];
             if self.filter.contains(req.line) {
                 self.pf_stats.filtered_recent += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.emit(self.clock, req.line, req.source, PfEventKind::Filtered);
+                }
             } else {
                 self.queue.push(req);
                 accepted += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.emit(self.clock, req.line, req.source, PfEventKind::Queued);
+                }
             }
         }
         self.pf_stats.queued += accepted;
@@ -358,16 +392,25 @@ impl Core {
             self.pf_stats.probes += 1;
             if self.l1i.probe(req.line) {
                 self.pf_stats.probe_hits += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.emit(now, req.line, req.source, PfEventKind::DropResident);
+                }
                 continue;
             }
             if self.i_mshr.lookup(req.line).is_some() {
                 self.pf_stats.inflight_hits += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.emit(now, req.line, req.source, PfEventKind::DropInflight);
+                }
                 continue;
             }
             let ready = mem.prefetch_instr_line(req.line, now);
             self.i_mshr.insert(req.line, ready, true);
             self.pf_sources.insert(req.line, req.source);
             self.pf_stats.issued += 1;
+            if let Some(t) = &mut self.tracer {
+                t.emit(now, req.line, req.source, PfEventKind::Issued);
+            }
         }
     }
 
@@ -385,12 +428,26 @@ impl Core {
             } else {
                 FillKind::Demand
             };
+            if entry.prefetch {
+                if let Some(t) = &mut self.tracer {
+                    if let Some(source) = self.pf_sources.get(entry.line) {
+                        // Stamped with the fill's ready time, not the
+                        // (possibly later) cycle the core noticed it.
+                        t.emit(entry.ready_at, entry.line, source, PfEventKind::Fill);
+                    }
+                }
+            }
             if entry.prefetch && entry.demand_merged && mem.policy().installs_on_useful_eviction() {
                 // A demand fetch merged with this prefetch while it was in
                 // flight: the prefetch is proven useful, so under the
                 // bypass policy the line is installed into the L2 now
                 // (it behaves like the demand miss it absorbed).
                 mem.install_useful_instr_line(entry.line);
+                if let Some(t) = &mut self.tracer {
+                    if let Some(source) = self.pf_sources.get(entry.line) {
+                        t.emit(entry.ready_at, entry.line, source, PfEventKind::L2Install);
+                    }
+                }
             }
             self.install_l1i(entry.line, kind, mem);
         }
@@ -405,8 +462,27 @@ impl Core {
                 // The paper's scheme: a prefetched line proves itself by
                 // being used; install it in the L2 when the L1I evicts it.
                 mem.install_useful_instr_line(victim.line);
+                if let Some(t) = &mut self.tracer {
+                    if let Some(source) = self.pf_sources.get(victim.line) {
+                        t.emit(self.clock, victim.line, source, PfEventKind::L2Install);
+                    }
+                }
             }
+            // The attribution lives exactly as long as the line does (in
+            // the MSHR or the L1I), so eviction is where it is reclaimed
+            // — and where the prefetch is finally classified used/unused.
             if let Some(source) = self.pf_sources.remove(victim.line) {
+                if let Some(t) = &mut self.tracer {
+                    // An attributed victim without the prefetch flag is a
+                    // demand-merged fill — demand-referenced by
+                    // definition, so it evicts as used.
+                    let kind = if victim.used || !victim.prefetched {
+                        PfEventKind::EvictUsed
+                    } else {
+                        PfEventKind::EvictUnused
+                    };
+                    t.emit(self.clock, victim.line, source, kind);
+                }
                 if victim.prefetched && !victim.used {
                     self.engine.on_prefetch_useless(victim.line, source);
                 }
@@ -420,8 +496,20 @@ impl Core {
         if late {
             self.pf_stats.late += 1;
         }
-        if let Some(source) = self.pf_sources.remove(line) {
+        // `get`, not `remove`: the attribution stays live until the line
+        // leaves the L1I so its eviction can still be classified per
+        // component (the engine callback fires once either way, because a
+        // cache line's first-use flag fires once).
+        if let Some(source) = self.pf_sources.get(line) {
             self.engine.on_prefetch_useful(line, source);
+            if let Some(t) = &mut self.tracer {
+                let kind = if late {
+                    PfEventKind::FirstUseLate
+                } else {
+                    PfEventKind::FirstUse
+                };
+                t.emit(self.clock, line, source, kind);
+            }
         }
     }
 
@@ -503,6 +591,10 @@ impl Core {
         self.l1d_accesses = 0;
         self.l1d_misses = 0;
         self.pf_stats = PrefetchStats::default();
+        if let Some(t) = &mut self.tracer {
+            // Warm-up events are not part of the measurement window.
+            t.clear();
+        }
         self.branch.reset_stats();
         if let Some(t) = &mut self.itlb {
             t.reset_stats();

@@ -124,6 +124,14 @@ impl PfSourceTable {
         }
     }
 
+    /// Looks up the attribution for `line` without removing it. Used on
+    /// first demand use, where the attribution must survive until the
+    /// line leaves the L1I so its eviction can still be classified per
+    /// component.
+    pub(crate) fn get(&self, line: LineAddr) -> Option<PrefetchSource> {
+        self.find(line).map(|slot| self.sources[slot])
+    }
+
     /// Removes and returns the attribution for `line`, if present.
     ///
     /// Uses backward-shift deletion: members of the probe cluster after the
@@ -173,6 +181,16 @@ mod tests {
         assert_eq!(t.remove(LineAddr(10)), None);
         assert_eq!(t.remove(LineAddr(20)), Some(src(2)));
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn get_does_not_remove() {
+        let mut t = PfSourceTable::with_bound(8);
+        t.insert(LineAddr(10), src(1));
+        assert_eq!(t.get(LineAddr(10)), Some(src(1)));
+        assert_eq!(t.get(LineAddr(11)), None);
+        assert_eq!(t.len(), 1, "get must not disturb occupancy");
+        assert_eq!(t.remove(LineAddr(10)), Some(src(1)));
     }
 
     #[test]

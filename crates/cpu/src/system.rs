@@ -3,6 +3,7 @@
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
+use ipsim_telemetry::{CoreTracer, SampleRow, Sampler, TelemetryConfig, TelemetryRun};
 use ipsim_trace::{Program, TraceWalker, Workload};
 use ipsim_types::{ConfigError, SystemConfig, TraceOp};
 
@@ -212,8 +213,16 @@ impl SystemBuilder {
             cores,
             mem: MemSystem::new(&self.config.mem, self.policy),
             config: self.config,
+            telemetry: None,
         })
     }
+}
+
+/// Interval-sampling state, present only while telemetry is enabled.
+#[derive(Debug)]
+struct TelemetryState {
+    config: TelemetryConfig,
+    sampler: Sampler,
 }
 
 /// N cores over one shared memory system.
@@ -222,6 +231,7 @@ pub struct System {
     cores: Vec<Core>,
     mem: MemSystem,
     config: SystemConfig,
+    telemetry: Option<TelemetryState>,
 }
 
 impl System {
@@ -238,6 +248,75 @@ impl System {
     /// The shared memory system (diagnostics / tests).
     pub fn mem(&self) -> &MemSystem {
         &self.mem
+    }
+
+    /// Turns telemetry collection on: every core gets a lifecycle event
+    /// collector and the scheduler starts interval sampling. Simulated
+    /// behaviour — metrics, figures, cycle counts — is identical with or
+    /// without it (guarded by the golden-hash and determinism tests).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        for core in &mut self.cores {
+            core.set_tracer(Some(Box::new(CoreTracer::new(&config))));
+        }
+        let executed: Vec<u64> = self.cores.iter().map(Core::executed).collect();
+        self.telemetry = Some(TelemetryState {
+            sampler: Sampler::new(config.interval, &executed),
+            config,
+        });
+    }
+
+    /// Whether telemetry collection is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Drains everything telemetry collected over the current
+    /// measurement window. Collection stays enabled (and empty) after
+    /// the call; returns `None` when telemetry was never enabled.
+    ///
+    /// A final snapshot of each core is appended to the samples so even
+    /// a window shorter than one interval yields one row per core.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryRun> {
+        let state = self.telemetry.as_mut()?;
+        let mut samples = state.sampler.take_rows();
+        for (i, core) in self.cores.iter().enumerate() {
+            samples.push(Self::sample_core(i, core, &self.mem));
+        }
+        let cores = self
+            .cores
+            .iter_mut()
+            .map(|c| {
+                c.tracer_mut()
+                    .expect("telemetry enabled on every core")
+                    .take()
+            })
+            .collect();
+        Some(TelemetryRun {
+            interval: state.config.interval,
+            cores,
+            samples,
+        })
+    }
+
+    /// Snapshots one core's cumulative window counters (plus the shared
+    /// L2's) into a sample row.
+    fn sample_core(index: usize, core: &Core, mem: &MemSystem) -> SampleRow {
+        let m = core.metrics();
+        let l2 = mem.stats();
+        SampleRow {
+            core: index as u32,
+            instrs: m.instructions,
+            cycles: m.cycles,
+            line_fetches: m.line_fetches,
+            l1i_misses: m.l1i_misses.total(),
+            l1d_misses: m.l1d_misses,
+            pf_issued: m.prefetch.issued,
+            pf_useful: m.prefetch.useful,
+            pf_late: m.prefetch.late,
+            pf_queue: core.pf_queue_waiting() as u64,
+            l2_instr_misses: l2.l2_instr_misses.total(),
+            l2_prefetch_misses: l2.l2_prefetch_misses,
+        }
     }
 
     /// Runs every core for `instrs_per_core` further instructions, feeding
@@ -285,6 +364,16 @@ impl System {
             let ops = &mut block[..quantum];
             sources[i].next_block(ops);
             core.step_block(ops, &mut self.mem);
+            // Interval sampling at quantum granularity: one never-taken
+            // branch when telemetry is off, two loads and a compare when
+            // it is on but no threshold was crossed.
+            if let Some(state) = &mut self.telemetry {
+                let executed = self.cores[i].executed();
+                if state.sampler.due(i, executed) {
+                    let row = Self::sample_core(i, &self.cores[i], &self.mem);
+                    state.sampler.record(executed, row);
+                }
+            }
         }
     }
 
@@ -340,6 +429,10 @@ impl System {
             core.reset_stats();
         }
         self.mem.reset_stats();
+        if let Some(state) = &mut self.telemetry {
+            let executed: Vec<u64> = self.cores.iter().map(Core::executed).collect();
+            state.sampler.reset(&executed);
+        }
     }
 
     /// Metrics over the current measurement window.

@@ -1,0 +1,194 @@
+//! Telemetry wiring tests: enabling collection must not perturb
+//! simulation, lifecycle event streams must satisfy the state machine,
+//! and the exact per-component counters must reconcile with the
+//! simulator's own `PrefetchStats`.
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{System, SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim_telemetry::{
+    validate_lifecycle, PfComponent, PfEventKind, TelemetryConfig, TelemetryRun,
+};
+use ipsim_trace::Workload;
+use proptest::prelude::*;
+
+const WARM: u64 = 5_000;
+const MEASURE: u64 = 20_000;
+
+fn flagship() -> System {
+    SystemBuilder::cmp4()
+        .prefetcher(PrefetcherKind::discontinuity_default())
+        .install_policy(InstallPolicy::BypassL2UntilUseful)
+        .build()
+        .unwrap()
+}
+
+/// `SystemMetrics` carries a wall-clock measurement that legitimately
+/// differs between runs; everything else must be bit-identical, which the
+/// Debug rendering captures field by field.
+fn canon(mut m: SystemMetrics) -> String {
+    m.sim_wall_seconds = 0.0;
+    format!("{m:?}")
+}
+
+fn run_flagship(telemetry: Option<TelemetryConfig>) -> (SystemMetrics, Option<TelemetryRun>) {
+    let mut sys = flagship();
+    if let Some(cfg) = telemetry {
+        sys.enable_telemetry(cfg);
+    }
+    let metrics = sys.run_workload(&WorkloadSet::mixed(), WARM, MEASURE);
+    let run = sys.take_telemetry();
+    (metrics, run)
+}
+
+#[test]
+fn telemetry_does_not_perturb_metrics() {
+    let (off, none) = run_flagship(None);
+    assert!(none.is_none());
+    let (on, run) = run_flagship(Some(TelemetryConfig::default()));
+    assert_eq!(
+        canon(off),
+        canon(on),
+        "metrics must be bit-identical with telemetry on"
+    );
+    let run = run.expect("telemetry was enabled");
+    assert!(run.total_events() > 0, "flagship config must emit events");
+
+    // A pathological config (sampling every instruction, no event
+    // buffer) must not perturb metrics either.
+    let (stress, _) = run_flagship(Some(TelemetryConfig {
+        interval: 1,
+        max_events_per_core: 0,
+    }));
+    let (off2, _) = run_flagship(None);
+    assert_eq!(canon(off2), canon(stress));
+}
+
+#[test]
+fn lifecycle_streams_are_valid_state_machines() {
+    let (_, run) = run_flagship(Some(TelemetryConfig::default()));
+    let run = run.unwrap();
+    assert_eq!(run.cores.len(), 4);
+    for (i, core) in run.cores.iter().enumerate() {
+        let summary = validate_lifecycle(&core.events)
+            .unwrap_or_else(|v| panic!("core {i}: lifecycle violation: {v}"));
+        assert!(summary.issues > 0, "core {i} issued no prefetches");
+        assert!(summary.fills > 0, "core {i} saw no fills");
+    }
+}
+
+#[test]
+fn component_counters_reconcile_with_prefetch_stats() {
+    let (metrics, run) = run_flagship(Some(TelemetryConfig::default()));
+    let run = run.unwrap();
+
+    let mut issued = 0u64;
+    let mut queued = 0u64;
+    let mut filtered = 0u64;
+    let mut probe_hits = 0u64;
+    let mut inflight_hits = 0u64;
+    let mut first_uses = 0u64;
+    let mut late = 0u64;
+    for core in &run.cores {
+        for c in PfComponent::ALL {
+            let k = core.counters(c);
+            issued += k.get(PfEventKind::Issued);
+            queued += k.get(PfEventKind::Queued);
+            filtered += k.get(PfEventKind::Filtered);
+            probe_hits += k.get(PfEventKind::DropResident);
+            inflight_hits += k.get(PfEventKind::DropInflight);
+            first_uses += k.first_uses();
+            late += k.get(PfEventKind::FirstUseLate);
+        }
+    }
+    let pf = metrics.prefetch();
+    assert_eq!(issued, pf.issued, "issued events vs PrefetchStats");
+    assert_eq!(queued, pf.queued, "queued events vs PrefetchStats");
+    assert_eq!(filtered, pf.filtered_recent, "filtered events");
+    assert_eq!(probe_hits, pf.probe_hits, "drop_resident vs probe_hits");
+    assert_eq!(inflight_hits, pf.inflight_hits, "drop_inflight");
+    assert_eq!(first_uses, pf.useful, "first uses vs useful");
+    assert_eq!(late, pf.late, "late first uses vs late");
+}
+
+#[test]
+fn sampler_produces_per_core_interval_rows() {
+    let interval = 2_000u64;
+    let mut sys = flagship();
+    sys.enable_telemetry(TelemetryConfig {
+        interval,
+        max_events_per_core: 0,
+    });
+    let _ = sys.run_workload(&WorkloadSet::mixed(), WARM, MEASURE);
+    let run = sys.take_telemetry().unwrap();
+    for core in 0..4u32 {
+        let rows: Vec<_> = run.samples.iter().filter(|r| r.core == core).collect();
+        // MEASURE/interval threshold crossings plus the final snapshot.
+        let want = (MEASURE / interval) as usize + 1;
+        assert_eq!(rows.len(), want, "core {core} row count");
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].instrs <= pair[1].instrs,
+                "core {core} not cumulative"
+            );
+        }
+        let last = rows.last().unwrap();
+        assert_eq!(last.instrs, MEASURE, "final snapshot covers the window");
+        assert_eq!(
+            run.cores[core as usize]
+                .components
+                .iter()
+                .map(|c| c.get(PfEventKind::Issued))
+                .sum::<u64>(),
+            last.pf_issued,
+            "core {core}: sampled issue count matches counters"
+        );
+    }
+    assert!(run.last_interval_l1i_mpki().is_some());
+
+    // Warm-up samples must have been discarded by reset_stats: every
+    // row's instruction count is window-relative.
+    assert!(run.samples.iter().all(|r| r.instrs <= MEASURE));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any workload, policy and prefetcher, every core's lifecycle
+    /// event stream satisfies the state machine (no use-after-evict, no
+    /// double fill, no issue-while-in-flight).
+    #[test]
+    fn lifecycle_property(
+        seed in 0u64..1_000,
+        workload_idx in 0usize..4,
+        bypass in any::<bool>(),
+        sequential in any::<bool>(),
+    ) {
+        let workload = Workload::ALL[workload_idx];
+        let prefetcher = if sequential {
+            PrefetcherKind::NextNLineTagged { n: 4 }
+        } else {
+            PrefetcherKind::discontinuity_default()
+        };
+        let policy = if bypass {
+            InstallPolicy::BypassL2UntilUseful
+        } else {
+            InstallPolicy::InstallBoth
+        };
+        let mut workloads = WorkloadSet::homogeneous(workload);
+        workloads.walker_seed ^= seed;
+        let mut sys = SystemBuilder::cmp4()
+            .prefetcher(prefetcher)
+            .install_policy(policy)
+            .build()
+            .unwrap();
+        sys.enable_telemetry(TelemetryConfig::default());
+        let _ = sys.run_workload(&workloads, 2_000, 8_000);
+        let run = sys.take_telemetry().unwrap();
+        for (i, core) in run.cores.iter().enumerate() {
+            if let Err(v) = validate_lifecycle(&core.events) {
+                prop_assert!(false, "core {}: {}", i, v);
+            }
+        }
+    }
+}

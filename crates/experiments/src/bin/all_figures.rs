@@ -36,6 +36,9 @@ fn main() {
     let mut opts = SweepOptions::new(args.lengths, args.workers);
     opts.results_dir = Some(PathBuf::from("results"));
     opts.traces = args.traces;
+    if args.telemetry {
+        opts.telemetry = Some(ipsim_telemetry::TelemetryConfig::default());
+    }
     let report = run_sweep(&selected, &opts);
 
     for fig in &report.figures {
@@ -62,6 +65,17 @@ fn main() {
         args.workers,
         if args.workers == 1 { "" } else { "s" },
     );
+    if report.telemetry_written > 0 {
+        println!(
+            "telemetry: {} artifact director{} written under results/telemetry/",
+            report.telemetry_written,
+            if report.telemetry_written == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
     if report.traces_captured + report.traces_replayed + report.traces_quarantined > 0 {
         println!(
             "traces: {} stream{} captured · {} run{} replayed{}",

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 
 use ipsim_harness::hash::fnv1a64;
 use ipsim_harness::{run_sweep, Figure, ProgressMode, RunLengths, SweepOptions, SweepReport};
+use ipsim_telemetry::TelemetryConfig;
 
 /// Golden output hashes at warm=10_000 / measure=20_000, captured from the
 /// pre-rewrite `Vec<Entry>`/`HashMap` simulation kernel. The kernel rewrite
@@ -21,7 +22,12 @@ const GOLDEN: [(&str, u64); 2] = [
     ("fig05", 0x8B34_D941_5818_8E70),
 ];
 
-fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, PathBuf) {
+fn cold_sweep(
+    figures: &[Figure],
+    tag: &str,
+    workers: usize,
+    telemetry: Option<TelemetryConfig>,
+) -> (SweepReport, PathBuf) {
     let base = std::env::temp_dir().join(format!("ipsim-determinism-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     let opts = SweepOptions {
@@ -35,6 +41,8 @@ fn cold_sweep(figures: &[Figure], tag: &str, workers: usize) -> (SweepReport, Pa
         runlog: Some(base.join("runlog.tsv")),
         trace_dir: Some(base.join("traces")),
         traces: true,
+        telemetry,
+        telemetry_dir: Some(base.join("telemetry")),
         progress: ProgressMode::Silent,
     };
     (run_sweep(figures, &opts), base)
@@ -50,22 +58,50 @@ fn figure_output_is_byte_identical_across_worker_counts() {
         .collect();
     assert_eq!(figures.len(), 2);
 
-    let (serial, dir1) = cold_sweep(&figures, "w1", 1);
-    let (parallel, dir4) = cold_sweep(&figures, "w4", 4);
+    let (serial, dir1) = cold_sweep(&figures, "w1", 1, None);
+    let (parallel, dir4) = cold_sweep(&figures, "w4", 4, None);
+    // Telemetry observes the simulation; it must not touch a rendered byte.
+    let (instrumented, dir_t) = cold_sweep(
+        &figures,
+        "telem",
+        4,
+        Some(TelemetryConfig {
+            interval: 5_000,
+            max_events_per_core: 65_536,
+        }),
+    );
 
     assert!(serial.all_ok(), "serial sweep failed");
     assert!(parallel.all_ok(), "parallel sweep failed");
+    assert!(instrumented.all_ok(), "telemetry sweep failed");
     assert_eq!(serial.cache_hits, 0, "sweep was not cold");
     assert_eq!(parallel.cache_hits, 0, "sweep was not cold");
+    assert_eq!(instrumented.cache_hits, 0, "sweep was not cold");
+    assert!(
+        instrumented.telemetry_written > 0,
+        "telemetry sweep wrote no artifacts"
+    );
 
-    for (a, b) in serial.figures.iter().zip(&parallel.figures) {
+    for ((a, b), c) in serial
+        .figures
+        .iter()
+        .zip(&parallel.figures)
+        .zip(&instrumented.figures)
+    {
         assert_eq!(a.name, b.name);
         let text1 = a.outcome.as_ref().unwrap();
         let text4 = b.outcome.as_ref().unwrap();
+        let text_t = c.outcome.as_ref().unwrap();
         assert_eq!(
             text1.as_bytes(),
             text4.as_bytes(),
             "{}: 1-worker and 4-worker outputs differ",
+            a.name
+        );
+        assert_eq!(
+            text1.as_bytes(),
+            text_t.as_bytes(),
+            "{}: telemetry changed the rendered output",
             a.name
         );
 
@@ -84,4 +120,5 @@ fn figure_output_is_byte_identical_across_worker_counts() {
 
     let _ = std::fs::remove_dir_all(dir1);
     let _ = std::fs::remove_dir_all(dir4);
+    let _ = std::fs::remove_dir_all(dir_t);
 }

@@ -5,6 +5,7 @@ use crate::RunLengths;
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...] [--no-traces]
+                       [--telemetry]
 
   --quick          ~5x shorter warm-up/measurement windows (smoke runs)
   --jobs N, -j N   worker threads for the run pool
@@ -12,6 +13,9 @@ usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...] [--no-tr
   --figures LIST   comma-separated figure subset (all_figures only)
   --no-traces      disable instruction-stream capture/replay (every run
                    generates its stream live; see also IPSIM_TRACE_DIR)
+  --telemetry      collect interval samples and prefetch lifecycle events,
+                   writing per-run artifacts under results/telemetry/
+                   (see also IPSIM_TELEMETRY_DIR); results are unchanged
   --help           this text
 ";
 
@@ -27,6 +31,9 @@ pub struct HarnessArgs {
     /// Whether to capture/replay instruction streams (`--no-traces`
     /// disables).
     pub traces: bool,
+    /// Whether to collect telemetry and write per-run artifacts
+    /// (`--telemetry` enables).
+    pub telemetry: bool,
 }
 
 impl HarnessArgs {
@@ -41,6 +48,7 @@ impl HarnessArgs {
             workers: default_workers(),
             figures: None,
             traces: true,
+            telemetry: false,
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -48,6 +56,7 @@ impl HarnessArgs {
             match arg {
                 "--quick" => out.lengths = RunLengths::quick(),
                 "--no-traces" => out.traces = false,
+                "--telemetry" => out.telemetry = true,
                 "--jobs" | "-j" => {
                     let v = args
                         .next()
@@ -132,6 +141,10 @@ mod tests {
 
         let t = HarnessArgs::parse(["--no-traces"]).unwrap();
         assert!(!t.traces);
+        assert!(!t.telemetry);
+
+        let tm = HarnessArgs::parse(["--telemetry"]).unwrap();
+        assert!(tm.telemetry);
 
         let a = HarnessArgs::parse(["--quick", "--jobs", "4"]).unwrap();
         assert_eq!(a.lengths, RunLengths::quick());

@@ -24,6 +24,11 @@
 //!   wall time, simulated MIPS, stream provenance (`cache` / `live` /
 //!   `capture` / `replay`) and trace-decode throughput, cache hit/miss
 //!   counters, and a live `N/M runs, ETA` stderr line.
+//! * [`telemetry::TelemetrySink`] turns each executed run's collected
+//!   telemetry (`ipsim-telemetry`) into an on-disk artifact directory
+//!   keyed by the run-cache hash: JSONL lifecycle events, a Chrome
+//!   `trace_event` timeline, the interval time series, and the
+//!   per-component summary `sim_report` aggregates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ pub mod runlog;
 pub mod spec;
 pub mod summary;
 pub mod sweep;
+pub mod telemetry;
 pub mod traces;
 
 pub use args::HarnessArgs;
@@ -47,6 +53,7 @@ pub use progress::ProgressMode;
 pub use spec::RunSpec;
 pub use summary::Summary;
 pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
+pub use telemetry::TelemetrySink;
 pub use traces::{RunSource, TraceStore};
 
 /// Run-length configuration shared by every experiment.

@@ -21,6 +21,7 @@ use crate::progress::Progress;
 use crate::runlog::RunRecord;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
+use crate::telemetry::TelemetrySink;
 use crate::traces::{RunSource, TraceStore};
 
 /// Outcome of executing one batch of unique specs.
@@ -39,13 +40,17 @@ type JobSlot = Mutex<Option<(Result<Summary, String>, RunRecord)>>;
 
 /// Runs every spec (assumed unique) across `workers` threads, consulting
 /// and updating `cache`, and capturing/replaying instruction streams
-/// through `traces`. Panicking simulations are contained: they mark their
-/// own spec failed and the batch continues.
+/// through `traces`. With a `telemetry` sink, every run additionally
+/// collects telemetry and writes a per-run artifact — a run whose
+/// artifact is missing bypasses the run cache so there is something to
+/// write. Panicking simulations are contained: they mark their own spec
+/// failed and the batch continues.
 pub fn execute(
     specs: &[RunSpec],
     workers: usize,
     cache: &RunCache,
     traces: &TraceStore,
+    telemetry: Option<&TelemetrySink>,
     progress: &Progress,
 ) -> ExecReport {
     let started = Instant::now();
@@ -61,7 +66,7 @@ pub fn execute(
                 if i >= n {
                     break;
                 }
-                let outcome = run_one(&specs[i], cache, traces);
+                let outcome = run_one(&specs[i], cache, traces, telemetry);
                 progress.on_run(&outcome.1);
                 *slots[i].lock().unwrap() = Some(outcome);
             });
@@ -86,37 +91,65 @@ pub fn execute(
 }
 
 /// Executes one spec: cache lookup, else simulate through the trace store
-/// (containing panics) and store the summary.
+/// (containing panics), store the summary, and — when a telemetry sink is
+/// active — write the run's artifact. A cache hit is only taken when the
+/// sink already has this run's artifact (or there is no sink): summaries
+/// are cacheable, telemetry is not.
 fn run_one(
     spec: &RunSpec,
     cache: &RunCache,
     traces: &TraceStore,
+    telemetry: Option<&TelemetrySink>,
 ) -> (Result<Summary, String>, RunRecord) {
     let t0 = Instant::now();
     let key = spec.cache_key();
     let label = spec.label();
-    if let Some(summary) = cache.lookup(spec) {
-        let record = RunRecord {
-            key,
-            label,
-            source: RunSource::Cache,
-            ok: true,
-            wall_s: t0.elapsed().as_secs_f64(),
-            sim_instructions: 0,
-            mips: 0.0,
-            sim_mips: 0.0,
-            decode_mips: 0.0,
-        };
-        return (Ok(summary), record);
+    let need_artifact = telemetry.is_some_and(|sink| !sink.has(&key));
+    if !need_artifact {
+        if let Some(summary) = cache.lookup(spec) {
+            let l1i_mpi = summary.l1i_mpi;
+            let record = RunRecord {
+                key,
+                label,
+                source: RunSource::Cache,
+                ok: true,
+                wall_s: t0.elapsed().as_secs_f64(),
+                sim_instructions: 0,
+                mips: 0.0,
+                sim_mips: 0.0,
+                decode_mips: 0.0,
+                l1i_mpi,
+                iv_mpki: 0.0,
+                telemetry_events: 0,
+            };
+            return (Ok(summary), record);
+        }
     }
-    let run = catch_unwind(AssertUnwindSafe(|| traces.execute(spec)))
-        .map_err(|panic| panic_message(&*panic));
-    let (result, source, sim_mips, decode_mips) = match run {
-        Ok(run) => (Ok(run.summary), run.source, run.sim_mips, run.decode_mips),
-        Err(e) => (Err(e), RunSource::Live, 0.0, 0.0),
+    let config = telemetry.map(|sink| sink.config().clone());
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        traces.execute_with(spec, config.as_ref())
+    }))
+    .map_err(|panic| panic_message(&*panic));
+    let (result, source, sim_mips, decode_mips, collected) = match run {
+        Ok(run) => (
+            Ok(run.summary),
+            run.source,
+            run.sim_mips,
+            run.decode_mips,
+            run.telemetry,
+        ),
+        Err(e) => (Err(e), RunSource::Live, 0.0, 0.0, None),
     };
     if let Ok(summary) = &result {
         cache.store(spec, summary);
+    }
+    let (mut iv_mpki, mut telemetry_events) = (0.0, 0);
+    if let (Some(sink), Some(collected)) = (telemetry, &collected) {
+        iv_mpki = collected.last_interval_l1i_mpki().unwrap_or(0.0);
+        telemetry_events = collected.total_events() as u64;
+        if let Err(e) = sink.write(spec, collected) {
+            eprintln!("warning: could not write telemetry artifact for {key}: {e}");
+        }
     }
     let wall_s = t0.elapsed().as_secs_f64();
     let sim_instructions =
@@ -135,6 +168,9 @@ fn run_one(
         },
         sim_mips,
         decode_mips,
+        l1i_mpi: result.as_ref().map(|s| s.l1i_mpi).unwrap_or(0.0),
+        iv_mpki,
+        telemetry_events,
     };
     (result, record)
 }
@@ -190,9 +226,9 @@ mod tests {
         let cache4 = tmp_cache("w4");
         let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let serial = execute(&specs, 1, &cache1, &traces, &p);
+        let serial = execute(&specs, 1, &cache1, &traces, None, &p);
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let parallel = execute(&specs, 4, &cache4, &traces, &p);
+        let parallel = execute(&specs, 4, &cache4, &traces, None, &p);
         for spec in &specs {
             let key = spec.cache_key();
             assert_eq!(
@@ -214,14 +250,14 @@ mod tests {
         let cache = tmp_cache("rerun");
         let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let cold = execute(&specs, 2, &cache, &traces, &p);
+        let cold = execute(&specs, 2, &cache, &traces, None, &p);
         assert!(cold.records.iter().all(|r| !r.cached() && r.ok));
         assert!(cold
             .records
             .iter()
             .all(|r| r.source == RunSource::Live && r.mips > 0.0));
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let warm = execute(&specs, 2, &cache, &traces, &p);
+        let warm = execute(&specs, 2, &cache, &traces, None, &p);
         assert!(warm
             .records
             .iter()
@@ -242,10 +278,61 @@ mod tests {
         let cache = tmp_cache("order");
         let traces = TraceStore::disabled();
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let report = execute(&specs, 3, &cache, &traces, &p);
+        let report = execute(&specs, 3, &cache, &traces, None, &p);
         let got: Vec<String> = report.records.iter().map(|r| r.key.clone()).collect();
         let want: Vec<String> = specs.iter().map(|s| s.cache_key()).collect();
         assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn telemetry_bypasses_cache_until_the_artifact_exists() {
+        use ipsim_telemetry::TelemetryConfig;
+
+        let spec = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            RunLengths {
+                warm: 2_000,
+                measure: 5_000,
+            },
+        )
+        .prefetcher(ipsim_core::PrefetcherKind::NextLineTagged);
+        let key = spec.cache_key();
+        let specs = vec![spec];
+        let cache = tmp_cache("telem");
+        let traces = TraceStore::disabled();
+        let root = std::env::temp_dir().join(format!("ipsim-pool-telem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let sink = TelemetrySink::at(&root, TelemetryConfig::default());
+
+        // Cold: simulated, artifact written, record carries event count.
+        let p = Progress::new(ProgressMode::Silent, 1);
+        let first = execute(&specs, 1, &cache, &traces, Some(&sink), &p);
+        assert_eq!(first.records[0].source, RunSource::Live);
+        assert!(first.records[0].telemetry_events > 0);
+        assert!(first.records[0].l1i_mpi > 0.0);
+        assert!(sink.has(&key));
+
+        // Artifact present: the warm cache may serve the summary.
+        let p = Progress::new(ProgressMode::Silent, 1);
+        let second = execute(&specs, 1, &cache, &traces, Some(&sink), &p);
+        assert!(second.records[0].cached());
+        assert!(second.records[0].l1i_mpi > 0.0, "cache hits report l1i_mpi");
+
+        // Artifact deleted: the cache is bypassed so it can be rewritten.
+        let _ = std::fs::remove_dir_all(sink.dir_for(&key));
+        let p = Progress::new(ProgressMode::Silent, 1);
+        let third = execute(&specs, 1, &cache, &traces, Some(&sink), &p);
+        assert!(!third.records[0].cached());
+        assert!(sink.has(&key));
+        assert_eq!(
+            first.results[&key].as_ref().unwrap(),
+            third.results[&key].as_ref().unwrap(),
+            "telemetry re-run changed the result"
+        );
+
+        let _ = std::fs::remove_dir_all(&root);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -258,11 +345,11 @@ mod tests {
         let cache_b = tmp_cache("tr-b");
         let traces = TraceStore::at(&dir);
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let first = execute(&specs, 2, &cache_a, &traces, &p);
+        let first = execute(&specs, 2, &cache_a, &traces, None, &p);
         assert!(first.records.iter().all(|r| r.source == RunSource::Capture));
         // Fresh cache forces re-simulation; streams come from the store.
         let p = Progress::new(ProgressMode::Silent, specs.len());
-        let second = execute(&specs, 2, &cache_b, &traces, &p);
+        let second = execute(&specs, 2, &cache_b, &traces, None, &p);
         assert!(second.records.iter().all(|r| r.source == RunSource::Replay));
         for spec in &specs {
             let key = spec.cache_key();

@@ -76,10 +76,11 @@ impl Progress {
             ProgressMode::Live => {
                 let _ = write!(
                     err,
-                    "\r[{done}/{total}] runs · {cached} cached · last {label} {wall:.1}s · ETA {eta}   ",
+                    "\r[{done}/{total}] runs · {cached} cached · last {label} {wall:.1}s{perf} · ETA {eta}   ",
                     total = self.total,
                     label = record.label,
                     wall = record.wall_s,
+                    perf = perf_suffix(record),
                     eta = fmt_eta(eta),
                 );
             }
@@ -88,10 +89,11 @@ impl Progress {
                     "cached".to_string()
                 } else if record.ok {
                     format!(
-                        "{} {:.1}s ({:.1} MIPS)",
+                        "{} {:.1}s ({:.1} MIPS{})",
                         record.source.as_str(),
                         record.wall_s,
-                        record.mips
+                        record.mips,
+                        perf_suffix(record),
                     )
                 } else {
                     "FAILED".to_string()
@@ -127,6 +129,21 @@ impl Progress {
     }
 }
 
+/// Per-run performance detail appended to progress lines: kernel-only
+/// throughput (`sim_mips`, added to the run log in v3 but previously
+/// never displayed) and — when telemetry sampled the run — the last
+/// interval's live L1I miss rate. Empty for cache hits and failures.
+fn perf_suffix(record: &RunRecord) -> String {
+    let mut out = String::new();
+    if record.sim_mips > 0.0 {
+        out.push_str(&format!(" · {:.1} sim-MIPS", record.sim_mips));
+    }
+    if record.iv_mpki > 0.0 {
+        out.push_str(&format!(" · i$ {:.1}m/KI", record.iv_mpki));
+    }
+    out
+}
+
 /// `73s` below two minutes, `m:ss` above.
 fn fmt_eta(secs: u64) -> String {
     if secs < 120 {
@@ -139,6 +156,29 @@ fn fmt_eta(secs: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn perf_suffix_shows_sim_mips_and_interval_miss_rate() {
+        let mut rec = RunRecord {
+            key: "k".into(),
+            label: "l".into(),
+            source: crate::traces::RunSource::Live,
+            ok: true,
+            wall_s: 1.0,
+            sim_instructions: 1,
+            mips: 1.0,
+            sim_mips: 0.0,
+            decode_mips: 0.0,
+            l1i_mpi: 0.0,
+            iv_mpki: 0.0,
+            telemetry_events: 0,
+        };
+        assert_eq!(perf_suffix(&rec), "");
+        rec.sim_mips = 42.25;
+        assert_eq!(perf_suffix(&rec), " · 42.2 sim-MIPS");
+        rec.iv_mpki = 18.04;
+        assert_eq!(perf_suffix(&rec), " · 42.2 sim-MIPS · i$ 18.0m/KI");
+    }
 
     #[test]
     fn eta_formatting() {
@@ -161,6 +201,9 @@ mod tests {
             mips: 0.0,
             sim_mips: 0.0,
             decode_mips: 0.0,
+            l1i_mpi: 0.0,
+            iv_mpki: 0.0,
+            telemetry_events: 0,
         };
         p.on_run(&rec);
         p.on_run(&rec);

@@ -18,6 +18,13 @@
 //! validation and capture I/O. `mips` (whole-run wall time) answers "how
 //! fast is a sweep"; `sim_mips` answers "how fast is the simulation
 //! kernel" — the number the bench snapshot tracks, now visible per run.
+//!
+//! Schema v4 adds the telemetry columns: `l1i_mpi` (the run's headline
+//! L1I misses per instruction, so miss-rate anomalies are greppable from
+//! the log without opening result files), `iv_mpki` (the *last interval's*
+//! L1I misses per 1 000 instructions when telemetry sampled the run — a
+//! quick end-of-window vs whole-window comparison), and `telem` (lifecycle
+//! events written to the run's artifact; 0 when telemetry was off).
 //! A log with an older header found on disk is rotated to
 //! `<path>.v<N>.bak` (its own version) rather than mixed or clobbered.
 
@@ -29,7 +36,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use crate::traces::RunSource;
 
 /// First line of a fresh run log.
-pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v3";
+pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v4";
 
 /// Default run-log path, relative to the working directory.
 pub const DEFAULT_RUNLOG: &str = "results/runlog.tsv";
@@ -69,6 +76,15 @@ pub struct RunRecord {
     /// Trace-decode throughput (million ops/s) measured while validating
     /// this run's stored streams; 0 unless the run replayed.
     pub decode_mips: f64,
+    /// L1I misses per instruction from the run's summary (cache hits
+    /// report it too — the summary is what the cache stores).
+    pub l1i_mpi: f64,
+    /// The final sampling interval's L1I misses per 1 000 instructions;
+    /// 0 when telemetry was off or fewer than two samples landed.
+    pub iv_mpki: f64,
+    /// Lifecycle events written to this run's telemetry artifact; 0 when
+    /// telemetry was off.
+    pub telemetry_events: u64,
 }
 
 impl RunRecord {
@@ -97,7 +113,8 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         out.push_str(RUNLOG_SCHEMA);
         out.push('\n');
         out.push_str(
-            "# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tsim_mips\tdec_mips\tkey\tlabel\n",
+            "# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tsim_mips\tdec_mips\t\
+             l1i_mpi\tiv_mpki\ttelem\tkey\tlabel\n",
         );
     }
     let ts = SystemTime::now()
@@ -106,7 +123,7 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         .unwrap_or(0);
     for r in records {
         out.push_str(&format!(
-            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
+            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.5}\t{:.2}\t{}\t{}\t{}\n",
             r.source.as_str(),
             u8::from(r.ok),
             r.wall_s,
@@ -114,6 +131,9 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
             r.mips,
             r.sim_mips,
             r.decode_mips,
+            r.l1i_mpi,
+            r.iv_mpki,
+            r.telemetry_events,
             r.key,
             r.label,
         ));
@@ -159,6 +179,9 @@ mod tests {
             mips: 24.0,
             sim_mips: 31.5,
             decode_mips: 0.0,
+            l1i_mpi: 0.0221,
+            iv_mpki: 18.5,
+            telemetry_events: 1_234,
         }
     }
 
@@ -177,8 +200,11 @@ mod tests {
         assert!(lines[2].contains("\tdeadbeefdeadbeef\t"));
         assert!(lines[2].contains("\tlive\t"));
         assert!(lines[3].contains("\treplay\t"));
-        assert_eq!(lines[2].split('\t').count(), 11);
+        assert_eq!(lines[2].split('\t').count(), 14);
         assert!(lines[2].contains("\t31.50\t"), "sim_mips column present");
+        assert!(lines[2].contains("\t0.02210\t"), "l1i_mpi column present");
+        assert!(lines[2].contains("\t18.50\t"), "iv_mpki column present");
+        assert!(lines[2].contains("\t1234\t"), "telem column present");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -12,6 +12,8 @@ use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ipsim_telemetry::TelemetryConfig;
+
 use crate::cache::RunCache;
 use crate::figure::Figure;
 use crate::pool::{self, ExecReport};
@@ -19,6 +21,7 @@ use crate::progress::{Progress, ProgressMode};
 use crate::runlog;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
+use crate::telemetry::TelemetrySink;
 use crate::traces::TraceStore;
 use crate::RunLengths;
 
@@ -41,6 +44,13 @@ pub struct SweepOptions {
     pub trace_dir: Option<PathBuf>,
     /// Whether to capture/replay instruction streams at all.
     pub traces: bool,
+    /// When set, every executed run collects telemetry with this config
+    /// and writes a per-run artifact directory (see [`TelemetrySink`]).
+    /// Telemetry never affects summaries, figures or cache keys.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Telemetry artifact root; `None` uses `$IPSIM_TELEMETRY_DIR` / the
+    /// default. Ignored when `telemetry` is `None`.
+    pub telemetry_dir: Option<PathBuf>,
     /// Progress reporting mode.
     pub progress: ProgressMode,
 }
@@ -57,6 +67,8 @@ impl SweepOptions {
             runlog: None,
             trace_dir: None,
             traces: true,
+            telemetry: None,
+            telemetry_dir: None,
             progress: ProgressMode::Auto,
         }
     }
@@ -70,6 +82,15 @@ impl SweepOptions {
             Some(dir) => TraceStore::at(dir.clone()),
             None => TraceStore::from_env(),
         }
+    }
+
+    /// The telemetry sink these options select, if any.
+    fn telemetry_sink(&self) -> Option<TelemetrySink> {
+        let config = self.telemetry.clone()?;
+        Some(match &self.telemetry_dir {
+            Some(dir) => TelemetrySink::at(dir.clone(), config),
+            None => TelemetrySink::from_env(config),
+        })
     }
 }
 
@@ -105,6 +126,8 @@ pub struct SweepReport {
     pub traces_replayed: u64,
     /// Corrupt trace files quarantined.
     pub traces_quarantined: u64,
+    /// Telemetry artifact directories written this sweep.
+    pub telemetry_written: u64,
     /// Wall time of the execution phase.
     pub wall: Duration,
 }
@@ -144,8 +167,16 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         None => RunCache::from_env(),
     };
     let traces = opts.trace_store();
+    let telemetry = opts.telemetry_sink();
     let progress = Progress::new(opts.progress, unique.len());
-    let exec = execute_phased(&unique, opts.workers, &cache, &traces, &progress);
+    let exec = execute_phased(
+        &unique,
+        opts.workers,
+        &cache,
+        &traces,
+        telemetry.as_ref(),
+        &progress,
+    );
     progress.finish();
 
     // Phase 4: observability — append to the run log. Failure to log is
@@ -200,6 +231,7 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         traces_captured: traces.captured(),
         traces_replayed: traces.replayed(),
         traces_quarantined: traces.quarantined(),
+        telemetry_written: telemetry.as_ref().map_or(0, TelemetrySink::written),
         wall: exec.wall,
     }
 }
@@ -213,6 +245,7 @@ fn execute_phased(
     workers: usize,
     cache: &RunCache,
     traces: &TraceStore,
+    telemetry: Option<&TelemetrySink>,
     progress: &Progress,
 ) -> ExecReport {
     let mut captains: Vec<RunSpec> = Vec::new();
@@ -229,10 +262,10 @@ fn execute_phased(
     }
     if followers.is_empty() {
         // Every spec has its own stream (or the store is off): no phasing.
-        return pool::execute(unique, workers, cache, traces, progress);
+        return pool::execute(unique, workers, cache, traces, telemetry, progress);
     }
-    let first = pool::execute(&captains, workers, cache, traces, progress);
-    let second = pool::execute(&followers, workers, cache, traces, progress);
+    let first = pool::execute(&captains, workers, cache, traces, telemetry, progress);
+    let second = pool::execute(&followers, workers, cache, traces, telemetry, progress);
 
     let mut results = first.results;
     results.extend(second.results);
@@ -308,6 +341,8 @@ mod tests {
             runlog: Some(base.join("runlog.tsv")),
             trace_dir: Some(base.join("traces")),
             traces: true,
+            telemetry: None,
+            telemetry_dir: Some(base.join("telemetry")),
             progress: ProgressMode::Silent,
         }
     }
@@ -373,5 +408,51 @@ mod tests {
         assert_eq!(report2.traces_replayed, 0);
 
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn telemetry_sweeps_write_artifacts_and_match_plain_sweeps() {
+        let plain_opts = opts("telem-plain");
+        let plain = run_sweep(&FIGS[..2], &plain_opts);
+        assert!(plain.all_ok());
+        assert_eq!(plain.telemetry_written, 0);
+
+        let mut telem_opts = opts("telem-on");
+        telem_opts.telemetry = Some(TelemetryConfig {
+            interval: 500,
+            max_events_per_core: 4_096,
+        });
+        let report = run_sweep(&FIGS[..2], &telem_opts);
+        assert!(report.all_ok());
+        assert_eq!(report.telemetry_written, 2, "one artifact per unique run");
+
+        // Figure bytes are identical with telemetry on.
+        for (a, b) in plain.figures.iter().zip(&report.figures) {
+            assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        }
+
+        // Artifacts landed under the telemetry root with complete markers.
+        let root = telem_opts.telemetry_dir.as_ref().unwrap();
+        let dirs: Vec<_> = std::fs::read_dir(root)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(dirs.len(), 2);
+        for dir in &dirs {
+            assert!(dir.join(crate::telemetry::META_FILE).is_file());
+            assert!(dir.join("events.jsonl").is_file());
+            assert!(dir.join("trace.json").is_file());
+            assert!(dir.join("series.tsv").is_file());
+            assert!(dir.join("pf_summary.tsv").is_file());
+        }
+
+        // A repeat sweep finds every artifact in place: all cache hits,
+        // nothing rewritten.
+        let repeat = run_sweep(&FIGS[..2], &telem_opts);
+        assert_eq!(repeat.cache_hits, 2);
+        assert_eq!(repeat.telemetry_written, 0);
+
+        let _ = std::fs::remove_dir_all(root.parent().unwrap());
+        let _ = std::fs::remove_dir_all(plain_opts.results_dir.as_ref().unwrap().parent().unwrap());
     }
 }

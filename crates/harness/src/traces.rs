@@ -32,8 +32,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ipsim_cpu::OpSource;
+use ipsim_cpu::{OpSource, System};
 use ipsim_stream::{ReplaySource, Tee, TraceReader, TraceWriter};
+use ipsim_telemetry::{TelemetryConfig, TelemetryRun};
 
 use crate::spec::RunSpec;
 use crate::summary::Summary;
@@ -88,6 +89,11 @@ pub struct TracedRun {
     /// cache hits. Compare against the run-level `mips` to see how much
     /// wall time goes to overhead around the simulation loop.
     pub sim_mips: f64,
+    /// Telemetry collected over the measurement window; `Some` iff the
+    /// run was executed with a [`TelemetryConfig`]. Replay, capture and
+    /// live paths all collect identically — telemetry observes the
+    /// simulation, not the stream source.
+    pub telemetry: Option<TelemetryRun>,
 }
 
 /// A trace store rooted at one directory, with capture/replay accounting.
@@ -174,20 +180,34 @@ impl TraceStore {
     /// generation. Never fails harder than [`RunSpec::execute`] itself:
     /// every store problem downgrades the run, it never aborts it.
     pub fn execute(&self, spec: &RunSpec) -> TracedRun {
+        self.execute_with(spec, None)
+    }
+
+    /// Like [`TraceStore::execute`], but collecting telemetry over the
+    /// measurement window when a config is given. The stream path chosen
+    /// (replay / capture / live) is unaffected by telemetry, and — because
+    /// telemetry never perturbs simulation — neither is the summary.
+    pub fn execute_with(&self, spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> TracedRun {
         let Some(dir) = self.dir.clone() else {
-            return live_run(spec);
+            return live_run(spec, telemetry);
         };
         let key = spec.trace_key();
-        match self.try_replay(&dir, spec, &key) {
+        match self.try_replay(&dir, spec, &key, telemetry) {
             Some(run) => run,
-            None => self.capture_or_live(&dir, spec, &key),
+            None => self.capture_or_live(&dir, spec, &key, telemetry),
         }
     }
 
     /// Attempts to serve `spec` from stored traces. Returns `None` when
     /// any per-core file is missing or fails validation (corrupt files are
     /// quarantined on the way out).
-    fn try_replay(&self, dir: &Path, spec: &RunSpec, key: &str) -> Option<TracedRun> {
+    fn try_replay(
+        &self,
+        dir: &Path,
+        spec: &RunSpec,
+        key: &str,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> Option<TracedRun> {
         let n_cores = spec.config.n_cores;
         let per_core_ops = spec.lengths.warm + spec.lengths.measure;
         let mut sources: Vec<ReplaySource<BufReader<File>>> = Vec::with_capacity(n_cores as usize);
@@ -214,7 +234,7 @@ impl TraceStore {
         }
         let decode_s = t0.elapsed().as_secs_f64();
         let decoded_ops: u64 = sources.iter().map(|s| s.stats().ops).sum();
-        let mut system = spec.build_system();
+        let mut system = build_instrumented(spec, telemetry);
         let mut dyns: Vec<&mut dyn OpSource> =
             sources.iter_mut().map(|s| s as &mut dyn OpSource).collect();
         let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
@@ -228,18 +248,25 @@ impl TraceStore {
                 0.0
             },
             sim_mips: metrics.sim_mips(),
+            telemetry: system.take_telemetry(),
         }
         .into()
     }
 
     /// Runs `spec` live, capturing the stream if this thread wins the
     /// claim for `key` and the capture files can be written.
-    fn capture_or_live(&self, dir: &Path, spec: &RunSpec, key: &str) -> TracedRun {
+    fn capture_or_live(
+        &self,
+        dir: &Path,
+        spec: &RunSpec,
+        key: &str,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> TracedRun {
         let claimed = self.claims.lock().unwrap().insert(key.to_string());
         if !claimed || fs::create_dir_all(dir).is_err() {
             // Someone else is already writing this stream (or the store
             // directory is unusable): plain live run.
-            return live_run(spec);
+            return live_run(spec, telemetry);
         }
 
         let n_cores = spec.config.n_cores;
@@ -258,7 +285,7 @@ impl TraceStore {
                 }
                 None => {
                     discard(&tmp_paths);
-                    return live_run(spec);
+                    return live_run(spec, telemetry);
                 }
             }
         }
@@ -271,12 +298,13 @@ impl TraceStore {
             .enumerate()
             .map(|(c, w)| Tee::new(spec.workloads.walker(&programs, c as u32), w))
             .collect();
-        let mut system = spec.build_system();
+        let mut system = build_instrumented(spec, telemetry);
         let mut dyns: Vec<&mut dyn OpSource> =
             tees.iter_mut().map(|t| t as &mut dyn OpSource).collect();
         let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
         let summary = Summary::from_metrics(&metrics);
         let sim_mips = metrics.sim_mips();
+        let collected = system.take_telemetry();
 
         // Seal and publish. Any sink error (latched mid-run or at finish)
         // voids the whole capture but never the simulation result.
@@ -303,6 +331,7 @@ impl TraceStore {
                 source: RunSource::Live,
                 decode_mips: 0.0,
                 sim_mips,
+                telemetry: collected,
             };
         }
         self.captured.fetch_add(1, Ordering::Relaxed);
@@ -311,6 +340,7 @@ impl TraceStore {
             source: RunSource::Capture,
             decode_mips: 0.0,
             sim_mips,
+            telemetry: collected,
         }
     }
 
@@ -325,14 +355,25 @@ impl TraceStore {
     }
 }
 
+/// Builds `spec`'s system with telemetry armed when a config is given.
+fn build_instrumented(spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> System {
+    let mut system = spec.build_system();
+    if let Some(config) = telemetry {
+        system.enable_telemetry(config.clone());
+    }
+    system
+}
+
 /// Executes `spec` with plain live generation (no store involvement).
-fn live_run(spec: &RunSpec) -> TracedRun {
-    let metrics = spec.execute_metrics();
+fn live_run(spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> TracedRun {
+    let mut system = build_instrumented(spec, telemetry);
+    let metrics = system.run_workload(&spec.workloads, spec.lengths.warm, spec.lengths.measure);
     TracedRun {
         summary: Summary::from_metrics(&metrics),
         source: RunSource::Live,
         decode_mips: 0.0,
         sim_mips: metrics.sim_mips(),
+        telemetry: system.take_telemetry(),
     }
 }
 
@@ -449,6 +490,31 @@ mod tests {
         assert_eq!(run.source, RunSource::Live);
         assert!(run.sim_mips > 0.0, "live runs are timed");
         assert_eq!((store.captured(), store.replayed()), (0, 0));
+    }
+
+    #[test]
+    fn telemetry_flows_through_every_stream_path() {
+        let dir = tmp_dir("telemetry");
+        let store = TraceStore::at(&dir);
+        let spec = spec();
+        let config = TelemetryConfig::default();
+        let plain = spec.execute();
+
+        let capture = store.execute_with(&spec, Some(&config));
+        assert_eq!(capture.source, RunSource::Capture);
+        let replay = store.execute_with(&spec, Some(&config));
+        assert_eq!(replay.source, RunSource::Replay);
+        let live = TraceStore::disabled().execute_with(&spec, Some(&config));
+        assert_eq!(live.source, RunSource::Live);
+
+        for run in [&capture, &replay, &live] {
+            assert_eq!(run.summary, plain, "telemetry perturbed a summary");
+            let telem = run.telemetry.as_ref().expect("telemetry was requested");
+            // One core, measure < interval: at least the final snapshot.
+            assert!(!telem.samples.is_empty());
+        }
+        assert!(store.execute(&spec).telemetry.is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

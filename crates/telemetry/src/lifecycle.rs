@@ -1,0 +1,301 @@
+//! Validation of per-line lifecycle orderings.
+//!
+//! A prefetched line on one core moves through a small state machine:
+//!
+//! ```text
+//!            issued            fill                first_use[_late]
+//!   Absent ────────► InFlight ──────► Resident{unused} ───────────► Resident{used}
+//!     ▲                 │demand_wait        │evict_unused                  │evict_used
+//!     │                 ▼(stays InFlight)   ▼                              ▼
+//!     └─────────────────────────────────── Absent ◄────────────────────────┘
+//! ```
+//!
+//! `queued` / `filtered` / `drop_resident` / `drop_inflight` / `l2_install`
+//! are state-neutral annotations (a drop may refer to a line that was
+//! demand-fetched rather than prefetched, so they carry no transition).
+//!
+//! The validator replays a per-core event stream against this machine and
+//! reports the first violation: issue-while-in-flight, double fill,
+//! use-after-evict, double first-use, evict-kind mismatch, and so on. Two
+//! sources of benign incompleteness are tolerated by construction:
+//!
+//! * **mid-stream starts** — measurement begins after warm-up, so the
+//!   first event observed for a line may be any transition; an unknown
+//!   line adopts the state that transition implies;
+//! * **truncated tails** — the event buffer is bounded and drops from the
+//!   end, and a prefix of a valid stream is itself valid.
+
+use std::collections::HashMap;
+
+use ipsim_types::LineAddr;
+
+use crate::event::{PfEvent, PfEventKind};
+
+/// Per-line state tracked by the validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Not resident and no fill in flight.
+    Absent,
+    /// A prefetch fill is in flight.
+    InFlight,
+    /// Resident in the L1I; `used` once demand-referenced.
+    Resident { used: bool },
+}
+
+/// Counts of completed transitions, returned on success.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleSummary {
+    /// Events replayed.
+    pub events: usize,
+    /// Distinct lines observed.
+    pub lines: usize,
+    /// `issued` transitions accepted.
+    pub issues: u64,
+    /// `fill` transitions accepted.
+    pub fills: u64,
+    /// First uses (timely + late) accepted.
+    pub first_uses: u64,
+    /// Evictions (used + unused) accepted.
+    pub evictions: u64,
+}
+
+/// A lifecycle violation: the offending event, its position in the
+/// stream, and a description of why it was illegal in the line's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleViolation {
+    /// Index of the offending event in the validated stream.
+    pub index: usize,
+    /// The offending event.
+    pub event: PfEvent,
+    /// Human-readable description of the violated rule.
+    pub reason: String,
+}
+
+impl std::fmt::Display for LifecycleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {} ({} line {:#x} at cycle {}): {}",
+            self.index,
+            self.event.kind.name(),
+            self.event.line.0,
+            self.event.cycle,
+            self.reason
+        )
+    }
+}
+
+/// Replays one core's event stream against the lifecycle state machine.
+///
+/// # Errors
+///
+/// Returns the first [`LifecycleViolation`] encountered.
+pub fn validate_lifecycle(events: &[PfEvent]) -> Result<LifecycleSummary, LifecycleViolation> {
+    let mut states: HashMap<LineAddr, LineState> = HashMap::new();
+    let mut summary = LifecycleSummary::default();
+    for (index, &event) in events.iter().enumerate() {
+        summary.events += 1;
+        let known = states.get(&event.line).copied();
+        let fail = |reason: &str| LifecycleViolation {
+            index,
+            event,
+            reason: reason.to_string(),
+        };
+        let next = match event.kind {
+            // State-neutral annotations.
+            PfEventKind::Queued
+            | PfEventKind::Filtered
+            | PfEventKind::DropResident
+            | PfEventKind::DropInflight
+            | PfEventKind::L2Install => known,
+            PfEventKind::Issued => {
+                summary.issues += 1;
+                match known {
+                    Some(LineState::InFlight) => {
+                        return Err(fail("issued while a fill was already in flight"));
+                    }
+                    Some(LineState::Resident { .. }) => {
+                        return Err(fail("issued while the line was resident"));
+                    }
+                    Some(LineState::Absent) | None => Some(LineState::InFlight),
+                }
+            }
+            PfEventKind::DemandWait => match known {
+                Some(LineState::Absent) => {
+                    return Err(fail("demand merged into a fill that was never issued"));
+                }
+                Some(LineState::Resident { .. }) => {
+                    return Err(fail("demand merged into an already-filled line"));
+                }
+                Some(LineState::InFlight) | None => Some(LineState::InFlight),
+            },
+            PfEventKind::Fill => {
+                summary.fills += 1;
+                match known {
+                    Some(LineState::Resident { .. }) => {
+                        return Err(fail("double fill: the line was already resident"));
+                    }
+                    Some(LineState::Absent) => {
+                        return Err(fail("fill completed for a line with no fill in flight"));
+                    }
+                    Some(LineState::InFlight) | None => Some(LineState::Resident { used: false }),
+                }
+            }
+            PfEventKind::FirstUse | PfEventKind::FirstUseLate => {
+                summary.first_uses += 1;
+                match known {
+                    Some(LineState::Absent) => {
+                        return Err(fail("use after evict"));
+                    }
+                    Some(LineState::InFlight) => {
+                        return Err(fail("first use before the fill completed"));
+                    }
+                    Some(LineState::Resident { used: true }) => {
+                        return Err(fail("double first use"));
+                    }
+                    Some(LineState::Resident { used: false }) | None => {
+                        Some(LineState::Resident { used: true })
+                    }
+                }
+            }
+            PfEventKind::EvictUsed | PfEventKind::EvictUnused => {
+                summary.evictions += 1;
+                let want_used = event.kind == PfEventKind::EvictUsed;
+                match known {
+                    Some(LineState::Absent) => {
+                        return Err(fail("double evict: the line was already absent"));
+                    }
+                    Some(LineState::InFlight) => {
+                        return Err(fail("evicted while the fill was still in flight"));
+                    }
+                    Some(LineState::Resident { used }) if used != want_used => {
+                        return Err(fail(if want_used {
+                            "evict_used for a line never demand-referenced"
+                        } else {
+                            "evict_unused for a line that was demand-referenced"
+                        }));
+                    }
+                    Some(LineState::Resident { .. }) | None => Some(LineState::Absent),
+                }
+            }
+        };
+        if let Some(state) = next {
+            states.insert(event.line, state);
+        }
+    }
+    summary.lines = states.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PfComponent;
+
+    fn ev(cycle: u64, line: u64, kind: PfEventKind) -> PfEvent {
+        PfEvent {
+            cycle,
+            line: LineAddr(line),
+            component: PfComponent::Sequential,
+            kind,
+        }
+    }
+
+    #[test]
+    fn full_happy_lifecycle_validates() {
+        let events = [
+            ev(1, 10, PfEventKind::Queued),
+            ev(2, 10, PfEventKind::Issued),
+            ev(9, 10, PfEventKind::Fill),
+            ev(12, 10, PfEventKind::FirstUse),
+            ev(40, 10, PfEventKind::L2Install),
+            ev(40, 10, PfEventKind::EvictUsed),
+            // Re-prefetch of the same line after eviction is legal.
+            ev(50, 10, PfEventKind::Issued),
+            ev(58, 10, PfEventKind::Fill),
+            ev(90, 10, PfEventKind::EvictUnused),
+        ];
+        let s = validate_lifecycle(&events).expect("valid stream");
+        assert_eq!(s.issues, 2);
+        assert_eq!(s.fills, 2);
+        assert_eq!(s.first_uses, 1);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.lines, 1);
+    }
+
+    #[test]
+    fn late_lifecycle_with_demand_wait() {
+        let events = [
+            ev(2, 10, PfEventKind::Issued),
+            ev(5, 10, PfEventKind::DemandWait),
+            ev(9, 10, PfEventKind::Fill),
+            ev(9, 10, PfEventKind::FirstUseLate),
+        ];
+        assert!(validate_lifecycle(&events).is_ok());
+    }
+
+    #[test]
+    fn mid_stream_start_is_tolerated() {
+        // First event for the line is a fill (issued during warm-up).
+        let events = [
+            ev(9, 10, PfEventKind::Fill),
+            ev(12, 10, PfEventKind::FirstUse),
+            // First event for line 20 is an eviction.
+            ev(13, 20, PfEventKind::EvictUnused),
+        ];
+        assert!(validate_lifecycle(&events).is_ok());
+    }
+
+    #[test]
+    fn use_after_evict_is_rejected() {
+        let events = [
+            ev(1, 10, PfEventKind::Issued),
+            ev(5, 10, PfEventKind::Fill),
+            ev(6, 10, PfEventKind::EvictUnused),
+            ev(7, 10, PfEventKind::FirstUse),
+        ];
+        let err = validate_lifecycle(&events).unwrap_err();
+        assert_eq!(err.index, 3);
+        assert!(err.reason.contains("use after evict"), "{err}");
+    }
+
+    #[test]
+    fn double_fill_is_rejected() {
+        let events = [
+            ev(1, 10, PfEventKind::Issued),
+            ev(5, 10, PfEventKind::Fill),
+            ev(6, 10, PfEventKind::Fill),
+        ];
+        let err = validate_lifecycle(&events).unwrap_err();
+        assert!(err.reason.contains("double fill"), "{err}");
+    }
+
+    #[test]
+    fn double_issue_and_evict_mismatch_are_rejected() {
+        let double_issue = [
+            ev(1, 10, PfEventKind::Issued),
+            ev(2, 10, PfEventKind::Issued),
+        ];
+        assert!(validate_lifecycle(&double_issue).is_err());
+
+        let mismatch = [
+            ev(1, 10, PfEventKind::Issued),
+            ev(5, 10, PfEventKind::Fill),
+            ev(9, 10, PfEventKind::EvictUsed),
+        ];
+        let err = validate_lifecycle(&mismatch).unwrap_err();
+        assert!(err.reason.contains("never demand-referenced"), "{err}");
+    }
+
+    #[test]
+    fn truncated_prefix_of_valid_stream_is_valid() {
+        let events = [
+            ev(1, 10, PfEventKind::Issued),
+            ev(5, 10, PfEventKind::Fill),
+            ev(6, 10, PfEventKind::FirstUse),
+        ];
+        for n in 0..=events.len() {
+            assert!(validate_lifecycle(&events[..n]).is_ok(), "prefix {n}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Interval time-series sampling.
+//!
+//! The scheduler in `System::run` dispatches instructions in small quanta;
+//! after each quantum it asks the sampler whether the core just crossed
+//! its next sampling threshold ([`Sampler::due`], two loads and a compare)
+//! and, if so, snapshots the core's cumulative window counters into a
+//! [`SampleRow`]. Rows are *cumulative*: consumers diff adjacent rows of
+//! the same core to recover per-interval rates, which keeps the hot path
+//! free of subtraction state and makes partially-sampled runs (short
+//! windows, uneven core progress) well defined.
+
+/// One cumulative snapshot of a core (plus the shared L2) at a sampling
+/// threshold. All counters are measured from the start of the measurement
+/// window (`reset_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleRow {
+    /// Core the snapshot belongs to.
+    pub core: u32,
+    /// Committed instructions in the window.
+    pub instrs: u64,
+    /// Core-local cycles in the window.
+    pub cycles: u64,
+    /// Fetch-stream line transitions.
+    pub line_fetches: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// Prefetches issued to the memory system.
+    pub pf_issued: u64,
+    /// Prefetched lines demand-referenced (timely + late).
+    pub pf_useful: u64,
+    /// Late first uses.
+    pub pf_late: u64,
+    /// Prefetch-queue occupancy at the snapshot.
+    pub pf_queue: u64,
+    /// Shared-L2 demand instruction misses (system-wide).
+    pub l2_instr_misses: u64,
+    /// Shared-L2 prefetch misses, i.e. off-chip prefetches (system-wide).
+    pub l2_prefetch_misses: u64,
+}
+
+impl SampleRow {
+    /// Column names for the TSV sink, in field order.
+    pub const COLUMNS: [&'static str; 12] = [
+        "core",
+        "instrs",
+        "cycles",
+        "line_fetches",
+        "l1i_misses",
+        "l1d_misses",
+        "pf_issued",
+        "pf_useful",
+        "pf_late",
+        "pf_queue",
+        "l2_instr_misses",
+        "l2_prefetch_misses",
+    ];
+
+    /// The fields as a dense array, in [`SampleRow::COLUMNS`] order
+    /// (`core` widened to `u64`).
+    pub fn values(&self) -> [u64; 12] {
+        [
+            self.core as u64,
+            self.instrs,
+            self.cycles,
+            self.line_fetches,
+            self.l1i_misses,
+            self.l1d_misses,
+            self.pf_issued,
+            self.pf_useful,
+            self.pf_late,
+            self.pf_queue,
+            self.l2_instr_misses,
+            self.l2_prefetch_misses,
+        ]
+    }
+}
+
+/// Per-core threshold bookkeeping plus the accumulated rows.
+#[derive(Debug)]
+pub struct Sampler {
+    interval: u64,
+    /// Absolute per-core executed-instruction count at which the next
+    /// sample is due.
+    next: Vec<u64>,
+    rows: Vec<SampleRow>,
+}
+
+impl Sampler {
+    /// A sampler for `n_cores` cores sampling every `interval` committed
+    /// instructions, with core `i` currently at `executed[i]` absolute
+    /// instructions. `interval` is clamped to at least 1.
+    pub fn new(interval: u64, executed: &[u64]) -> Sampler {
+        let interval = interval.max(1);
+        Sampler {
+            interval,
+            next: executed.iter().map(|e| e + interval).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The sampling cadence in committed instructions per core.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Whether core `core` (now at `executed` absolute instructions) has
+    /// crossed its sampling threshold. This is the per-quantum hot-path
+    /// check.
+    #[inline]
+    pub fn due(&self, core: usize, executed: u64) -> bool {
+        executed >= self.next[core]
+    }
+
+    /// Records a snapshot for `row.core` (now at `executed` absolute
+    /// instructions) and advances that core's threshold past `executed`.
+    pub fn record(&mut self, executed: u64, row: SampleRow) {
+        let next = &mut self.next[row.core as usize];
+        while *next <= executed {
+            *next += self.interval;
+        }
+        self.rows.push(row);
+    }
+
+    /// Drops accumulated rows and re-anchors thresholds at the current
+    /// absolute per-core instruction counts (end of warm-up).
+    pub fn reset(&mut self, executed: &[u64]) {
+        self.rows.clear();
+        self.next.clear();
+        self.next.extend(executed.iter().map(|e| e + self.interval));
+    }
+
+    /// Rows accumulated so far, in record order (interleaved across
+    /// cores, nondecreasing `instrs` per core).
+    pub fn rows(&self) -> &[SampleRow] {
+        &self.rows
+    }
+
+    /// Takes the accumulated rows, leaving the sampler empty but armed.
+    pub fn take_rows(&mut self) -> Vec<SampleRow> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_crosses_threshold_and_record_advances_it() {
+        let mut s = Sampler::new(100, &[0, 0]);
+        assert!(!s.due(0, 99));
+        assert!(s.due(0, 100));
+        assert!(s.due(0, 116));
+        s.record(
+            116,
+            SampleRow {
+                core: 0,
+                instrs: 116,
+                ..SampleRow::default()
+            },
+        );
+        assert!(!s.due(0, 116));
+        assert!(!s.due(0, 199));
+        assert!(s.due(0, 200));
+        // Core 1 is independent.
+        assert!(s.due(1, 100));
+        assert_eq!(s.rows().len(), 1);
+    }
+
+    #[test]
+    fn record_skips_multiple_intervals_after_a_long_stall() {
+        let mut s = Sampler::new(100, &[0]);
+        s.record(
+            350,
+            SampleRow {
+                core: 0,
+                instrs: 350,
+                ..SampleRow::default()
+            },
+        );
+        assert!(!s.due(0, 399));
+        assert!(s.due(0, 400));
+    }
+
+    #[test]
+    fn reset_rearms_thresholds_and_clears_rows() {
+        let mut s = Sampler::new(50, &[0]);
+        s.record(50, SampleRow::default());
+        s.reset(&[1_000]);
+        assert!(s.rows().is_empty());
+        assert!(!s.due(0, 1_049));
+        assert!(s.due(0, 1_050));
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let s = Sampler::new(0, &[0]);
+        assert_eq!(s.interval(), 1);
+    }
+}

@@ -1,0 +1,504 @@
+//! Artifact sinks: JSONL events, Chrome `trace_event` timeline, and TSV
+//! dumps for the time series and the per-component summary.
+//!
+//! Every writer has a matching reader/validator built on the in-crate
+//! JSON parser, so the CI smoke job can prove an artifact is well-formed
+//! using the exporter's own definition of the format rather than eyeball
+//! inspection. Line addresses are always encoded as `"0x…"` hex strings —
+//! JSON numbers are doubles and a 64-bit line address does not survive
+//! them.
+
+use std::io::{self, Write};
+
+use ipsim_types::LineAddr;
+
+use crate::event::{ComponentCounters, PfComponent, PfEvent, PfEventKind};
+use crate::json::{self, Json};
+use crate::sampler::SampleRow;
+use crate::TelemetryRun;
+
+/// Schema tag written into (and required from) the JSONL header line.
+pub const JSONL_SCHEMA: &str = "ipsim-telemetry-v1";
+
+/// Writes the lifecycle event trace as JSON Lines: one header object,
+/// then one object per event in per-core emission order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_events_jsonl<W: Write>(w: &mut W, run: &TelemetryRun) -> io::Result<()> {
+    let dropped: Vec<String> = run.cores.iter().map(|c| c.dropped.to_string()).collect();
+    writeln!(
+        w,
+        r#"{{"schema":"{}","interval":{},"cores":{},"dropped":[{}]}}"#,
+        JSONL_SCHEMA,
+        run.interval,
+        run.cores.len(),
+        dropped.join(",")
+    )?;
+    for (core, trace) in run.cores.iter().enumerate() {
+        for ev in &trace.events {
+            writeln!(
+                w,
+                r#"{{"core":{},"cycle":{},"line":"{:#x}","component":"{}","kind":"{}"}}"#,
+                core,
+                ev.cycle,
+                ev.line.0,
+                ev.component.name(),
+                ev.kind.name()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// A parsed JSONL artifact: the header fields plus events regrouped per
+/// core, ready for lifecycle validation.
+#[derive(Debug)]
+pub struct ParsedEvents {
+    /// Sampling interval recorded in the header.
+    pub interval: u64,
+    /// Events dropped per core (buffer overflow), from the header.
+    pub dropped: Vec<u64>,
+    /// Events per core, in file order.
+    pub per_core: Vec<Vec<PfEvent>>,
+}
+
+impl ParsedEvents {
+    /// Total events across cores.
+    pub fn total_events(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+}
+
+/// Parses and validates a JSONL artifact produced by
+/// [`write_events_jsonl`]: header schema, field presence and types, known
+/// component/kind names, in-range core ids.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line (1-based).
+pub fn parse_events_jsonl(text: &str) -> Result<ParsedEvents, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or("empty JSONL artifact")?;
+    let header = json::parse(header_line).map_err(|e| format!("line 1: {e}"))?;
+    let schema = header
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("line 1: missing schema")?;
+    if schema != JSONL_SCHEMA {
+        return Err(format!("line 1: schema {schema:?}, want {JSONL_SCHEMA:?}"));
+    }
+    let interval = header
+        .get("interval")
+        .and_then(Json::as_num)
+        .ok_or("line 1: missing interval")? as u64;
+    let n_cores = header
+        .get("cores")
+        .and_then(Json::as_num)
+        .ok_or("line 1: missing cores")? as usize;
+    let dropped: Vec<u64> = header
+        .get("dropped")
+        .and_then(Json::as_arr)
+        .ok_or("line 1: missing dropped")?
+        .iter()
+        .map(|v| v.as_num().map(|n| n as u64))
+        .collect::<Option<_>>()
+        .ok_or("line 1: non-numeric dropped entry")?;
+    if dropped.len() != n_cores {
+        return Err(format!(
+            "line 1: dropped has {} entries for {} cores",
+            dropped.len(),
+            n_cores
+        ));
+    }
+
+    let mut per_core: Vec<Vec<PfEvent>> = vec![Vec::new(); n_cores];
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let doc = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let core = doc
+            .get("core")
+            .and_then(Json::as_num)
+            .ok_or(format!("line {lineno}: missing core"))? as usize;
+        if core >= n_cores {
+            return Err(format!("line {lineno}: core {core} out of range"));
+        }
+        let cycle = doc
+            .get("cycle")
+            .and_then(Json::as_num)
+            .ok_or(format!("line {lineno}: missing cycle"))? as u64;
+        let line_addr = doc
+            .get("line")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing line"))?;
+        let line_addr = line_addr
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(format!("line {lineno}: line is not a hex string"))?;
+        let component = doc
+            .get("component")
+            .and_then(Json::as_str)
+            .and_then(PfComponent::from_name)
+            .ok_or(format!("line {lineno}: unknown component"))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(PfEventKind::from_name)
+            .ok_or(format!("line {lineno}: unknown kind"))?;
+        per_core[core].push(PfEvent {
+            cycle,
+            line: LineAddr(line_addr),
+            component,
+            kind,
+        });
+    }
+    Ok(ParsedEvents {
+        interval,
+        dropped,
+        per_core,
+    })
+}
+
+/// Writes the run as a Chrome `trace_event` JSON document (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Each core becomes a
+/// process: lifecycle events are instants on its timeline (`ph:"i"`,
+/// `ts` = core cycle) and sample rows become counter tracks (`ph:"C"`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(w: &mut W, run: &TelemetryRun) -> io::Result<()> {
+    write!(w, r#"{{"traceEvents":["#)?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if !*first {
+            write!(w, ",")?;
+        }
+        *first = false;
+        Ok(())
+    };
+    for (core, trace) in run.cores.iter().enumerate() {
+        let pid = core + 1;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"core{core}"}}}}"#
+        )?;
+        for ev in &trace.events {
+            sep(w, &mut first)?;
+            write!(
+                w,
+                r#"{{"name":"{}:{}","cat":"pf","ph":"i","s":"t","ts":{},"pid":{pid},"tid":0,"args":{{"line":"{:#x}"}}}}"#,
+                ev.component.name(),
+                ev.kind.name(),
+                ev.cycle,
+                ev.line.0
+            )?;
+        }
+    }
+    for row in &run.samples {
+        let pid = row.core as usize + 1;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            r#"{{"name":"l1i_misses","ph":"C","ts":{},"pid":{pid},"tid":0,"args":{{"cum":{}}}}}"#,
+            row.cycles, row.l1i_misses
+        )?;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            r#"{{"name":"pf_queue","ph":"C","ts":{},"pid":{pid},"tid":0,"args":{{"depth":{}}}}}"#,
+            row.cycles, row.pf_queue
+        )?;
+    }
+    write!(w, r#"],"displayTimeUnit":"ns"}}"#)?;
+    Ok(())
+}
+
+/// Parses a Chrome trace document and checks the invariants
+/// [`write_chrome_trace`] guarantees: a `traceEvents` array whose every
+/// element has a string `name`, a known `ph`, a numeric `pid`, and — for
+/// instant and counter events — a numeric `ts` plus an object `args`.
+///
+/// Returns the number of trace events on success.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} ({name}): missing ph"))?;
+        ev.get("pid")
+            .and_then(Json::as_num)
+            .ok_or(format!("event {i} ({name}): missing pid"))?;
+        match ph {
+            "M" => {}
+            "i" | "C" => {
+                ev.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i} ({name}): missing ts"))?;
+                if !matches!(ev.get("args"), Some(Json::Obj(_))) {
+                    return Err(format!("event {i} ({name}): missing args object"));
+                }
+            }
+            other => return Err(format!("event {i} ({name}): unexpected ph {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+/// Writes the interval time series as TSV: a `#`-prefixed header naming
+/// [`SampleRow::COLUMNS`], then one row per sample.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_series_tsv<W: Write>(w: &mut W, samples: &[SampleRow]) -> io::Result<()> {
+    writeln!(w, "# {}", SampleRow::COLUMNS.join("\t"))?;
+    for row in samples {
+        let values: Vec<String> = row.values().iter().map(u64::to_string).collect();
+        writeln!(w, "{}", values.join("\t"))?;
+    }
+    Ok(())
+}
+
+/// Parses a TSV time series written by [`write_series_tsv`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn parse_series_tsv(text: &str) -> Result<Vec<SampleRow>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty series artifact")?;
+    let want = format!("# {}", SampleRow::COLUMNS.join("\t"));
+    if header != want {
+        return Err(format!("bad series header {header:?}"));
+    }
+    let mut rows = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<u64> = line
+            .split('\t')
+            .map(|f| {
+                f.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad field {f:?}", idx + 2))
+            })
+            .collect::<Result<_, _>>()?;
+        if fields.len() != SampleRow::COLUMNS.len() {
+            return Err(format!(
+                "line {}: {} fields, want {}",
+                idx + 2,
+                fields.len(),
+                SampleRow::COLUMNS.len()
+            ));
+        }
+        rows.push(SampleRow {
+            core: fields[0] as u32,
+            instrs: fields[1],
+            cycles: fields[2],
+            line_fetches: fields[3],
+            l1i_misses: fields[4],
+            l1d_misses: fields[5],
+            pf_issued: fields[6],
+            pf_useful: fields[7],
+            pf_late: fields[8],
+            pf_queue: fields[9],
+            l2_instr_misses: fields[10],
+            l2_prefetch_misses: fields[11],
+        });
+    }
+    Ok(rows)
+}
+
+/// Writes the exact per-component event counts aggregated across cores,
+/// one TSV row per component, one column per [`PfEventKind`]. This is
+/// the compact artifact `sim_report` aggregates.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_component_summary_tsv<W: Write>(w: &mut W, run: &TelemetryRun) -> io::Result<()> {
+    let names: Vec<&str> = PfEventKind::ALL.iter().map(|k| k.name()).collect();
+    writeln!(w, "# component\t{}", names.join("\t"))?;
+    let totals = run.aggregate_components();
+    for component in PfComponent::ALL {
+        let counts: Vec<String> = PfEventKind::ALL
+            .iter()
+            .map(|&k| totals[component.index()].get(k).to_string())
+            .collect();
+        writeln!(w, "{}\t{}", component.name(), counts.join("\t"))?;
+    }
+    Ok(())
+}
+
+/// Parses a per-component summary written by
+/// [`write_component_summary_tsv`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn parse_component_summary_tsv(
+    text: &str,
+) -> Result<Vec<(PfComponent, ComponentCounters)>, String> {
+    let mut lines = text.lines();
+    let names: Vec<&str> = PfEventKind::ALL.iter().map(|k| k.name()).collect();
+    let want = format!("# component\t{}", names.join("\t"));
+    let header = lines.next().ok_or("empty summary artifact")?;
+    if header != want {
+        return Err(format!("bad summary header {header:?}"));
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let component = fields
+            .next()
+            .and_then(PfComponent::from_name)
+            .ok_or(format!("line {}: unknown component", idx + 2))?;
+        let mut counters = ComponentCounters::default();
+        for kind in PfEventKind::ALL {
+            let field = fields
+                .next()
+                .ok_or(format!("line {}: truncated row", idx + 2))?;
+            let n: u64 = field
+                .parse()
+                .map_err(|_| format!("line {}: bad count {field:?}", idx + 2))?;
+            counters.bump_by(kind, n);
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {}: trailing fields", idx + 2));
+        }
+        out.push((component, counters));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreTrace, TelemetryRun};
+
+    fn sample_run() -> TelemetryRun {
+        let mut c0 = CoreTrace::default();
+        let mut push = |cycle, line, kind| {
+            let ev = PfEvent {
+                cycle,
+                line: LineAddr(line),
+                component: PfComponent::Sequential,
+                kind,
+            };
+            c0.events.push(ev);
+            c0.components[ev.component.index()].bump(kind);
+        };
+        push(5, 0x1f80, PfEventKind::Queued);
+        push(6, 0x1f80, PfEventKind::Issued);
+        push(90, 0x1f80, PfEventKind::Fill);
+        push(120, 0x1f80, PfEventKind::FirstUse);
+        TelemetryRun {
+            interval: 1_000,
+            cores: vec![c0, CoreTrace::default()],
+            samples: vec![
+                SampleRow {
+                    core: 0,
+                    instrs: 1_000,
+                    cycles: 2_400,
+                    l1i_misses: 31,
+                    pf_queue: 3,
+                    ..SampleRow::default()
+                },
+                SampleRow {
+                    core: 1,
+                    instrs: 1_008,
+                    cycles: 2_501,
+                    l1i_misses: 44,
+                    ..SampleRow::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_its_validator() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &run).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_events_jsonl(&text).expect("valid jsonl");
+        assert_eq!(parsed.interval, 1_000);
+        assert_eq!(parsed.per_core.len(), 2);
+        assert_eq!(parsed.per_core[0], run.cores[0].events);
+        assert!(parsed.per_core[1].is_empty());
+        assert_eq!(parsed.dropped, vec![0, 0]);
+    }
+
+    #[test]
+    fn jsonl_validator_rejects_corruption() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &run).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Truncate mid-line.
+        assert!(parse_events_jsonl(&text[..text.len() - 4]).is_err());
+        // Corrupt the schema.
+        assert!(parse_events_jsonl(&text.replace(JSONL_SCHEMA, "bogus")).is_err());
+        // Corrupt a kind name.
+        assert!(parse_events_jsonl(&text.replace("first_use", "fist_use")).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_passes_its_own_validator() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &run).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let n = validate_chrome_trace(&text).expect("valid chrome trace");
+        // 2 process metadata + 4 instants + 2 counters per sample row.
+        assert_eq!(n, 2 + 4 + 2 * 2);
+        assert!(validate_chrome_trace(&text[..text.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn series_tsv_round_trips() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_series_tsv(&mut buf, &run.samples).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(parse_series_tsv(&text).unwrap(), run.samples);
+        assert!(parse_series_tsv("# wrong\n").is_err());
+    }
+
+    #[test]
+    fn component_summary_round_trips() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_component_summary_tsv(&mut buf, &run).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rows = parse_component_summary_tsv(&text).unwrap();
+        assert_eq!(rows.len(), PfComponent::COUNT);
+        let (component, counters) = rows[0];
+        assert_eq!(component, PfComponent::Sequential);
+        assert_eq!(counters.get(PfEventKind::Issued), 1);
+        assert_eq!(counters.get(PfEventKind::FirstUse), 1);
+        assert_eq!(rows[1].1.total(), 0);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`trace`] | `ipsim-trace` | synthetic commercial-workload generation |
 //! | [`prefetch`] | `ipsim-core` | the paper's prefetchers, queue and filters |
 //! | [`cpu`] | `ipsim-cpu` | cores, shared L2, bus, the CMP system |
+//! | [`telemetry`] | `ipsim-telemetry` | interval sampling, prefetch lifecycle tracing, artifact sinks |
 //!
 //! # Quickstart
 //!
@@ -56,5 +57,6 @@
 pub use ipsim_cache as cache;
 pub use ipsim_core as prefetch;
 pub use ipsim_cpu as cpu;
+pub use ipsim_telemetry as telemetry;
 pub use ipsim_trace as trace;
 pub use ipsim_types as types;
