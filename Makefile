@@ -2,7 +2,7 @@
 # CI runs the same commands (see .github/workflows/ci.yml).
 
 .PHONY: build test lint figures bench bench-snapshot bench-check \
-        sim-report telemetry-check
+        sim-report telemetry-check serve serve-load serve-smoke
 
 build:
 	cargo build --release
@@ -42,3 +42,20 @@ sim-report:
 # parsers (JSONL schema, lifecycle state machine, Chrome trace, TSVs).
 telemetry-check:
 	cargo run --release -p ipsim-experiments --bin telemetry_check
+
+# Long-running experiment daemon on 127.0.0.1:7791 (journal + run cache
+# under results/serve/; Ctrl-C drains gracefully). Submit jobs with curl
+# — see the README quickstart and DESIGN.md §11.
+serve:
+	cargo run --release -p ipsim-serve --bin ipsim_serve -- $(SERVE_FLAGS)
+
+# Closed-loop load test against a running daemon: concurrent clients,
+# submit + completion latency percentiles. Tune with SERVE_LOAD_FLAGS
+# (e.g. "--clients 16 --jobs 8").
+serve-load:
+	cargo run --release -p ipsim-serve --bin serve_load -- $(SERVE_LOAD_FLAGS)
+
+# End-to-end daemon smoke: byte-identity across cold daemons, cache
+# dedup, kill -9 + journal recovery, queue backpressure. Needs curl+jq.
+serve-smoke: build
+	bash scripts/serve_smoke.sh

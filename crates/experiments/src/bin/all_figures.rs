@@ -14,6 +14,7 @@ use ipsim_experiments::figures;
 use ipsim_harness::{run_sweep, Figure, HarnessArgs, SweepOptions};
 
 fn main() {
+    ipsim_signal::install();
     let args = HarnessArgs::from_env_or_exit();
     let all = figures::all();
     let selected: Vec<Figure> = match &args.figures {
@@ -100,6 +101,13 @@ fn main() {
             fig.name,
             fig.title,
         );
+    }
+    if report.interrupted {
+        eprintln!(
+            "interrupted: {} completed runs flushed to the runlog; rerun to resume from cache",
+            report.cache_hits + report.cache_misses,
+        );
+        exit(130);
     }
     if report.all_ok() {
         println!("all figures written to results/");

@@ -4,12 +4,28 @@
 
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{SystemBuilder, WorkloadSet};
-use ipsim_experiments::{pct, print_table, run, RunLengths};
+use ipsim_experiments::{pct, print_table, run, tool_args, RunLengths};
 use ipsim_trace::Workload;
 use ipsim_types::stats::MissGroup;
 
+const USAGE: &str = "\
+usage: calibrate [--quick]
+
+  --quick   ~5x shorter warm-up/measurement windows
+  --help    this text
+";
+
 fn main() {
-    let lengths = RunLengths::from_args();
+    let mut lengths = RunLengths::full();
+    for arg in tool_args(USAGE) {
+        match arg.as_str() {
+            "--quick" => lengths = RunLengths::quick(),
+            _ => {
+                eprintln!("unknown argument `{arg}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("== single-core baseline (no prefetch) ==");
     println!("paper targets: L1I miss 1.32-3.16%/instr (jApp max); breakdown seq 40-60%, branch 20-40%, call 15-20%\n");
 

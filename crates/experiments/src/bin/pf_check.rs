@@ -5,17 +5,34 @@
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{SystemBuilder, WorkloadSet};
-use ipsim_experiments::{pct, print_table, run, RunLengths};
+use ipsim_experiments::{pct, print_table, run, tool_args, RunLengths};
 use ipsim_trace::Workload;
 
+const USAGE: &str = "\
+usage: pf_check [db|tpcw|japp|web] [--quick]
+
+  db|tpcw|japp|web   workload to check (default: japp)
+  --quick            ~5x shorter warm-up/measurement windows
+  --help             this text
+";
+
 fn main() {
-    let lengths = RunLengths::from_args();
-    let ws = WorkloadSet::homogeneous(match std::env::args().nth(1).as_deref() {
-        Some("db") => Workload::Db,
-        Some("tpcw") => Workload::TpcW,
-        Some("web") => Workload::Web,
-        _ => Workload::JApp,
-    });
+    let mut lengths = RunLengths::full();
+    let mut workload = Workload::JApp;
+    for arg in tool_args(USAGE) {
+        match arg.as_str() {
+            "--quick" => lengths = RunLengths::quick(),
+            "db" => workload = Workload::Db,
+            "tpcw" => workload = Workload::TpcW,
+            "japp" => workload = Workload::JApp,
+            "web" => workload = Workload::Web,
+            _ => {
+                eprintln!("unknown argument `{arg}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ws = WorkloadSet::homogeneous(workload);
     println!("workload: {}", ws.name());
 
     let base = run(SystemBuilder::cmp4(), &ws, lengths);

@@ -4,10 +4,27 @@
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{SystemBuilder, WorkloadSet};
-use ipsim_experiments::{pct, run, RunLengths};
+use ipsim_experiments::{pct, run, tool_args, RunLengths};
 use ipsim_trace::Workload;
 
+const USAGE: &str = "\
+usage: pf_detail [--bypass]
+
+  --bypass   use the BypassL2UntilUseful install policy
+  --help     this text
+";
+
 fn main() {
+    let mut bypass = false;
+    for arg in tool_args(USAGE) {
+        match arg.as_str() {
+            "--bypass" => bypass = true,
+            _ => {
+                eprintln!("unknown argument `{arg}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let lengths = RunLengths::quick();
     let ws = WorkloadSet::homogeneous(Workload::JApp);
     let base = run(SystemBuilder::cmp4(), &ws, lengths);
@@ -35,13 +52,13 @@ fn main() {
         },
     ] {
         let m = run(
-            SystemBuilder::cmp4().prefetcher(kind).install_policy(
-                if std::env::args().any(|a| a == "--bypass") {
+            SystemBuilder::cmp4()
+                .prefetcher(kind)
+                .install_policy(if bypass {
                     InstallPolicy::BypassL2UntilUseful
                 } else {
                     InstallPolicy::InstallBoth
-                },
-            ),
+                }),
             &ws,
             lengths,
         );

@@ -4,25 +4,42 @@
 //! Usage: `sweep_zipf <db|tpcw|japp|web> [hot_prob_percent]`
 
 use ipsim_cpu::{OpSource, SystemBuilder};
-use ipsim_experiments::pct;
+use ipsim_experiments::{pct, tool_args};
 use ipsim_trace::{ProgramBuilder, TraceWalker, Workload};
 
+const USAGE: &str = "\
+usage: sweep_zipf <db|tpcw|japp|web> [hot_prob_percent]
+
+  hot_prob_percent   override the dispatch hot-probability (0-100)
+  --help             this text
+";
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let w = match args.get(1).map(String::as_str) {
+    let args = tool_args(USAGE);
+    let w = match args.first().map(String::as_str) {
         Some("db") => Workload::Db,
         Some("tpcw") => Workload::TpcW,
         Some("japp") => Workload::JApp,
         Some("web") => Workload::Web,
         _ => {
-            eprintln!("usage: sweep_zipf <db|tpcw|japp|web> [hot_prob_percent]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
-    let hot_prob: Option<f64> = args
-        .get(2)
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(|v| v / 100.0);
+    let hot_prob: Option<f64> = match args.get(1) {
+        None => None,
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..=100.0).contains(&v) => Some(v / 100.0),
+            _ => {
+                eprintln!("bad hot_prob_percent `{s}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if args.len() > 2 {
+        eprintln!("too many arguments\n\n{USAGE}");
+        std::process::exit(2);
+    }
 
     println!("workload {} (hot_prob = {:?})", w.name(), hot_prob);
     println!("{:>8} {:>8} {:>8}", "hot_fns", "L1I", "L2I");

@@ -3,17 +3,25 @@
 //!
 //! Usage: `trace_dump <db|tpcw|japp|web> [func_id ...]`
 
+use ipsim_experiments::tool_args;
 use ipsim_trace::{FuncId, Terminator, Workload};
 
+const USAGE: &str = "\
+usage: trace_dump <db|tpcw|japp|web> [func_id ...]
+
+  func_id   numeric function ids to dump as CFGs
+  --help    this text
+";
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let w = match args.get(1).map(String::as_str) {
+    let args = tool_args(USAGE);
+    let w = match args.first().map(String::as_str) {
         Some("db") => Workload::Db,
         Some("tpcw") => Workload::TpcW,
         Some("japp") => Workload::JApp,
         Some("web") => Workload::Web,
         _ => {
-            eprintln!("usage: trace_dump <db|tpcw|japp|web> [func_id ...]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -69,7 +77,7 @@ fn main() {
     }
 
     // Per-function CFG dumps.
-    for arg in args.iter().skip(2) {
+    for arg in args.iter().skip(1) {
         let Ok(id) = arg.parse::<u32>() else {
             eprintln!("bad function id '{arg}'");
             continue;

@@ -17,11 +17,20 @@ use ipsim_trace::{TraceWalker, Workload};
 use ipsim_types::instr::{CtiClass, OpKind};
 use ipsim_types::LineSize;
 
+const USAGE: &str = "\
+usage: trace_stats [db|tpcw|japp|web]
+       trace_stats --trace <file.itrace>
+
+  db|tpcw|japp|web   walk a synthetic workload live (default: japp)
+  --trace FILE       decode a captured trace file and report statistics
+  --help             this text
+";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = ipsim_experiments::tool_args(USAGE);
     if args.first().map(String::as_str) == Some("--trace") {
-        let Some(path) = args.get(1) else {
-            eprintln!("usage: trace_stats --trace <file.itrace>");
+        let (Some(path), true) = (args.get(1), args.len() == 2) else {
+            eprintln!("{USAGE}");
             std::process::exit(2);
         };
         if let Err(e) = trace_file_stats(path) {
@@ -30,7 +39,14 @@ fn main() {
         }
         return;
     }
-    live_walker_stats(args.first().map(String::as_str));
+    let which = match args.first().map(String::as_str) {
+        w @ (None | Some("db" | "tpcw" | "japp" | "web")) if args.len() <= 1 => w,
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    live_walker_stats(which);
 }
 
 /// Decodes one captured trace file and prints its statistics.

@@ -166,8 +166,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
 
 /// Entry point shared by every thin `figNN_*` binary: parse arguments, run
 /// the named figure through the scheduler, print its output. Exits the
-/// process (0 on success, 1 on figure failure).
+/// process (0 on success, 1 on figure failure, 130 on Ctrl-C/SIGTERM —
+/// after completing the in-flight run and flushing the runlog tail).
 pub fn figure_main(name: &str) -> ! {
+    ipsim_signal::install();
     let args = HarnessArgs::from_env_or_exit();
     let all = figures::all();
     let figure = all
@@ -177,6 +179,10 @@ pub fn figure_main(name: &str) -> ! {
     let mut opts = SweepOptions::new(args.lengths, args.workers);
     opts.traces = args.traces;
     let report = run_sweep(std::slice::from_ref(figure), &opts);
+    if report.interrupted {
+        eprintln!("{name} interrupted: completed runs were cached and logged; rerun to resume");
+        std::process::exit(130);
+    }
     match &report.figures[0].outcome {
         Ok(text) => {
             print!("{text}");
@@ -187,6 +193,21 @@ pub fn figure_main(name: &str) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// Shared argument preamble for the development-tool binaries
+/// (`calibrate`, `pf_check`, `trace_stats`, …): returns the raw argument
+/// list after handling `--help`/`-h` (usage to stdout, exit 0). Tools
+/// validate the remaining arguments themselves and exit 2 with the same
+/// usage text on anything unknown — the contract `tests/cli.rs` pins for
+/// every binary in this crate.
+pub fn tool_args(usage: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
+    args
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod summary;
 pub mod sweep;
 pub mod telemetry;
 pub mod traces;
+pub mod wire;
 
 pub use args::HarnessArgs;
 pub use cache::RunCache;
@@ -55,6 +56,7 @@ pub use summary::Summary;
 pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
 pub use telemetry::TelemetrySink;
 pub use traces::{RunSource, TraceStore};
+pub use wire::{JobSpec, WireRun};
 
 /// Run-length configuration shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -29,10 +29,14 @@ pub struct ExecReport {
     /// Result per cache key: the summary, or the panic message of a run
     /// that died.
     pub results: HashMap<String, Result<Summary, String>>,
-    /// One record per spec, in input order.
+    /// One record per *completed* spec, in input order. Shorter than the
+    /// input only when the batch was interrupted.
     pub records: Vec<RunRecord>,
     /// Wall time of the whole batch.
     pub wall: Duration,
+    /// Whether a shutdown signal cut the batch short ([`ipsim_signal`]):
+    /// in-flight runs were completed, unclaimed runs were never started.
+    pub interrupted: bool,
 }
 
 /// A job's result slot: filled exactly once by the worker that claims it.
@@ -45,6 +49,12 @@ type JobSlot = Mutex<Option<(Result<Summary, String>, RunRecord)>>;
 /// artifact is missing bypasses the run cache so there is something to
 /// write. Panicking simulations are contained: they mark their own spec
 /// failed and the batch continues.
+///
+/// When a shutdown signal arrives ([`ipsim_signal::triggered`]), workers
+/// finish the run they have claimed — summaries land in the cache as
+/// usual — but claim no further runs; the report carries a record for
+/// every completed run and `interrupted = true`, so the caller can flush
+/// the runlog tail before exiting.
 pub fn execute(
     specs: &[RunSpec],
     workers: usize,
@@ -62,6 +72,9 @@ pub fn execute(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if ipsim_signal::triggered() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -75,18 +88,29 @@ pub fn execute(
 
     let mut results = HashMap::with_capacity(n);
     let mut records = Vec::with_capacity(n);
+    let mut completed = 0usize;
     for slot in slots {
-        let (result, record) = slot
-            .into_inner()
-            .unwrap()
-            .expect("every job index was claimed by a worker");
-        results.insert(record.key.clone(), result);
-        records.push(record);
+        // On an interrupted batch, claimed-but-unfinished indices never
+        // existed (claiming and running are one step) — only unclaimed
+        // slots are empty.
+        if let Some((result, record)) = slot.into_inner().unwrap() {
+            results.insert(record.key.clone(), result);
+            records.push(record);
+            completed += 1;
+        }
+    }
+    let interrupted = completed < n;
+    if interrupted {
+        debug_assert!(
+            ipsim_signal::triggered(),
+            "a slot can only be empty after an interrupt"
+        );
     }
     ExecReport {
         results,
         records,
         wall: started.elapsed(),
+        interrupted,
     }
 }
 

@@ -130,6 +130,11 @@ pub struct SweepReport {
     pub telemetry_written: u64,
     /// Wall time of the execution phase.
     pub wall: Duration,
+    /// Whether a shutdown signal (Ctrl-C / SIGTERM) cut execution short.
+    /// In-flight runs were completed and the runlog tail was flushed;
+    /// figures whose runs are incomplete report errors rather than
+    /// rendering from partial data. Callers should exit with code 130.
+    pub interrupted: bool,
 }
 
 impl SweepReport {
@@ -190,10 +195,15 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
     }
 
     // Phase 5: render each figure sequentially and persist its output.
+    let interrupted = exec.interrupted;
     let resolve = |spec: &RunSpec| -> Result<Summary, String> {
         match exec.results.get(&spec.cache_key()) {
             Some(Ok(summary)) => Ok(summary.clone()),
             Some(Err(e)) => Err(format!("run `{}` failed: {e}", spec.label())),
+            None if interrupted => Err(format!(
+                "run `{}` was skipped: sweep interrupted",
+                spec.label()
+            )),
             None => Err(format!(
                 "run `{}` was never scheduled (nondeterministic job enumeration?)",
                 spec.label()
@@ -233,6 +243,7 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         traces_quarantined: traces.quarantined(),
         telemetry_written: telemetry.as_ref().map_or(0, TelemetrySink::written),
         wall: exec.wall,
+        interrupted,
     }
 }
 
@@ -265,29 +276,41 @@ fn execute_phased(
         return pool::execute(unique, workers, cache, traces, telemetry, progress);
     }
     let first = pool::execute(&captains, workers, cache, traces, telemetry, progress);
-    let second = pool::execute(&followers, workers, cache, traces, telemetry, progress);
+    let second = if first.interrupted {
+        // Don't start the replay phase after an interrupt; its specs are
+        // simply never claimed.
+        ExecReport {
+            results: HashMap::new(),
+            records: Vec::new(),
+            wall: Duration::ZERO,
+            interrupted: true,
+        }
+    } else {
+        pool::execute(&followers, workers, cache, traces, telemetry, progress)
+    };
 
+    let interrupted = first.interrupted || second.interrupted;
     let mut results = first.results;
     results.extend(second.results);
-    // Restore input order (first.records ++ second.records is phase order).
+    // Restore input order (first.records ++ second.records is phase
+    // order). An interrupted batch is missing the unclaimed specs'
+    // records; everything completed is preserved.
     let mut by_key: HashMap<String, crate::runlog::RunRecord> = first
         .records
         .into_iter()
         .chain(second.records)
         .map(|r| (r.key.clone(), r))
         .collect();
-    let records = unique
+    let records: Vec<crate::runlog::RunRecord> = unique
         .iter()
-        .map(|spec| {
-            by_key
-                .remove(&spec.cache_key())
-                .expect("every unique spec produced one record")
-        })
+        .filter_map(|spec| by_key.remove(&spec.cache_key()))
         .collect();
+    debug_assert!(interrupted || records.len() == unique.len());
     ExecReport {
         results,
         records,
         wall: first.wall + second.wall,
+        interrupted,
     }
 }
 

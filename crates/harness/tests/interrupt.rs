@@ -1,0 +1,57 @@
+//! The graceful-interrupt contract of the worker pool, in its own test
+//! binary: the signal flag is process-global, so this must not share a
+//! process with tests that run the pool concurrently.
+
+use ipsim_cpu::WorkloadSet;
+use ipsim_harness::pool;
+use ipsim_harness::progress::{Progress, ProgressMode};
+use ipsim_harness::{RunCache, RunLengths, RunSpec, TraceStore};
+use ipsim_trace::Workload;
+use ipsim_types::SystemConfig;
+
+#[test]
+fn triggered_signal_stops_claiming_and_reset_resumes() {
+    let lengths = RunLengths {
+        warm: 2_000,
+        measure: 5_000,
+    };
+    let specs: Vec<RunSpec> = Workload::ALL
+        .iter()
+        .map(|w| {
+            RunSpec::new(
+                SystemConfig::single_core(),
+                WorkloadSet::homogeneous(*w),
+                lengths,
+            )
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("ipsim-interrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = RunCache::at(&dir);
+    let traces = TraceStore::disabled();
+
+    // A signal that arrives before the batch starts: no run is claimed,
+    // the report says so, and nothing is cached.
+    ipsim_signal::install();
+    ipsim_signal::raise_self(ipsim_signal::SIGINT);
+    assert!(ipsim_signal::triggered());
+    let progress = Progress::new(ProgressMode::Silent, specs.len());
+    let report = pool::execute(&specs, 2, &cache, &traces, None, &progress);
+    assert!(report.interrupted);
+    assert!(report.records.is_empty(), "no run should have started");
+    assert_eq!(cache.misses(), 0);
+
+    // Clearing the flag resumes normal operation: the same batch runs to
+    // completion with a record per spec, in input order.
+    ipsim_signal::reset();
+    let progress = Progress::new(ProgressMode::Silent, specs.len());
+    let report = pool::execute(&specs, 2, &cache, &traces, None, &progress);
+    assert!(!report.interrupted);
+    assert_eq!(report.records.len(), specs.len());
+    let got: Vec<String> = report.records.iter().map(|r| r.key.clone()).collect();
+    let want: Vec<String> = specs.iter().map(RunSpec::cache_key).collect();
+    assert_eq!(got, want);
+    assert!(report.records.iter().all(|r| r.ok));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

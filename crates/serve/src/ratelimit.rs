@@ -1,0 +1,104 @@
+//! A per-client token-bucket rate limiter for job submission.
+//!
+//! Each client (named by the `X-Client-Id` header, falling back to the
+//! peer IP) gets a bucket of `capacity` tokens refilled continuously at
+//! `refill_per_sec`. A submission costs one token; an empty bucket means
+//! `429`. The bucket map is bounded: clients idle long enough to have
+//! fully refilled are dropped on the next sweep, so a daemon scanning
+//! many one-shot clients does not grow without bound.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Token buckets, keyed by client id.
+#[derive(Debug)]
+pub struct RateLimiter {
+    capacity: f64,
+    refill_per_sec: f64,
+    started: Instant,
+    /// client → (tokens, last-update time in seconds since `started`).
+    buckets: Mutex<HashMap<String, (f64, f64)>>,
+}
+
+/// Sweep the bucket map when it exceeds this many clients.
+const SWEEP_THRESHOLD: usize = 1024;
+
+impl RateLimiter {
+    /// A limiter allowing bursts of `capacity` and a sustained
+    /// `refill_per_sec` submissions per second per client.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> RateLimiter {
+        RateLimiter {
+            capacity: capacity.max(1.0),
+            refill_per_sec: refill_per_sec.max(0.0),
+            started: Instant::now(),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether `client` may submit now (consumes a token if so).
+    pub fn allow(&self, client: &str) -> bool {
+        self.allow_at(client, self.started.elapsed().as_secs_f64())
+    }
+
+    /// [`RateLimiter::allow`] with an explicit clock, for tests.
+    pub fn allow_at(&self, client: &str, now_secs: f64) -> bool {
+        let mut buckets = self.buckets.lock().unwrap();
+        if buckets.len() > SWEEP_THRESHOLD {
+            let (capacity, rate) = (self.capacity, self.refill_per_sec);
+            buckets.retain(|_, (tokens, at)| *tokens + (now_secs - *at) * rate < capacity);
+        }
+        let (tokens, at) = buckets
+            .entry(client.to_string())
+            .or_insert((self.capacity, now_secs));
+        let refilled = (*tokens + (now_secs - *at) * self.refill_per_sec).min(self.capacity);
+        *at = now_secs;
+        if refilled >= 1.0 {
+            *tokens = refilled - 1.0;
+            true
+        } else {
+            *tokens = refilled;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_refill() {
+        let limiter = RateLimiter::new(3.0, 1.0);
+        // Burst drains the bucket.
+        assert!(limiter.allow_at("a", 0.0));
+        assert!(limiter.allow_at("a", 0.0));
+        assert!(limiter.allow_at("a", 0.0));
+        assert!(!limiter.allow_at("a", 0.0));
+        // Refill restores one token per second, capped at capacity.
+        assert!(!limiter.allow_at("a", 0.5));
+        assert!(limiter.allow_at("a", 1.6));
+        assert!(!limiter.allow_at("a", 1.6));
+        assert!(limiter.allow_at("a", 100.0));
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let limiter = RateLimiter::new(1.0, 0.1);
+        assert!(limiter.allow_at("a", 0.0));
+        assert!(!limiter.allow_at("a", 0.0));
+        assert!(limiter.allow_at("b", 0.0));
+    }
+
+    #[test]
+    fn sweep_drops_fully_refilled_clients() {
+        let limiter = RateLimiter::new(2.0, 1.0);
+        for i in 0..(SWEEP_THRESHOLD + 10) {
+            assert!(limiter.allow_at(&format!("c{i}"), 0.0));
+        }
+        // Much later every bucket is full again; the sweep empties the map
+        // (the probing client is re-inserted by its own call).
+        assert!(limiter.allow_at("probe", 1000.0));
+        assert!(limiter.buckets.lock().unwrap().len() <= 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! The HTTP front end: a thread-per-connection accept loop routing the
+//! five-endpoint v1 API onto [`Service`].
+//!
+//! ```text
+//! POST /v1/jobs              submit a job spec (JSON or TSV body)
+//! GET  /v1/jobs/{id}         state + done/total progress
+//! GET  /v1/jobs/{id}/result  terminal results (+ ?format=tsv)
+//! GET  /v1/healthz           liveness
+//! GET  /v1/stats             counters, queue depth, drain flag
+//! ```
+//!
+//! Submissions answer `202` (queued), `200` (dedup — completed from the
+//! run cache or coalesced onto an in-flight twin), `400` (malformed
+//! spec), `429` (queue full or rate-limited, with `Retry-After`), or
+//! `503` (draining). Results answer `409` until the job is terminal, so
+//! pollers cannot mistake a partial job for a finished one.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ipsim_harness::wire::{JobSpec, TSV_HEADER};
+use ipsim_harness::Summary;
+
+use crate::http::{self, error_body, json_escape, ParseError, Request};
+use crate::state::{Job, Service, SubmitError};
+
+/// A running server: accept loop + workers, with a handle to drain it.
+pub struct ServerHandle {
+    /// The bound address (useful with `:0` binds in tests).
+    pub addr: SocketAddr,
+    service: Arc<Service>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared service, for in-process inspection.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Begins a graceful drain: stop accepting, reject new submissions
+    /// with 503, let each worker finish the run it has in flight.
+    pub fn shutdown(&self) {
+        self.service.begin_shutdown();
+    }
+
+    /// Drains and waits for the accept loop and all workers to exit.
+    pub fn join(mut self) {
+        self.service.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds `bind_addr` (e.g. `127.0.0.1:0`) and starts the accept loop and
+/// the configured worker threads.
+pub fn start(service: Arc<Service>, bind_addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind_addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let workers = (0..service.config.workers)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.worker_loop())
+        })
+        .collect();
+
+    let accept = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || accept_loop(&listener, &service))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// Accepts until a drain begins. Nonblocking + poll so the drain flag is
+/// noticed promptly without needing a wake-up connection.
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
+    loop {
+        if service.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let service = Arc::clone(service);
+                std::thread::spawn(move || handle_connection(stream, peer, &service));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one connection: one request, one response, close.
+fn handle_connection(mut stream: TcpStream, peer: SocketAddr, service: &Arc<Service>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(ParseError::Bad(e)) => {
+            respond(&mut stream, 400, &error_body(&e));
+            return;
+        }
+        Err(ParseError::TooLarge(e)) => {
+            respond(&mut stream, 413, &error_body(&e));
+            return;
+        }
+        Err(ParseError::Io(_)) => return,
+    };
+    let (status, body) = route(&request, peer, service);
+    respond(&mut stream, status, &body);
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let extra: &[(&str, &str)] = if status == 429 {
+        &[("Retry-After", "1")]
+    } else {
+        &[]
+    };
+    let _ = http::write_response(stream, status, "application/json", extra, body);
+}
+
+/// Routes one request to its endpoint.
+fn route(request: &Request, peer: SocketAddr, service: &Arc<Service>) -> (u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => (
+            200,
+            format!(
+                "{{\"ok\":true,\"service\":\"ipsim-serve\",\"v\":1,\"draining\":{}}}",
+                service.draining()
+            ),
+        ),
+        ("GET", ["v1", "stats"]) => (200, stats_body(service)),
+        ("POST", ["v1", "jobs"]) => submit(request, peer, service),
+        ("GET", ["v1", "jobs", id]) => match service.with_job(id, status_body) {
+            Some(body) => (200, body),
+            None => (404, error_body(&format!("no job `{id}`"))),
+        },
+        ("GET", ["v1", "jobs", id, "result"]) => result(request, id, service),
+        ("POST" | "GET", _) => (404, error_body("no such endpoint")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+/// `POST /v1/jobs`: rate-limit, decode, hand to the service.
+fn submit(request: &Request, peer: SocketAddr, service: &Arc<Service>) -> (u16, String) {
+    let client = request
+        .header("x-client-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| peer.ip().to_string());
+    if !service.limiter.allow(&client) {
+        service
+            .stats
+            .rejected_rate_limited
+            .fetch_add(1, Ordering::Relaxed);
+        return (429, error_body("rate limited"));
+    }
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let is_tsv = request
+        .header("content-type")
+        .is_some_and(|t| t.contains("tab-separated"))
+        || body.trim_start().starts_with(TSV_HEADER);
+    let spec = if is_tsv {
+        JobSpec::from_tsv(body)
+    } else {
+        JobSpec::from_json(body)
+    };
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(e) => return (400, error_body(&e)),
+    };
+    match service.submit(&client, spec) {
+        Ok(outcome) => {
+            let dedup = outcome
+                .dedup
+                .map_or("null".to_string(), |d| format!("\"{d}\""));
+            let status = if outcome.dedup.is_some() { 200 } else { 202 };
+            (
+                status,
+                format!(
+                    "{{\"id\":\"{}\",\"state\":\"{}\",\"dedup\":{}}}",
+                    json_escape(&outcome.job_id),
+                    outcome.state.as_str(),
+                    dedup
+                ),
+            )
+        }
+        Err(SubmitError::Invalid(e)) => (400, error_body(&e)),
+        Err(SubmitError::QueueFull) => (429, error_body("queue full")),
+        Err(SubmitError::Draining) => (503, error_body("draining")),
+        Err(SubmitError::Journal(e)) => (500, error_body(&format!("journal: {e}"))),
+    }
+}
+
+/// `GET /v1/jobs/{id}`: the progress body.
+fn status_body(job: &Job) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"state\":\"{}\",\"done\":{},\"total\":{},\"dedup\":{}}}",
+        json_escape(&job.id),
+        job.state.as_str(),
+        job.done_runs,
+        job.total_runs,
+        job.dedup.map_or("null".to_string(), |d| format!("\"{d}\"")),
+    )
+}
+
+/// `GET /v1/jobs/{id}/result`: terminal results, JSON by default or
+/// `?format=tsv` for a shell-friendly table.
+fn result(request: &Request, id: &str, service: &Arc<Service>) -> (u16, String) {
+    let Some(job) = service.with_job(id, Job::clone) else {
+        return (404, error_body(&format!("no job `{id}`")));
+    };
+    if !job.state.terminal() {
+        return (
+            409,
+            error_body(&format!(
+                "job is {} ({}/{} runs) — poll until done",
+                job.state.as_str(),
+                job.done_runs,
+                job.total_runs
+            )),
+        );
+    }
+    if request.query.split('&').any(|kv| kv == "format=tsv") {
+        let mut body = String::from("# ipsim-job-result v1\n");
+        for run in &job.results {
+            body.push_str(&format!(
+                "{}\t{}\t{}\n",
+                run.key,
+                if run.ok { "ok" } else { "failed" },
+                run.tsv
+            ));
+        }
+        return (200, body);
+    }
+    let runs: Vec<String> = job
+        .results
+        .iter()
+        .map(|run| {
+            let summary = run.ok.then(|| Summary::from_tsv(&run.tsv)).flatten();
+            let telemetry = service
+                .telemetry_dir(&run.key)
+                .map_or("null".to_string(), |dir| {
+                    format!("\"{}\"", json_escape(&dir.display().to_string()))
+                });
+            format!(
+                "{{\"key\":\"{}\",\"label\":\"{}\",\"ok\":{},\"ipc\":{},\"l1i_mpi\":{},\
+                 \"tsv\":\"{}\",\"telemetry\":{}}}",
+                json_escape(&run.key),
+                json_escape(&run.label),
+                run.ok,
+                summary.as_ref().map_or(0.0, |s| s.ipc),
+                summary.as_ref().map_or(0.0, |s| s.l1i_mpi),
+                json_escape(&run.tsv),
+                telemetry,
+            )
+        })
+        .collect();
+    let error = job
+        .error
+        .as_deref()
+        .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e)));
+    (
+        200,
+        format!(
+            "{{\"id\":\"{}\",\"state\":\"{}\",\"error\":{},\"results\":[{}]}}",
+            json_escape(&job.id),
+            job.state.as_str(),
+            error,
+            runs.join(","),
+        ),
+    )
+}
+
+/// `GET /v1/stats`: counters + live gauges.
+fn stats_body(service: &Arc<Service>) -> String {
+    let s = &service.stats;
+    format!(
+        "{{\"submitted\":{},\"completed\":{},\"failed\":{},\
+         \"dedup_cache\":{},\"dedup_inflight\":{},\
+         \"rejected_queue_full\":{},\"rejected_rate_limited\":{},\
+         \"recovered\":{},\"journal_skipped\":{},\
+         \"queue_depth\":{},\"jobs\":{},\"workers\":{},\"draining\":{}}}",
+        s.submitted.load(Ordering::Relaxed),
+        s.completed.load(Ordering::Relaxed),
+        s.failed.load(Ordering::Relaxed),
+        s.dedup_cache.load(Ordering::Relaxed),
+        s.dedup_inflight.load(Ordering::Relaxed),
+        s.rejected_queue_full.load(Ordering::Relaxed),
+        s.rejected_rate_limited.load(Ordering::Relaxed),
+        s.recovered.load(Ordering::Relaxed),
+        s.journal_skipped.load(Ordering::Relaxed),
+        service.queue_len(),
+        service.job_count(),
+        service.config.workers,
+        service.draining(),
+    )
+}
