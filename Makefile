@@ -2,7 +2,8 @@
 # CI runs the same commands (see .github/workflows/ci.yml).
 
 .PHONY: build test lint figures bench bench-snapshot bench-check \
-        sim-report telemetry-check serve serve-load serve-smoke
+        sim-report telemetry-check bakeoff bakeoff-smoke \
+        serve serve-load serve-smoke
 
 build:
 	cargo build --release
@@ -42,6 +43,18 @@ sim-report:
 # parsers (JSONL schema, lifecycle state machine, Chrome trace, TSVs).
 telemetry-check:
 	cargo run --release -p ipsim-experiments --bin telemetry_check
+
+# Prefetcher-zoo bake-off: every registered contender side by side per
+# workload, per-scheme accuracy/coverage/timeliness from shadow
+# attribution. Use BAKEOFF_FLAGS="--quick" (or --smoke) for shorter
+# windows.
+bakeoff:
+	cargo run --release -p ipsim-experiments --bin sim_report -- --bakeoff $(BAKEOFF_FLAGS)
+
+# CI-sized bake-off: small zoo sweep, full-coverage check, worker-count
+# byte-identity, and a golden table hash.
+bakeoff-smoke: build
+	bash scripts/bakeoff_smoke.sh
 
 # Long-running experiment daemon on 127.0.0.1:7791 (journal + run cache
 # under results/serve/; Ctrl-C drains gracefully). Submit jobs with curl

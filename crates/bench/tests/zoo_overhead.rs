@@ -1,0 +1,108 @@
+//! Guard: hosting a paper scheme in the prefetcher zoo must cost (almost)
+//! nothing over wiring the same scheme directly into the core.
+//!
+//! The A side runs the flagship discontinuity prefetcher on the direct
+//! `PrefetcherKind` path. The B side runs the *same engine* inside a zoo
+//! of one — through the `Prefetcher` trait object, the scheme-tagged
+//! request sink, and the shadow-attribution table with the lifecycle
+//! hooks enabled. If B stays within `IPSIM_ZOO_OVERHEAD_PCT` percent
+//! (default 3) of A, the trait indirection is paid for.
+//!
+//! The methodology is the one proven out by `telemetry_overhead.rs`:
+//! interleaved A/B samples over identical instruction streams, estimated
+//! by the floor over adjacent pairs of the B/A ratio — machine-wide noise
+//! hits both halves of a pair and cancels, while a genuine indirection
+//! regression shifts every pair. Rounds repeat (up to 4×) until the bound
+//! holds; widen with the environment variable on noisy machines.
+
+use std::time::Instant;
+
+use ipsim_cache::InstallPolicy;
+use ipsim_core::PrefetcherKind;
+use ipsim_cpu::{OpSource, System, SystemBuilder};
+use ipsim_prefetch::ZooPlan;
+use ipsim_trace::{TraceWalker, Workload};
+
+/// Instructions per sample (matches `telemetry_overhead.rs`: ~30 ms
+/// samples keep timer jitter well under the effect being measured).
+const INSTRS: u64 = 400_000;
+
+fn build_system(zoo: bool) -> System {
+    let builder = SystemBuilder::single_core().install_policy(InstallPolicy::BypassL2UntilUseful);
+    let builder = if zoo {
+        // The registry's `disc` defaults are the paper defaults, so both
+        // sides run an identical prefetch schedule (pinned by the
+        // `zoo_hosted_paper_schemes_match_their_direct_engines` test).
+        builder.zoo(ZooPlan::parse("disc").unwrap())
+    } else {
+        builder.prefetcher(PrefetcherKind::discontinuity_default())
+    };
+    builder.build().unwrap()
+}
+
+/// One timed sample: a fresh system and a fresh (identically seeded)
+/// walker, so both sides simulate the same instruction stream.
+fn sample(prog: &ipsim_trace::Program, zoo: bool) -> f64 {
+    let mut system = build_system(zoo);
+    let mut walker = TraceWalker::new(prog, Workload::Web.profile(), 0, 5);
+    let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+    let t0 = Instant::now();
+    system.run(&mut sources, INSTRS);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(system.metrics().instructions(), INSTRS);
+    if zoo {
+        assert!(
+            system
+                .zoo_scheme_stats()
+                .iter()
+                .any(|(_, _, c)| c.issued > 0),
+            "the B side must actually exercise the zoo path"
+        );
+    }
+    wall
+}
+
+#[test]
+fn zoo_indirection_overhead_is_bounded() {
+    let max_pct: f64 = std::env::var("IPSIM_ZOO_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let reps: u32 = std::env::var("IPSIM_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+
+    let prog = Workload::Web.build_program(1);
+    // Warm-up: page in both paths before any timed sample.
+    sample(&prog, false);
+    sample(&prog, true);
+
+    let (mut direct, mut zoo) = (f64::INFINITY, f64::INFINITY);
+    let mut ratio = f64::INFINITY;
+    let mut overhead_pct = f64::INFINITY;
+    for round in 0..4 {
+        for _ in 0..reps {
+            let direct_sample = sample(&prog, false);
+            let zoo_sample = sample(&prog, true);
+            direct = direct.min(direct_sample);
+            zoo = zoo.min(zoo_sample);
+            ratio = ratio.min(zoo_sample / direct_sample);
+        }
+        overhead_pct = (ratio - 1.0) * 100.0;
+        eprintln!(
+            "zoo indirection overhead (round {round}): direct floor {:.3} ms, zoo floor \
+             {:.3} ms, paired floor {overhead_pct:+.2}%, bound {max_pct}%",
+            direct * 1e3,
+            zoo * 1e3,
+        );
+        if overhead_pct <= max_pct {
+            break;
+        }
+    }
+    assert!(
+        overhead_pct <= max_pct,
+        "zoo hosting costs {overhead_pct:.2}% over the direct engine (> {max_pct}%); \
+         widen with IPSIM_ZOO_OVERHEAD_PCT on noisy machines"
+    );
+}

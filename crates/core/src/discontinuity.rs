@@ -169,10 +169,10 @@ impl PrefetchEngine for DiscontinuityPrefetcher {
                     probe = probe.next();
                     continue;
                 }
-                out.push(PrefetchRequest {
-                    line: target,
-                    source: PrefetchSource::Discontinuity { table_index: idx },
-                });
+                out.push(PrefetchRequest::new(
+                    target,
+                    PrefetchSource::Discontinuity { table_index: idx },
+                ));
                 // Remainder of the window past the predicted target:
                 // issuing these now (rather than after the prediction is
                 // verified) is what keeps the scheme timely against L2

@@ -79,15 +79,32 @@ pub struct PrefetchRequest {
     pub line: LineAddr,
     /// The mechanism that generated it.
     pub source: PrefetchSource,
+    /// Zoo slot of the issuing scheme when the engine multiplexes several
+    /// prefetchers (`ipsim-prefetch`); `0` for plain engines. Carried
+    /// through the queue so shadow attribution stays exact even when a
+    /// request lingers queued across many fetch events.
+    pub scheme: u8,
 }
 
 impl PrefetchRequest {
-    /// A sequential-source request.
-    pub fn sequential(line: LineAddr) -> PrefetchRequest {
+    /// A request from `source` (scheme slot 0).
+    pub fn new(line: LineAddr, source: PrefetchSource) -> PrefetchRequest {
         PrefetchRequest {
             line,
-            source: PrefetchSource::Sequential,
+            source,
+            scheme: 0,
         }
+    }
+
+    /// A sequential-source request.
+    pub fn sequential(line: LineAddr) -> PrefetchRequest {
+        PrefetchRequest::new(line, PrefetchSource::Sequential)
+    }
+
+    /// The same request re-tagged with a zoo scheme slot.
+    pub fn with_scheme(mut self, scheme: u8) -> PrefetchRequest {
+        self.scheme = scheme;
+        self
     }
 }
 
@@ -111,6 +128,56 @@ pub trait PrefetchEngine: std::fmt::Debug {
     /// instruction cache without ever being demand-referenced.
     fn on_prefetch_useless(&mut self, line: LineAddr, source: PrefetchSource) {
         let _ = (line, source);
+    }
+
+    /// `true` when the engine consumes the lifecycle hooks below. The core
+    /// caches this at construction and skips the calls (and the attribution
+    /// lookups feeding them) entirely when `false`, so plain engines pay
+    /// one never-taken branch per site — the same discipline as the
+    /// telemetry hooks.
+    fn wants_lifecycle_hooks(&self) -> bool {
+        false
+    }
+
+    /// Lifecycle: one of this engine's requests was accepted by the memory
+    /// system (MSHR allocated, request in flight). `req` is the exact
+    /// request popped from the prefetch queue, scheme tag included.
+    fn on_prefetch_issued(&mut self, req: &PrefetchRequest) {
+        let _ = req;
+    }
+
+    /// Lifecycle: an in-flight prefetch completed and its line was
+    /// installed in the instruction cache.
+    fn on_prefetch_fill(&mut self, line: LineAddr, source: PrefetchSource) {
+        let _ = (line, source);
+    }
+
+    /// Lifecycle: a prefetched line was demand-referenced for the first
+    /// time. `late` is `true` when the demand fetch arrived while the
+    /// prefetch was still in flight (the fetch merged with the MSHR and
+    /// stalled), `false` when the line was already resident.
+    fn on_prefetch_first_use(&mut self, line: LineAddr, source: PrefetchSource, late: bool) {
+        let _ = (line, source, late);
+    }
+
+    /// Lifecycle: a line with live prefetch attribution left the
+    /// instruction cache. `used` is `false` only for the pure waste case —
+    /// a prefetched line evicted without ever being demand-referenced.
+    fn on_prefetch_evicted(&mut self, line: LineAddr, source: PrefetchSource, used: bool) {
+        let _ = (line, source, used);
+    }
+
+    /// Resets any *windowed* statistics this engine keeps (e.g. per-scheme
+    /// attribution counters) at a measurement-window boundary. Predictor
+    /// state and line attributions must survive — only counters reset,
+    /// mirroring how the core resets `pf_stats` but not `pf_sources`.
+    fn reset_window_stats(&mut self) {}
+
+    /// Downcast escape hatch so owners can reach engine-specific state
+    /// (the prefetcher zoo exposes per-scheme counters this way). Plain
+    /// engines return `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
     }
 
     /// Observes a conditional branch passing through the front end:

@@ -116,10 +116,7 @@ impl PrefetchEngine for MarkovPrefetcher {
                 if e.trigger == probe {
                     let remainder = window_end.0 - probe.0;
                     for target in e.targets.iter().flatten() {
-                        out.push(PrefetchRequest {
-                            line: *target,
-                            source: PrefetchSource::Target,
-                        });
+                        out.push(PrefetchRequest::new(*target, PrefetchSource::Target));
                         for k in 1..=remainder {
                             out.push(PrefetchRequest::sequential(target.ahead(k)));
                         }

@@ -285,10 +285,10 @@ mod tests {
     #[test]
     fn source_metadata_round_trips() {
         let mut q = PrefetchQueue::new(4);
-        q.push(PrefetchRequest {
-            line: LineAddr(9),
-            source: PrefetchSource::Discontinuity { table_index: 5 },
-        });
+        q.push(PrefetchRequest::new(
+            LineAddr(9),
+            PrefetchSource::Discontinuity { table_index: 5 },
+        ));
         let out = q.pop_issue().unwrap();
         assert_eq!(out.source, PrefetchSource::Discontinuity { table_index: 5 });
     }

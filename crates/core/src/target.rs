@@ -73,10 +73,7 @@ impl PrefetchEngine for TargetPrefetcher {
         let idx = self.index(ev.line);
         if let Some(e) = &self.entries[idx] {
             if e.trigger == ev.line {
-                out.push(PrefetchRequest {
-                    line: e.next,
-                    source: PrefetchSource::Target,
-                });
+                out.push(PrefetchRequest::new(e.next, PrefetchSource::Target));
             }
         }
     }

@@ -58,6 +58,10 @@ pub struct Core {
     dtlb: Option<Tlb>,
 
     engine: Box<dyn PrefetchEngine>,
+    /// Cached `engine.wants_lifecycle_hooks()`: lifecycle dispatch (and
+    /// the attribution lookups feeding it) collapses to one never-taken
+    /// branch per site for engines that don't consume it.
+    engine_hooks: bool,
     queue: PrefetchQueue,
     filter: RecentFetchFilter,
     pf_sources: PfSourceTable,
@@ -106,6 +110,7 @@ impl Core {
         engine: Box<dyn PrefetchEngine>,
         limit: Option<LimitSpec>,
     ) -> Core {
+        let engine_hooks = engine.wants_lifecycle_hooks();
         Core {
             id,
             issue_width: config.issue_width,
@@ -123,12 +128,13 @@ impl Core {
             itlb: config.tlb.enabled.then(|| Tlb::new(&config.tlb)),
             dtlb: config.tlb.enabled.then(|| Tlb::new(&config.tlb)),
             engine,
+            engine_hooks,
             queue: PrefetchQueue::new(PREFETCH_QUEUE_ENTRIES),
             filter: RecentFetchFilter::new(RECENT_FILTER_ENTRIES),
             // An attribution is live only while its line sits in the
             // instruction MSHR or the L1I, so this bound cannot be
             // exceeded (the table panics if that invariant ever breaks).
-            pf_sources: PfSourceTable::with_bound(
+            pf_sources: crate::pf_table::pf_source_table(
                 config.l1i.lines() as usize + config.mshrs as usize,
             ),
             pf_stats: PrefetchStats::default(),
@@ -166,6 +172,13 @@ impl Core {
     /// The prefetch engine's display name.
     pub fn prefetcher_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// Downcast access to engine-specific state — how the system layer
+    /// reaches the prefetcher zoo's per-scheme counters. Plain engines
+    /// return `None`.
+    pub fn engine_any(&self) -> Option<&dyn std::any::Any> {
+        self.engine.as_any()
     }
 
     /// Live prefetch attributions and the table's fixed slot count —
@@ -407,6 +420,9 @@ impl Core {
             let ready = mem.prefetch_instr_line(req.line, now);
             self.i_mshr.insert(req.line, ready, true);
             self.pf_sources.insert(req.line, req.source);
+            if self.engine_hooks {
+                self.engine.on_prefetch_issued(&req);
+            }
             self.pf_stats.issued += 1;
             if let Some(t) = &mut self.tracer {
                 t.emit(now, req.line, req.source, PfEventKind::Issued);
@@ -428,9 +444,12 @@ impl Core {
             } else {
                 FillKind::Demand
             };
-            if entry.prefetch {
-                if let Some(t) = &mut self.tracer {
-                    if let Some(source) = self.pf_sources.get(entry.line) {
+            if entry.prefetch && (self.engine_hooks || self.tracer.is_some()) {
+                if let Some(source) = self.pf_sources.get(entry.line) {
+                    if self.engine_hooks {
+                        self.engine.on_prefetch_fill(entry.line, source);
+                    }
+                    if let Some(t) = &mut self.tracer {
                         // Stamped with the fill's ready time, not the
                         // (possibly later) cycle the core noticed it.
                         t.emit(entry.ready_at, entry.line, source, PfEventKind::Fill);
@@ -472,16 +491,20 @@ impl Core {
             // the MSHR or the L1I), so eviction is where it is reclaimed
             // — and where the prefetch is finally classified used/unused.
             if let Some(source) = self.pf_sources.remove(victim.line) {
+                // An attributed victim without the prefetch flag is a
+                // demand-merged fill — demand-referenced by definition,
+                // so it evicts as used.
+                let used = victim.used || !victim.prefetched;
                 if let Some(t) = &mut self.tracer {
-                    // An attributed victim without the prefetch flag is a
-                    // demand-merged fill — demand-referenced by
-                    // definition, so it evicts as used.
-                    let kind = if victim.used || !victim.prefetched {
+                    let kind = if used {
                         PfEventKind::EvictUsed
                     } else {
                         PfEventKind::EvictUnused
                     };
                     t.emit(self.clock, victim.line, source, kind);
+                }
+                if self.engine_hooks {
+                    self.engine.on_prefetch_evicted(victim.line, source, used);
                 }
                 if victim.prefetched && !victim.used {
                     self.engine.on_prefetch_useless(victim.line, source);
@@ -502,6 +525,9 @@ impl Core {
         // cache line's first-use flag fires once).
         if let Some(source) = self.pf_sources.get(line) {
             self.engine.on_prefetch_useful(line, source);
+            if self.engine_hooks {
+                self.engine.on_prefetch_first_use(line, source, late);
+            }
             if let Some(t) = &mut self.tracer {
                 let kind = if late {
                     PfEventKind::FirstUseLate
@@ -591,6 +617,7 @@ impl Core {
         self.l1d_accesses = 0;
         self.l1d_misses = 0;
         self.pf_stats = PrefetchStats::default();
+        self.engine.reset_window_stats();
         if let Some(t) = &mut self.tracer {
             // Warm-up events are not part of the measurement window.
             t.clear();

@@ -3,7 +3,10 @@
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
-use ipsim_telemetry::{CoreTracer, SampleRow, Sampler, TelemetryConfig, TelemetryRun};
+use ipsim_prefetch::{SchemeCounters, Zoo, ZooPlan};
+use ipsim_telemetry::{
+    CoreTracer, SampleRow, Sampler, TelemetryConfig, TelemetryRun, ZooSchemeRow,
+};
 use ipsim_trace::{Program, TraceWalker, Workload};
 use ipsim_types::{ConfigError, SystemConfig, TraceOp};
 
@@ -137,6 +140,7 @@ impl WorkloadSet {
 pub struct SystemBuilder {
     config: SystemConfig,
     prefetcher: PrefetcherKind,
+    zoo: Option<ZooPlan>,
     policy: InstallPolicy,
     limit: Option<LimitSpec>,
 }
@@ -147,6 +151,7 @@ impl SystemBuilder {
         SystemBuilder {
             config,
             prefetcher: PrefetcherKind::None,
+            zoo: None,
             policy: InstallPolicy::InstallBoth,
             limit: None,
         }
@@ -165,6 +170,14 @@ impl SystemBuilder {
     /// Sets the per-core instruction prefetcher.
     pub fn prefetcher(mut self, kind: PrefetcherKind) -> SystemBuilder {
         self.prefetcher = kind;
+        self
+    }
+
+    /// Runs a prefetcher zoo (every scheme in `plan`, side by side with
+    /// shadow attribution) on each core instead of a single
+    /// [`PrefetcherKind`]. Takes precedence over [`SystemBuilder::prefetcher`].
+    pub fn zoo(mut self, plan: ZooPlan) -> SystemBuilder {
+        self.zoo = Some(plan);
         self
     }
 
@@ -207,7 +220,21 @@ impl SystemBuilder {
     pub fn build(self) -> Result<System, ConfigError> {
         self.config.validate()?;
         let cores = (0..self.config.n_cores)
-            .map(|id| Core::new(id, &self.config.core, self.prefetcher, self.limit))
+            .map(|id| match &self.zoo {
+                Some(plan) => {
+                    // Zoo attributions live exactly as long as the core's
+                    // own line→source attributions, so share its bound.
+                    let bound =
+                        self.config.core.l1i.lines() as usize + self.config.core.mshrs as usize;
+                    Core::with_engine(
+                        id,
+                        &self.config.core,
+                        Box::new(plan.build(bound)),
+                        self.limit,
+                    )
+                }
+                None => Core::new(id, &self.config.core, self.prefetcher, self.limit),
+            })
             .collect();
         Ok(System {
             cores,
@@ -291,11 +318,64 @@ impl System {
                     .take()
             })
             .collect();
+        let interval = state.config.interval;
+        let zoo = self.zoo_scheme_rows();
         Some(TelemetryRun {
-            interval: state.config.interval,
+            interval,
             cores,
             samples,
+            zoo,
         })
+    }
+
+    /// Per-scheme zoo counters for every core, `(core, label, counters)`
+    /// in (core, slot) order; empty when the system runs a plain
+    /// prefetcher instead of a zoo.
+    pub fn zoo_scheme_stats(&self) -> Vec<(u32, String, SchemeCounters)> {
+        let mut rows = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            let Some(zoo) = core.engine_any().and_then(|a| a.downcast_ref::<Zoo>()) else {
+                continue;
+            };
+            for (label, counters) in zoo.scheme_stats() {
+                rows.push((i as u32, label, counters));
+            }
+        }
+        rows
+    }
+
+    /// Lines currently attributed to a zoo scheme, summed across cores
+    /// (0 for non-zoo systems). Test hook for the attribution invariant.
+    pub fn zoo_live_attributions(&self) -> usize {
+        self.cores
+            .iter()
+            .filter_map(|c| c.engine_any().and_then(|a| a.downcast_ref::<Zoo>()))
+            .map(Zoo::live_attributions)
+            .sum()
+    }
+
+    fn zoo_scheme_rows(&self) -> Vec<ZooSchemeRow> {
+        let mut rows = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            let Some(zoo) = core.engine_any().and_then(|a| a.downcast_ref::<Zoo>()) else {
+                continue;
+            };
+            for (slot, (label, c)) in zoo.scheme_stats().into_iter().enumerate() {
+                rows.push(ZooSchemeRow {
+                    core: i as u32,
+                    slot: slot as u32,
+                    scheme: label,
+                    generated: c.generated,
+                    issued: c.issued,
+                    filled: c.filled,
+                    useful: c.useful,
+                    late: c.late,
+                    evicted_used: c.evicted_used,
+                    evicted_unused: c.evicted_unused,
+                });
+            }
+        }
+        rows
     }
 
     /// Snapshots one core's cumulative window counters (plus the shared
@@ -480,6 +560,27 @@ mod tests {
         assert!(m.ipc() > 0.0 && m.ipc() < 3.0, "ipc {}", m.ipc());
         assert!(m.l1i_miss_per_instr() > 0.0);
         assert_eq!(m.cores.len(), 1);
+    }
+
+    #[test]
+    fn zoo_system_reports_per_scheme_stats() {
+        let plan = ZooPlan::parse("nl+disc").unwrap();
+        let mut sys = SystemBuilder::single_core().zoo(plan).build().unwrap();
+        sys.enable_telemetry(TelemetryConfig::default());
+        sys.run_workload(&WorkloadSet::homogeneous(Workload::Web), 2_000, 10_000);
+        let stats = sys.zoo_scheme_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1, "nl");
+        assert_eq!(stats[1].1, "disc");
+        assert!(stats.iter().any(|(_, _, c)| c.issued > 0));
+        let run = sys.take_telemetry().unwrap();
+        assert_eq!(run.zoo.len(), 2);
+        assert_eq!(run.zoo[0].scheme, "nl");
+        assert_eq!(run.zoo[1].slot, 1);
+        for (row, (_, _, c)) in run.zoo.iter().zip(sys.zoo_scheme_stats()) {
+            assert_eq!(row.issued, c.issued);
+            assert_eq!(row.useful, c.useful);
+        }
     }
 
     #[test]

@@ -6,26 +6,42 @@ use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{SystemBuilder, WorkloadSet};
 use ipsim_experiments::{pct, print_table, run, tool_args, RunLengths};
+use ipsim_prefetch::ZooPlan;
 use ipsim_trace::Workload;
 
 const USAGE: &str = "\
-usage: pf_check [db|tpcw|japp|web] [--quick]
+usage: pf_check [db|tpcw|japp|web] [--quick] [--prefetcher SPEC]
 
-  db|tpcw|japp|web   workload to check (default: japp)
-  --quick            ~5x shorter warm-up/measurement windows
-  --help             this text
+  db|tpcw|japp|web     workload to check (default: japp)
+  --quick              ~5x shorter warm-up/measurement windows
+  --prefetcher SPEC    check one registry scheme instead of the paper
+                       set; SPEC is a registry spec like `disc:ahead=2`,
+                       `mana` or `stream:degree=8` (run via a zoo of one)
+  --help               this text
 ";
 
 fn main() {
     let mut lengths = RunLengths::full();
     let mut workload = Workload::JApp;
-    for arg in tool_args(USAGE) {
+    let mut selected: Option<ZooPlan> = None;
+    let mut args = tool_args(USAGE).into_iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => lengths = RunLengths::quick(),
             "db" => workload = Workload::Db,
             "tpcw" => workload = Workload::TpcW,
             "japp" => workload = Workload::JApp,
             "web" => workload = Workload::Web,
+            "--prefetcher" => {
+                let spec = args.next().unwrap_or_default();
+                match ZooPlan::parse(&spec) {
+                    Ok(plan) => selected = Some(plan),
+                    Err(e) => {
+                        eprintln!("--prefetcher: {e}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => {
                 eprintln!("unknown argument `{arg}`\n\n{USAGE}");
                 std::process::exit(2);
@@ -44,21 +60,35 @@ fn main() {
         base.ipc()
     );
 
+    // Each contender: a display label and a configured builder factory.
+    let contenders: Vec<(String, Box<dyn Fn() -> SystemBuilder>)> = match &selected {
+        Some(plan) => {
+            let plan = plan.clone();
+            vec![(
+                format!("zoo[{}]", plan.canonical()),
+                Box::new(move || SystemBuilder::cmp4().zoo(plan.clone())) as _,
+            )]
+        }
+        None => PrefetcherKind::PAPER_SCHEMES
+            .into_iter()
+            .map(|kind| {
+                (
+                    kind.label(),
+                    Box::new(move || SystemBuilder::cmp4().prefetcher(kind)) as _,
+                )
+            })
+            .collect(),
+    };
+
     let mut rows = Vec::new();
-    for kind in PrefetcherKind::PAPER_SCHEMES {
+    for (label, builder) in &contenders {
         for policy in [
             InstallPolicy::InstallBoth,
             InstallPolicy::BypassL2UntilUseful,
         ] {
-            let m = run(
-                SystemBuilder::cmp4()
-                    .prefetcher(kind)
-                    .install_policy(policy),
-                &ws,
-                lengths,
-            );
+            let m = run(builder().install_policy(policy), &ws, lengths);
             rows.push(vec![
-                kind.label(),
+                label.clone(),
                 match policy {
                     InstallPolicy::InstallBoth => "install".to_string(),
                     InstallPolicy::BypassL2UntilUseful => "bypass".to_string(),

@@ -5,20 +5,36 @@ use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{SystemBuilder, WorkloadSet};
 use ipsim_experiments::{pct, run, tool_args, RunLengths};
+use ipsim_prefetch::ZooPlan;
 use ipsim_trace::Workload;
 
 const USAGE: &str = "\
-usage: pf_detail [--bypass]
+usage: pf_detail [--bypass] [--prefetcher SPEC]
 
-  --bypass   use the BypassL2UntilUseful install policy
-  --help     this text
+  --bypass             use the BypassL2UntilUseful install policy
+  --prefetcher SPEC    dump one registry scheme instead of the default
+                       trio; SPEC is a registry spec like `disc:ahead=2`,
+                       `mana` or `pmap:depth=2` (run via a zoo of one)
+  --help               this text
 ";
 
 fn main() {
     let mut bypass = false;
-    for arg in tool_args(USAGE) {
+    let mut selected: Option<ZooPlan> = None;
+    let mut args = tool_args(USAGE).into_iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bypass" => bypass = true,
+            "--prefetcher" => {
+                let spec = args.next().unwrap_or_default();
+                match ZooPlan::parse(&spec) {
+                    Ok(plan) => selected = Some(plan),
+                    Err(e) => {
+                        eprintln!("--prefetcher: {e}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => {
                 eprintln!("unknown argument `{arg}`\n\n{USAGE}");
                 std::process::exit(2);
@@ -42,29 +58,45 @@ fn main() {
         }
         println!();
     }
-    for kind in [
-        PrefetcherKind::NextNLineTagged { n: 4 },
-        PrefetcherKind::discontinuity_default(),
-        PrefetcherKind::DiscontinuityGated {
-            table_entries: 8192,
-            ahead: 4,
-            min_confidence: 2,
-        },
-    ] {
+    let contenders: Vec<(String, Box<dyn Fn() -> SystemBuilder>)> = match &selected {
+        Some(plan) => {
+            let plan = plan.clone();
+            vec![(
+                format!("zoo[{}]", plan.canonical()),
+                Box::new(move || SystemBuilder::cmp4().zoo(plan.clone())) as _,
+            )]
+        }
+        None => [
+            PrefetcherKind::NextNLineTagged { n: 4 },
+            PrefetcherKind::discontinuity_default(),
+            PrefetcherKind::DiscontinuityGated {
+                table_entries: 8192,
+                ahead: 4,
+                min_confidence: 2,
+            },
+        ]
+        .into_iter()
+        .map(|kind| {
+            (
+                kind.label(),
+                Box::new(move || SystemBuilder::cmp4().prefetcher(kind)) as _,
+            )
+        })
+        .collect(),
+    };
+    for (label, builder) in &contenders {
         let m = run(
-            SystemBuilder::cmp4()
-                .prefetcher(kind)
-                .install_policy(if bypass {
-                    InstallPolicy::BypassL2UntilUseful
-                } else {
-                    InstallPolicy::InstallBoth
-                }),
+            builder().install_policy(if bypass {
+                InstallPolicy::BypassL2UntilUseful
+            } else {
+                InstallPolicy::InstallBoth
+            }),
             &ws,
             lengths,
         );
         let pf = m.prefetch();
         let ki = m.instructions() as f64 / 1000.0;
-        println!("== {} ==", kind.label());
+        println!("== {label} ==");
         println!(
             "L1I {} (ratio {:.2})  L2I ratio {:.2}  L2D ratio {:.2}  speedup {:.3}",
             pct(m.l1i_miss_per_instr()),

@@ -39,8 +39,11 @@ use ipsim_telemetry::{ComponentCounters, PfComponent, PfEventKind, TelemetryConf
 use ipsim_types::SystemConfig;
 
 const USAGE: &str = "\
-usage: sim_report [--quick | --smoke] [--jobs N]
+usage: sim_report [--bakeoff] [--quick | --smoke] [--jobs N]
 
+  --bakeoff   run the prefetcher-zoo bake-off instead of the flagship
+              report: every registered scheme side by side per workload,
+              with accuracy/coverage/timeliness attributed per scheme
   --quick     ~5x shorter warm-up/measurement windows
   --smoke     tiny windows for CI smoke runs (seconds, not minutes)
   --jobs N    worker threads (default: available parallelism)
@@ -50,12 +53,14 @@ Environment: IPSIM_CACHE_DIR, IPSIM_TRACE_DIR, IPSIM_TELEMETRY_DIR,
 IPSIM_RUNLOG as for the figure binaries.
 ";
 
-fn parse_args() -> (RunLengths, usize) {
+fn parse_args() -> (RunLengths, usize, bool) {
     let mut lengths = RunLengths::full();
     let mut workers = ipsim_harness::args::default_workers();
+    let mut bakeoff = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--bakeoff" => bakeoff = true,
             "--quick" => lengths = RunLengths::quick(),
             "--smoke" => {
                 lengths = RunLengths {
@@ -83,26 +88,31 @@ fn parse_args() -> (RunLengths, usize) {
             }
         }
     }
-    (lengths, workers)
+    (lengths, workers, bakeoff)
 }
 
 fn main() {
-    let (lengths, workers) = parse_args();
+    let (lengths, workers, bakeoff) = parse_args();
     let workload_sets: Vec<WorkloadSet> = ipsim_trace::Workload::ALL
         .iter()
         .map(|w| WorkloadSet::homogeneous(*w))
         .chain(std::iter::once(WorkloadSet::mixed()))
         .collect();
 
-    // One baseline and one flagship-prefetcher spec per workload set.
+    // One baseline and one flagship-prefetcher spec per workload set — or
+    // the bake-off sweep (baseline + full-zoo run per workload).
     let mut specs: Vec<RunSpec> = Vec::new();
-    for ws in &workload_sets {
-        let base = RunSpec::new(SystemConfig::cmp4(), ws.clone(), lengths);
-        specs.push(base.clone());
-        specs.push(
-            base.prefetcher(PrefetcherKind::discontinuity_default())
-                .policy(InstallPolicy::BypassL2UntilUseful),
-        );
+    if bakeoff {
+        specs = ipsim_experiments::bakeoff::bakeoff_specs(lengths);
+    } else {
+        for ws in &workload_sets {
+            let base = RunSpec::new(SystemConfig::cmp4(), ws.clone(), lengths);
+            specs.push(base.clone());
+            specs.push(
+                base.prefetcher(PrefetcherKind::discontinuity_default())
+                    .policy(InstallPolicy::BypassL2UntilUseful),
+            );
+        }
     }
 
     let cache = RunCache::from_env();
@@ -122,6 +132,19 @@ fn main() {
             None => unreachable!("every spec was scheduled"),
         }
     };
+
+    if bakeoff {
+        match ipsim_experiments::bakeoff::render_bakeoff(&sink, &specs, resolve) {
+            Ok(table) => {
+                print!("{table}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("bake-off failed: {e}");
+                exit(1);
+            }
+        }
+    }
 
     println!(
         "sim_report: discontinuity+sequential prefetcher vs no-prefetch baseline \

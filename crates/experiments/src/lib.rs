@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bakeoff;
 pub mod figures;
 
 pub use ipsim_harness::{Executor, RunLengths, RunSpec, Summary};

@@ -54,6 +54,30 @@ fn every_binary_prints_usage_on_help_and_exits_zero() {
 }
 
 #[test]
+fn prefetcher_selectors_reject_unknown_schemes_with_exit_two() {
+    for name in ["pf_check", "pf_detail"] {
+        let path = BINS.iter().find(|(n, _)| *n == name).unwrap().1;
+        for bad in ["warp", "nl:mode=9", ""] {
+            let out = Command::new(path)
+                .args(["--prefetcher", bad])
+                .output()
+                .unwrap_or_else(|e| panic!("{name}: could not run: {e}"));
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{name} --prefetcher {bad:?} should exit 2, got {:?}",
+                out.status.code()
+            );
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("usage"),
+                "{name} rejected the spec without printing usage:\n{stderr}"
+            );
+        }
+    }
+}
+
+#[test]
 fn every_binary_rejects_unknown_flags_with_exit_two() {
     for (name, path) in BINS {
         let out = Command::new(path)

@@ -3,6 +3,7 @@
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{LimitSpec, System, SystemBuilder, SystemMetrics, WorkloadSet};
+use ipsim_prefetch::ZooPlan;
 use ipsim_types::SystemConfig;
 
 use crate::cache::RunCache;
@@ -17,6 +18,10 @@ pub struct RunSpec {
     pub config: SystemConfig,
     /// Per-core prefetcher.
     pub prefetcher: PrefetcherKind,
+    /// Optional prefetcher-zoo plan; when set it runs *instead of*
+    /// `prefetcher` and the run's telemetry carries per-scheme
+    /// shadow-attribution rows.
+    pub zoo: Option<ZooPlan>,
     /// L2 install policy for instruction prefetches.
     pub policy: InstallPolicy,
     /// Optional limit-study spec.
@@ -33,6 +38,7 @@ impl RunSpec {
         RunSpec {
             config,
             prefetcher: PrefetcherKind::None,
+            zoo: None,
             policy: InstallPolicy::InstallBoth,
             limit: None,
             workloads,
@@ -43,6 +49,12 @@ impl RunSpec {
     /// Sets the prefetcher.
     pub fn prefetcher(mut self, kind: PrefetcherKind) -> RunSpec {
         self.prefetcher = kind;
+        self
+    }
+
+    /// Sets a prefetcher-zoo plan (overrides [`RunSpec::prefetcher`]).
+    pub fn zoo(mut self, plan: ZooPlan) -> RunSpec {
+        self.zoo = Some(plan);
         self
     }
 
@@ -100,6 +112,10 @@ impl RunSpec {
         if c.core.tlb.enabled {
             descr.push_str(&format!("|tlb={:?}", c.core.tlb));
         }
+        // Appended only when present so pre-zoo specs keep their keys.
+        if let Some(plan) = &self.zoo {
+            descr.push_str(&format!("|zoo={}", plan.canonical()));
+        }
         descr
     }
 
@@ -155,6 +171,10 @@ impl RunSpec {
         let builder = SystemBuilder::new(self.config.clone())
             .prefetcher(self.prefetcher)
             .install_policy(self.policy);
+        let builder = match &self.zoo {
+            Some(plan) => builder.zoo(plan.clone()),
+            None => builder,
+        };
         let builder = match self.limit {
             Some(l) => builder.limit(l),
             None => builder,
@@ -164,12 +184,11 @@ impl RunSpec {
 
     /// A short human-readable tag for progress lines and the run log.
     pub fn label(&self) -> String {
-        let mut label = format!(
-            "{}c·{}·{}",
-            self.config.n_cores,
-            self.workloads.name(),
-            self.prefetcher.label(),
-        );
+        let pf = match &self.zoo {
+            Some(plan) => format!("zoo[{}]", plan.canonical()),
+            None => self.prefetcher.label().to_string(),
+        };
+        let mut label = format!("{}c·{}·{}", self.config.n_cores, self.workloads.name(), pf);
         if self.policy != InstallPolicy::InstallBoth {
             label.push_str("·bypass");
         }
@@ -270,6 +289,37 @@ mod tests {
             crate::hash::fnv1a64(spec.descriptor().as_bytes())
         );
         assert_eq!(spec.cache_key(), expected);
+    }
+
+    #[test]
+    fn zoo_plans_change_key_label_and_engine() {
+        let lengths = RunLengths {
+            warm: 1,
+            measure: 2,
+        };
+        let plain = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let zoo = plain.clone().zoo(ZooPlan::parse("nl+disc").unwrap());
+        assert_ne!(plain.cache_key(), zoo.cache_key());
+        assert_ne!(
+            zoo.cache_key(),
+            plain
+                .clone()
+                .zoo(ZooPlan::parse("nl+disc:ahead=2").unwrap())
+                .cache_key(),
+            "knob values are part of the key"
+        );
+        assert_eq!(
+            plain.trace_key(),
+            zoo.trace_key(),
+            "zoo runs share the plain spec's captured traces"
+        );
+        assert!(zoo.label().contains("zoo[nl+disc]"), "{}", zoo.label());
+        let sys = zoo.build_system();
+        assert_eq!(sys.zoo_scheme_stats().len(), 2);
     }
 
     #[test]

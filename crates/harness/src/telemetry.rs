@@ -10,6 +10,7 @@
 //!     trace.json        Chrome trace_event timeline (chrome://tracing)
 //!     series.tsv        interval time series, one row per (core, sample)
 //!     pf_summary.tsv    exact per-component event counts, cores summed
+//!     zoo.tsv           per-scheme shadow attribution (zoo runs only)
 //!     meta.tsv          run identity + artifact inventory — written last
 //! ```
 //!
@@ -39,6 +40,9 @@ pub const DEFAULT_TELEMETRY_DIR: &str = "results/telemetry";
 /// The completion marker, written last: an artifact directory without it
 /// is incomplete and gets regenerated.
 pub const META_FILE: &str = "meta.tsv";
+
+/// Per-scheme shadow-attribution artifact, present only for zoo runs.
+pub const ZOO_FILE: &str = "zoo.tsv";
 
 /// Writes per-run telemetry artifacts under one root directory.
 ///
@@ -151,6 +155,11 @@ impl TelemetrySink {
         let mut summary = file("pf_summary.tsv")?;
         sink::write_component_summary_tsv(&mut summary, run)?;
         summary.flush()?;
+        if !run.zoo.is_empty() {
+            let mut zoo = file(ZOO_FILE)?;
+            sink::write_zoo_tsv(&mut zoo, &run.zoo)?;
+            zoo.flush()?;
+        }
 
         let mut meta = file(META_FILE)?;
         writeln!(meta, "key\t{key}")?;
@@ -161,6 +170,10 @@ impl TelemetrySink {
         writeln!(meta, "events\t{}", run.total_events())?;
         writeln!(meta, "dropped\t{}", run.total_dropped())?;
         writeln!(meta, "samples\t{}", run.samples.len())?;
+        if let Some(plan) = &spec.zoo {
+            writeln!(meta, "zoo\t{}", plan.canonical())?;
+            writeln!(meta, "zoo_rows\t{}", run.zoo.len())?;
+        }
         meta.flush()
     }
 }
@@ -240,6 +253,40 @@ mod tests {
         assert_eq!(get("key"), spec.cache_key());
         assert_eq!(get("interval"), "500");
         assert_eq!(get("events"), parsed.total_events().to_string());
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zoo_runs_add_a_zoo_artifact() {
+        let root = std::env::temp_dir().join(format!("ipsim-zoo-sink-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let sink_ = TelemetrySink::at(
+            &root,
+            TelemetryConfig {
+                interval: 500,
+                max_events_per_core: 4_096,
+            },
+        );
+        let plain = spec();
+        let zoo_spec = spec().zoo(ipsim_prefetch::ZooPlan::parse("nl+disc").unwrap());
+
+        let plain_dir = sink_
+            .write(&plain, &TraceRun::collect(&plain, sink_.config()))
+            .unwrap();
+        assert!(
+            !plain_dir.join(ZOO_FILE).exists(),
+            "non-zoo runs have no zoo artifact"
+        );
+
+        let run = TraceRun::collect(&zoo_spec, sink_.config());
+        let dir = sink_.write(&zoo_spec, &run).unwrap();
+        let text = fs::read_to_string(dir.join(ZOO_FILE)).unwrap();
+        let rows = sink::parse_zoo_tsv(&text).unwrap();
+        assert_eq!(rows, run.zoo);
+        assert_eq!(rows.len(), 2, "one row per scheme on the single core");
+        let meta = read_meta(&dir).unwrap();
+        assert!(meta.contains(&("zoo".to_string(), "nl+disc".to_string())));
 
         let _ = fs::remove_dir_all(&root);
     }

@@ -7,14 +7,14 @@
 //! space actually sweeps (workload, prefetcher, install policy, limit
 //! spec, run windows) — and [`JobSpec`] is a batch of them.
 //!
-//! Two encodings share one schema version (`ipsim-jobspec v1`):
+//! Two encodings share one schema version (`ipsim-jobspec v2`):
 //!
 //! * **JSON** (the HTTP wire format), read back with the hand-rolled
 //!   parser from `ipsim-telemetry` — no serde, per the workspace's
 //!   vendored-only dependency policy:
 //!
 //! ```json
-//! {"v":1,"runs":[{"config":"cmp4","workload":"mixed",
+//! {"v":2,"runs":[{"config":"cmp4","workload":"mixed",
 //!                 "prefetcher":"disc:8192:4","policy":"bypass",
 //!                 "warm":2000000,"measure":4000000}]}
 //! ```
@@ -33,10 +33,19 @@
 //! unknown presets and non-integral numbers are errors, not guesses —
 //! a daemon must reject malformed jobs at submit time, not discover them
 //! mid-queue.
+//!
+//! **v2** extends v1 in two backward-compatible ways. The JSON
+//! `prefetcher` field became *optional* (absent means `none`), and both
+//! encodings accept a `zoo:` prefetcher form carrying a registry plan —
+//! `zoo:nl+disc:ahead=2` runs the zoo of those schemes with shadow
+//! attribution (see `ipsim-prefetch`). Every v1 payload decodes
+//! unchanged; a v1-versioned JSON payload that smuggles a `zoo:` form is
+//! rejected, since a v1 producer could never have written one.
 
 use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{LimitSpec, WorkloadSet};
+use ipsim_prefetch::ZooPlan;
 use ipsim_telemetry::json::{self, Json};
 use ipsim_trace::Workload;
 use ipsim_types::SystemConfig;
@@ -44,11 +53,17 @@ use ipsim_types::SystemConfig;
 use crate::spec::RunSpec;
 use crate::RunLengths;
 
-/// Wire-schema version carried in every JSON job spec.
-pub const WIRE_VERSION: u32 = 1;
+/// Wire-schema version written by every JSON encoder.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Oldest wire-schema version decoders still accept.
+pub const MIN_WIRE_VERSION: u32 = 1;
 
 /// Header line of the TSV encoding.
-pub const TSV_HEADER: &str = "# ipsim-jobspec-tsv v1";
+pub const TSV_HEADER: &str = "# ipsim-jobspec-tsv v2";
+
+/// The v1 TSV header, still accepted on decode.
+pub const TSV_HEADER_V1: &str = "# ipsim-jobspec-tsv v1";
 
 /// Maximum runs accepted in one job spec (a submit-time sanity bound; a
 /// bigger sweep is many jobs).
@@ -125,8 +140,10 @@ pub struct WireRun {
     pub config: ConfigPreset,
     /// Workload name (`db`|`tpcw`|`japp`|`web`|`mixed`).
     pub workload: String,
-    /// Per-core prefetcher.
+    /// Per-core prefetcher (ignored when `zoo` is set).
     pub prefetcher: PrefetcherKind,
+    /// Optional prefetcher-zoo plan (the `zoo:` wire form, v2+).
+    pub zoo: Option<ZooPlan>,
     /// L2 install policy.
     pub policy: InstallPolicy,
     /// Optional limit-study spec.
@@ -148,6 +165,9 @@ impl WireRun {
         let mut spec = RunSpec::new(self.config.to_config(), workloads, lengths)
             .prefetcher(self.prefetcher)
             .policy(self.policy);
+        if let Some(plan) = &self.zoo {
+            spec = spec.zoo(plan.clone());
+        }
         if let Some(limit) = self.limit {
             spec = spec.limit(limit);
         }
@@ -176,11 +196,21 @@ impl WireRun {
             config,
             workload,
             prefetcher: spec.prefetcher,
+            zoo: spec.zoo.clone(),
             policy: spec.policy,
             limit: spec.limit,
             warm: spec.lengths.warm,
             measure: spec.lengths.measure,
         })
+    }
+
+    /// The prefetcher column value: the zoo form when a plan is set,
+    /// else the compact [`prefetcher_to_wire`] form.
+    fn prefetcher_column(&self) -> String {
+        match &self.zoo {
+            Some(plan) => format!("zoo:{}", plan.canonical()),
+            None => prefetcher_to_wire(self.prefetcher),
+        }
     }
 
     /// One JSON object (no surrounding whitespace).
@@ -189,7 +219,7 @@ impl WireRun {
             "{{\"config\":\"{}\",\"workload\":\"{}\",\"prefetcher\":\"{}\",\"policy\":\"{}\"",
             self.config.name(),
             self.workload,
-            prefetcher_to_wire(self.prefetcher),
+            self.prefetcher_column(),
             policy_to_wire(self.policy),
         );
         if let Some(limit) = self.limit {
@@ -208,7 +238,7 @@ impl WireRun {
             "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.config.name(),
             self.workload,
-            prefetcher_to_wire(self.prefetcher),
+            self.prefetcher_column(),
             policy_to_wire(self.policy),
             self.limit.map_or_else(|| "-".to_string(), limit_to_wire),
             self.warm,
@@ -225,10 +255,12 @@ impl WireRun {
                 parts.len()
             ));
         }
+        let (prefetcher, zoo) = prefetcher_column_from_wire(parts[2])?;
         Ok(WireRun {
             config: ConfigPreset::parse(parts[0])?,
             workload: parse_workload_name(parts[1])?,
-            prefetcher: prefetcher_from_wire(parts[2])?,
+            prefetcher,
+            zoo,
             policy: policy_from_wire(parts[3])?,
             limit: limit_from_wire(parts[4])?,
             warm: parse_window(parts[5], "warm")?,
@@ -270,10 +302,17 @@ impl WireRun {
             Some(Json::Str(s)) => limit_from_wire(s)?,
             Some(_) => return Err("run field `limit` must be a string".to_string()),
         };
+        // v2: `prefetcher` is optional; absent means no prefetcher.
+        let (prefetcher, zoo) = match value.get("prefetcher") {
+            None | Some(Json::Null) => (PrefetcherKind::None, None),
+            Some(Json::Str(s)) => prefetcher_column_from_wire(s)?,
+            Some(_) => return Err("run field `prefetcher` must be a string".to_string()),
+        };
         Ok(WireRun {
             config: ConfigPreset::parse(str_field("config")?)?,
             workload: parse_workload_name(str_field("workload")?)?,
-            prefetcher: prefetcher_from_wire(str_field("prefetcher")?)?,
+            prefetcher,
+            zoo,
             policy: policy_from_wire(str_field("policy")?)?,
             limit,
             warm: int_field("warm")?,
@@ -338,11 +377,13 @@ impl JobSpec {
                 return Err(format!("unknown job field `{key}`"));
             }
         }
-        match value.get("v").and_then(Json::as_num) {
-            Some(v) if v == f64::from(WIRE_VERSION) => {}
+        let version = match value.get("v").and_then(Json::as_num) {
+            Some(v) if (f64::from(MIN_WIRE_VERSION)..=f64::from(WIRE_VERSION)).contains(&v) => {
+                v as u32
+            }
             Some(v) => return Err(format!("unsupported job-spec version {v}")),
             None => return Err("job spec must carry a numeric `v` field".to_string()),
-        }
+        };
         let runs = value
             .get("runs")
             .and_then(Json::as_arr)
@@ -351,26 +392,57 @@ impl JobSpec {
             .iter()
             .map(WireRun::from_json_value)
             .collect::<Result<Vec<_>, _>>()?;
+        reject_v2_features(version, &runs)?;
         JobSpec::new(runs)
     }
 
-    /// Parses a TSV document (header line required).
+    /// Parses a TSV document (header line required; both the current and
+    /// the v1 header are accepted).
     pub fn from_tsv(text: &str) -> Result<JobSpec, String> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some(header) if header.trim_end() == TSV_HEADER => {}
+        let version = match lines.next().map(str::trim_end) {
+            Some(TSV_HEADER) => WIRE_VERSION,
+            Some(TSV_HEADER_V1) => 1,
             _ => return Err(format!("first line must be `{TSV_HEADER}`")),
-        }
+        };
         let runs = lines
             .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
             .map(WireRun::from_tsv)
             .collect::<Result<Vec<_>, _>>()?;
+        reject_v2_features(version, &runs)?;
         JobSpec::new(runs)
     }
 
     /// Lowers every run to an executable [`RunSpec`].
     pub fn to_run_specs(&self) -> Result<Vec<RunSpec>, String> {
         self.runs.iter().map(WireRun::to_run_spec).collect()
+    }
+}
+
+/// Rejects runs using v2-only wire features under a v1 version tag: a
+/// v1 producer could never have written them, so their presence means a
+/// mislabelled payload, not an old one.
+fn reject_v2_features(version: u32, runs: &[WireRun]) -> Result<(), String> {
+    if version < 2 {
+        if let Some(run) = runs.iter().find(|r| r.zoo.is_some()) {
+            return Err(format!(
+                "`zoo:` prefetchers need job-spec v2, got v{version} (run {})",
+                run.to_tsv()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the full prefetcher column: either a compact
+/// [`prefetcher_from_wire`] form or a `zoo:` plan.
+fn prefetcher_column_from_wire(text: &str) -> Result<(PrefetcherKind, Option<ZooPlan>), String> {
+    match text.strip_prefix("zoo:") {
+        Some(plan) => {
+            let plan = ZooPlan::parse(plan).map_err(|e| format!("zoo prefetcher: {e}"))?;
+            Ok((PrefetcherKind::None, Some(plan)))
+        }
+        None => Ok((prefetcher_from_wire(text)?, None)),
     }
 }
 
@@ -619,6 +691,7 @@ mod tests {
                 config: ConfigPreset { n_cores: 1 },
                 workload: "db".to_string(),
                 prefetcher: PrefetcherKind::None,
+                zoo: None,
                 policy: InstallPolicy::InstallBoth,
                 limit: None,
                 warm: 1000,
@@ -631,6 +704,7 @@ mod tests {
                     table_entries: 8192,
                     ahead: 4,
                 },
+                zoo: None,
                 policy: InstallPolicy::BypassL2UntilUseful,
                 limit: Some(LimitSpec {
                     sequential: true,
@@ -639,6 +713,16 @@ mod tests {
                 }),
                 warm: 5000,
                 measure: 10000,
+            },
+            WireRun {
+                config: ConfigPreset { n_cores: 1 },
+                workload: "web".to_string(),
+                prefetcher: PrefetcherKind::None,
+                zoo: Some(ZooPlan::parse("nl+disc:ahead=2+mana").unwrap()),
+                policy: InstallPolicy::InstallBoth,
+                limit: None,
+                warm: 1000,
+                measure: 2000,
             },
         ]
     }
@@ -706,10 +790,74 @@ mod tests {
     }
 
     #[test]
+    fn v1_payloads_still_decode() {
+        // A JSON document exactly as a v1 producer would have written it.
+        let v1 = "{\"v\":1,\"runs\":[{\"config\":\"cmp4\",\"workload\":\"mixed\",\
+                  \"prefetcher\":\"disc:8192:4\",\"policy\":\"bypass\",\
+                  \"warm\":5000,\"measure\":10000}]}";
+        let spec = JobSpec::from_json(v1).unwrap();
+        assert_eq!(spec.runs[0].zoo, None);
+        assert_eq!(
+            spec.runs[0].prefetcher,
+            PrefetcherKind::Discontinuity {
+                table_entries: 8192,
+                ahead: 4
+            }
+        );
+        // A v1 TSV document under the old header.
+        let tsv = format!("{TSV_HEADER_V1}\ncmp4\tdb\tnone\tinstall_both\t-\t1\t2\n");
+        assert_eq!(JobSpec::from_tsv(&tsv).unwrap().runs.len(), 1);
+    }
+
+    #[test]
+    fn prefetcher_field_is_optional_in_v2() {
+        let spec = JobSpec::from_json(
+            "{\"v\":2,\"runs\":[{\"config\":\"single_core\",\"workload\":\"db\",\
+             \"policy\":\"install_both\",\"warm\":10,\"measure\":20}]}",
+        )
+        .unwrap();
+        assert_eq!(spec.runs[0].prefetcher, PrefetcherKind::None);
+        assert_eq!(spec.runs[0].zoo, None);
+    }
+
+    #[test]
+    fn zoo_plans_ride_the_wire_canonically() {
+        let spec = JobSpec::new(sample_runs()).unwrap();
+        let json = spec.to_json();
+        assert!(json.contains("\"zoo:nl+disc:ahead=2+mana\""), "{json}");
+        assert_eq!(JobSpec::from_json(&json).unwrap(), spec);
+        let run_spec = spec.runs[2].to_run_spec().unwrap();
+        assert_eq!(
+            run_spec.zoo,
+            Some(ZooPlan::parse("nl+disc:ahead=2+mana").unwrap())
+        );
+        // Non-canonical knob order canonicalises on decode → same key.
+        let (_, messy) = prefetcher_column_from_wire("zoo:nl+disc:ahead=2+mana:degree=8").unwrap();
+        assert_eq!(messy.unwrap().canonical(), "nl+disc:ahead=2+mana:degree=8");
+    }
+
+    #[test]
+    fn zoo_forms_are_rejected_under_v1() {
+        let v1_json = "{\"v\":1,\"runs\":[{\"config\":\"single_core\",\"workload\":\"db\",\
+                       \"prefetcher\":\"zoo:nl+disc\",\"policy\":\"install_both\",\
+                       \"warm\":10,\"measure\":20}]}";
+        let err = JobSpec::from_json(v1_json).unwrap_err();
+        assert!(err.contains("need job-spec v2"), "{err}");
+        let v1_tsv =
+            format!("{TSV_HEADER_V1}\nsingle_core\tdb\tzoo:nl+disc\tinstall_both\t-\t10\t20\n");
+        assert!(JobSpec::from_tsv(&v1_tsv).is_err());
+    }
+
+    #[test]
     fn decoders_are_strict() {
         assert!(JobSpec::from_json("{}").is_err());
         assert!(JobSpec::from_json("{\"v\":1,\"runs\":[]}").is_err());
+        assert!(JobSpec::from_json("{\"v\":3,\"runs\":[{}]}").is_err());
         assert!(JobSpec::from_json("{\"v\":2,\"runs\":[{}]}").is_err());
+        // Zoo plans are validated against the scheme registry on decode.
+        assert!(prefetcher_column_from_wire("zoo:warp").is_err());
+        assert!(prefetcher_column_from_wire("zoo:nl:mode=9").is_err());
+        assert!(prefetcher_column_from_wire("zoo:").is_err());
         assert!(JobSpec::from_json("{\"v\":1,\"runs\":[{\"config\":\"cmp4\"}]}").is_err());
         // Unknown fields are rejected, not ignored.
         let mut ok = JobSpec::new(sample_runs()).unwrap().to_json();

@@ -53,6 +53,23 @@ const GOLDEN: &[(&str, &str)] = &[
         "single_core\tdb\tnone\tinstall_both\tseq+br+call\t2000000\t4000000",
         "103479c891cfa60d",
     ),
+    // v2 zoo-bearing specs: the plan's canonical form is part of the key.
+    (
+        "single_core\tweb\tzoo:nl+disc\tinstall_both\t-\t2000000\t4000000",
+        "0c572f02b1d874cf",
+    ),
+    (
+        "single_core\tweb\tzoo:nl+disc:ahead=2\tinstall_both\t-\t2000000\t4000000",
+        "80b9a2b4c95ec38b",
+    ),
+    (
+        "cmp4\tmixed\tzoo:nl+nnl+disc+stream+mana+pmap\tbypass\t-\t2000000\t4000000",
+        "602e5d292ead99fa",
+    ),
+    (
+        "cmp4\tdb\tzoo:mana:degree=4,region_lines=16+pmap:depth=2\tinstall_both\t-\t2000000\t4000000",
+        "43c8f0778eb91a0d",
+    ),
 ];
 
 fn corpus_specs() -> Vec<(String, RunSpec)> {

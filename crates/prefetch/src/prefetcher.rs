@@ -1,0 +1,143 @@
+//! The zoo-facing prefetcher interface and the adapter that lifts the
+//! paper's [`PrefetchEngine`] implementations onto it.
+
+use ipsim_core::{FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource};
+use ipsim_types::LineAddr;
+
+use crate::sink::RequestSink;
+
+/// A prefetch scheme living in a [`Zoo`](crate::Zoo).
+///
+/// Like [`PrefetchEngine`], a scheme is a pure, deterministic policy state
+/// machine — it owns no caches and models no timing — but it observes the
+/// full line lifecycle (fetch, fill, first use, eviction) and emits
+/// requests through a [`RequestSink`] that tags them with the scheme's
+/// zoo slot and enforces its per-event degree. The sink tagging is what
+/// makes shadow attribution exact: every request a scheme emits carries
+/// its slot through the issue queue, the MSHRs and the cache, so
+/// usefulness lands on the right scheme even with several running side by
+/// side.
+pub trait Prefetcher: std::fmt::Debug {
+    /// Observes one demand line fetch and emits any generated prefetch
+    /// requests (most important first, or via explicit sink priorities).
+    fn on_fetch(&mut self, ev: &FetchEvent, sink: &mut RequestSink);
+
+    /// Observes a conditional branch: `alternate` is the line of the path
+    /// *not* taken this time. Most schemes ignore it.
+    fn on_cond_branch(&mut self, alternate: LineAddr, sink: &mut RequestSink) {
+        let _ = (alternate, sink);
+    }
+
+    /// Lifecycle: a prefetch this scheme issued completed and its line was
+    /// installed in the instruction cache.
+    fn on_fill(&mut self, line: LineAddr, source: PrefetchSource) {
+        let _ = (line, source);
+    }
+
+    /// Lifecycle: a prefetch this scheme issued was demand-referenced for
+    /// the first time (`late` when the demand arrived while it was still
+    /// in flight). Table-based schemes reinforce the responsible entry
+    /// here via `source`.
+    fn on_useful(&mut self, line: LineAddr, source: PrefetchSource, late: bool) {
+        let _ = (line, source, late);
+    }
+
+    /// Lifecycle: a line this scheme prefetched left the cache. `used` is
+    /// `false` for the pure-waste case (never demand-referenced), which
+    /// table-based schemes use to weaken the responsible entry.
+    fn on_evict(&mut self, line: LineAddr, source: PrefetchSource, used: bool) {
+        let _ = (line, source, used);
+    }
+
+    /// Short scheme name for reports and the bake-off table.
+    fn name(&self) -> &str;
+}
+
+/// Adapter lifting a legacy [`PrefetchEngine`] (the paper's mechanisms and
+/// baselines in `ipsim-core`) onto the [`Prefetcher`] trait.
+///
+/// Emission is a straight relay; feedback routing preserves the legacy
+/// contract exactly — [`Prefetcher::on_useful`] forwards to
+/// [`PrefetchEngine::on_prefetch_useful`] and only an *unused* eviction
+/// forwards to [`PrefetchEngine::on_prefetch_useless`] — so a zoo with a
+/// single wrapped engine reinforces its tables identically to the same
+/// engine driven directly by the core (pinned by the equivalence tests in
+/// `ipsim-experiments`).
+#[derive(Debug)]
+pub struct LegacyScheme {
+    inner: Box<dyn PrefetchEngine>,
+    scratch: Vec<PrefetchRequest>,
+}
+
+impl LegacyScheme {
+    /// Wraps a legacy engine.
+    pub fn new(inner: Box<dyn PrefetchEngine>) -> LegacyScheme {
+        LegacyScheme {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn relay(&mut self, sink: &mut RequestSink) {
+        for req in self.scratch.drain(..) {
+            sink.push(req.line, req.source);
+        }
+    }
+}
+
+impl Prefetcher for LegacyScheme {
+    fn on_fetch(&mut self, ev: &FetchEvent, sink: &mut RequestSink) {
+        self.scratch.clear();
+        self.inner.on_fetch(ev, &mut self.scratch);
+        self.relay(sink);
+    }
+
+    fn on_cond_branch(&mut self, alternate: LineAddr, sink: &mut RequestSink) {
+        self.scratch.clear();
+        self.inner.on_cond_branch(alternate, &mut self.scratch);
+        self.relay(sink);
+    }
+
+    fn on_useful(&mut self, line: LineAddr, source: PrefetchSource, _late: bool) {
+        self.inner.on_prefetch_useful(line, source);
+    }
+
+    fn on_evict(&mut self, line: LineAddr, source: PrefetchSource, used: bool) {
+        if !used {
+            self.inner.on_prefetch_useless(line, source);
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsim_core::PrefetcherKind;
+
+    #[test]
+    fn legacy_relay_preserves_requests_and_tags_scheme() {
+        let mut direct = PrefetcherKind::NextNLineTagged { n: 4 }.build();
+        let mut wrapped = LegacyScheme::new(PrefetcherKind::NextNLineTagged { n: 4 }.build());
+        let ev = FetchEvent::miss(LineAddr(100), None);
+
+        let mut want = Vec::new();
+        direct.on_fetch(&ev, &mut want);
+
+        let mut got = Vec::new();
+        let mut sink = RequestSink::new(&mut got, 5, usize::MAX);
+        wrapped.on_fetch(&ev, &mut sink);
+        sink.finish();
+
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.line, w.line);
+            assert_eq!(g.source, w.source);
+            assert_eq!(g.scheme, 5);
+        }
+        assert_eq!(wrapped.name(), direct.name());
+    }
+}

@@ -1,0 +1,163 @@
+//! The emission side of the [`Prefetcher`](crate::Prefetcher) trait: a
+//! scheme-tagged, degree-capped request collector.
+
+use ipsim_core::{PrefetchRequest, PrefetchSource};
+use ipsim_types::LineAddr;
+
+/// Collects the prefetch requests one scheme emits for one front-end
+/// event.
+///
+/// The sink tags every request with the issuing scheme's zoo slot (for
+/// shadow attribution), enforces the scheme's *degree* — the maximum
+/// number of requests it may emit per event — and supports explicit
+/// priorities: the batch is handed to the issue queue most-important
+/// first, so a scheme that knows some requests matter more can say so
+/// instead of relying on push order.
+#[derive(Debug)]
+pub struct RequestSink<'a> {
+    out: &'a mut Vec<PrefetchRequest>,
+    priorities: Vec<u8>,
+    scheme: u8,
+    degree: usize,
+    start: usize,
+    emitted: usize,
+    capped: u64,
+    prioritized: bool,
+}
+
+/// Priority given to requests pushed without an explicit one.
+pub const DEFAULT_PRIORITY: u8 = 128;
+
+impl<'a> RequestSink<'a> {
+    /// A sink appending to `out`, tagging with zoo slot `scheme`, allowing
+    /// at most `degree` requests for this event.
+    pub fn new(out: &'a mut Vec<PrefetchRequest>, scheme: u8, degree: usize) -> RequestSink<'a> {
+        let start = out.len();
+        RequestSink {
+            out,
+            priorities: Vec::new(),
+            scheme,
+            degree,
+            start,
+            emitted: 0,
+            capped: 0,
+            prioritized: false,
+        }
+    }
+
+    /// Emits a request at [`DEFAULT_PRIORITY`]. Returns `false` (and drops
+    /// the request) once the scheme's degree for this event is exhausted.
+    pub fn push(&mut self, line: LineAddr, source: PrefetchSource) -> bool {
+        self.push_with_priority(line, source, DEFAULT_PRIORITY)
+    }
+
+    /// Emits a request with an explicit priority (255 = most important).
+    /// Equal priorities preserve push order.
+    pub fn push_with_priority(
+        &mut self,
+        line: LineAddr,
+        source: PrefetchSource,
+        priority: u8,
+    ) -> bool {
+        if self.emitted >= self.degree {
+            self.capped += 1;
+            return false;
+        }
+        self.out
+            .push(PrefetchRequest::new(line, source).with_scheme(self.scheme));
+        self.priorities.push(priority);
+        if priority != DEFAULT_PRIORITY {
+            self.prioritized = true;
+        }
+        self.emitted += 1;
+        true
+    }
+
+    /// Requests emitted so far for this event.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Remaining degree budget for this event.
+    pub fn remaining(&self) -> usize {
+        self.degree - self.emitted
+    }
+
+    /// Finishes the batch: orders it most-important first (stable, so
+    /// push order breaks ties and the common all-default case is a no-op)
+    /// and returns `(emitted, capped)` — requests kept and requests
+    /// dropped by the degree cap.
+    pub fn finish(self) -> (u64, u64) {
+        if self.prioritized {
+            let batch = &mut self.out[self.start..];
+            let mut keyed: Vec<(u8, usize)> = self
+                .priorities
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i))
+                .collect();
+            // Descending priority, ascending push index within a priority.
+            keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let reordered: Vec<PrefetchRequest> = keyed.iter().map(|&(_, i)| batch[i]).collect();
+            batch.copy_from_slice(&reordered);
+        }
+        (self.emitted as u64, self.capped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(out: &[PrefetchRequest]) -> Vec<u64> {
+        out.iter().map(|r| r.line.0).collect()
+    }
+
+    #[test]
+    fn tags_scheme_and_preserves_push_order() {
+        let mut out = Vec::new();
+        let mut sink = RequestSink::new(&mut out, 3, 8);
+        assert!(sink.push(LineAddr(1), PrefetchSource::Sequential));
+        assert!(sink.push(LineAddr(2), PrefetchSource::Target));
+        assert_eq!(sink.finish(), (2, 0));
+        assert_eq!(lines(&out), [1, 2]);
+        assert!(out.iter().all(|r| r.scheme == 3));
+        assert_eq!(out[1].source, PrefetchSource::Target);
+    }
+
+    #[test]
+    fn degree_cap_drops_excess() {
+        let mut out = Vec::new();
+        let mut sink = RequestSink::new(&mut out, 0, 2);
+        assert!(sink.push(LineAddr(1), PrefetchSource::Sequential));
+        assert!(sink.push(LineAddr(2), PrefetchSource::Sequential));
+        assert_eq!(sink.remaining(), 0);
+        assert!(!sink.push(LineAddr(3), PrefetchSource::Sequential));
+        assert_eq!(sink.finish(), (2, 1));
+        assert_eq!(lines(&out), [1, 2]);
+    }
+
+    #[test]
+    fn priorities_order_most_important_first() {
+        let mut out = Vec::new();
+        let mut sink = RequestSink::new(&mut out, 0, 8);
+        sink.push_with_priority(LineAddr(1), PrefetchSource::Sequential, 10);
+        sink.push_with_priority(LineAddr(2), PrefetchSource::Sequential, 200);
+        sink.push_with_priority(LineAddr(3), PrefetchSource::Sequential, 200);
+        sink.push(LineAddr(4), PrefetchSource::Sequential);
+        sink.finish();
+        // 200s first (stable: 2 before 3), then the default (128), then 10.
+        assert_eq!(lines(&out), [2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn sink_appends_after_existing_requests() {
+        let mut out = vec![PrefetchRequest::sequential(LineAddr(99))];
+        let mut sink = RequestSink::new(&mut out, 1, 4);
+        sink.push_with_priority(LineAddr(1), PrefetchSource::Sequential, 1);
+        sink.push_with_priority(LineAddr(2), PrefetchSource::Sequential, 9);
+        sink.finish();
+        // Reordering is confined to this sink's batch.
+        assert_eq!(lines(&out), [99, 2, 1]);
+    }
+}

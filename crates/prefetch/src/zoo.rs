@@ -1,0 +1,302 @@
+//! The multi-prefetcher engine: runs several [`Prefetcher`] schemes side
+//! by side in one core and attributes every line's lifecycle to the
+//! scheme that issued it.
+
+use ipsim_core::{FetchEvent, PrefetchEngine, PrefetchRequest, PrefetchSource};
+use ipsim_types::LineAddr;
+
+use crate::prefetcher::Prefetcher;
+use crate::shadow::ShadowTable;
+use crate::sink::RequestSink;
+use crate::stats::SchemeCounters;
+
+/// Maximum schemes a zoo can host. Slots are `u8` on the wire
+/// ([`PrefetchRequest::scheme`]); eight is far past any realistic
+/// side-by-side study and keeps per-event fan-out bounded.
+pub const MAX_SCHEMES: usize = 8;
+
+#[derive(Debug)]
+struct Member {
+    /// Canonical spec string (e.g. `disc:ahead=2`) — stable across runs,
+    /// used as the row key in telemetry artifacts.
+    label: String,
+    prefetcher: Box<dyn Prefetcher>,
+    /// Per-event emission cap handed to the member's [`RequestSink`].
+    degree: usize,
+    counters: SchemeCounters,
+}
+
+/// A [`PrefetchEngine`] multiplexing up to [`MAX_SCHEMES`] prefetchers.
+///
+/// Emission: each front-end event is shown to every member in slot order;
+/// each member emits through its own scheme-tagged, degree-capped sink, so
+/// the batch handed to the issue queue interleaves schemes in slot
+/// priority order (slot 0 first).
+///
+/// Attribution: when the memory system accepts a request, the zoo records
+/// `line → slot` in a bounded [`ShadowTable`] at exactly the point the
+/// core records its own `line → source` attribution, and removes it at
+/// exactly the eviction point where the core reclaims its attribution.
+/// The two tables therefore hold the same key set at every instant, which
+/// is what makes the per-scheme counters sum to the core's aggregate
+/// prefetch statistics — the invariant the attribution property tests
+/// pin.
+#[derive(Debug)]
+pub struct Zoo {
+    members: Vec<Member>,
+    shadow: ShadowTable<u8>,
+}
+
+impl Zoo {
+    /// An empty zoo whose shadow table holds up to `max_live`
+    /// simultaneous attributions (the owning core's `l1i_lines + mshrs`
+    /// bound).
+    pub fn new(max_live: usize) -> Zoo {
+        Zoo {
+            members: Vec::new(),
+            shadow: ShadowTable::with_bound(max_live, 0),
+        }
+    }
+
+    /// Adds a scheme in the next slot. `label` is the canonical spec
+    /// string; `degree` caps the scheme's emissions per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the zoo is full ([`MAX_SCHEMES`]).
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        prefetcher: Box<dyn Prefetcher>,
+        degree: usize,
+    ) {
+        assert!(
+            self.members.len() < MAX_SCHEMES,
+            "zoo is full ({MAX_SCHEMES} schemes)"
+        );
+        self.members.push(Member {
+            label: label.into(),
+            prefetcher,
+            degree,
+            counters: SchemeCounters::default(),
+        });
+    }
+
+    /// Number of registered schemes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no scheme is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Canonical labels in slot order.
+    pub fn labels(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.label.clone()).collect()
+    }
+
+    /// Per-scheme windowed counters, `(label, counters)` in slot order.
+    pub fn scheme_stats(&self) -> Vec<(String, SchemeCounters)> {
+        self.members
+            .iter()
+            .map(|m| (m.label.clone(), m.counters))
+            .collect()
+    }
+
+    /// Live shadow attributions (lines currently credited to a scheme).
+    pub fn live_attributions(&self) -> usize {
+        self.shadow.len()
+    }
+
+    fn member_mut(&mut self, slot: u8) -> Option<&mut Member> {
+        self.members.get_mut(slot as usize)
+    }
+}
+
+impl PrefetchEngine for Zoo {
+    fn on_fetch(&mut self, ev: &FetchEvent, out: &mut Vec<PrefetchRequest>) {
+        for (slot, m) in self.members.iter_mut().enumerate() {
+            let mut sink = RequestSink::new(out, slot as u8, m.degree);
+            m.prefetcher.on_fetch(ev, &mut sink);
+            let (emitted, capped) = sink.finish();
+            m.counters.generated += emitted;
+            m.counters.degree_capped += capped;
+        }
+    }
+
+    fn on_cond_branch(&mut self, alternate: LineAddr, out: &mut Vec<PrefetchRequest>) {
+        for (slot, m) in self.members.iter_mut().enumerate() {
+            let mut sink = RequestSink::new(out, slot as u8, m.degree);
+            m.prefetcher.on_cond_branch(alternate, &mut sink);
+            let (emitted, capped) = sink.finish();
+            m.counters.generated += emitted;
+            m.counters.degree_capped += capped;
+        }
+    }
+
+    fn on_prefetch_issued(&mut self, req: &PrefetchRequest) {
+        self.shadow.insert(req.line, req.scheme);
+        if let Some(m) = self.member_mut(req.scheme) {
+            m.counters.issued += 1;
+        }
+    }
+
+    fn on_prefetch_fill(&mut self, line: LineAddr, source: PrefetchSource) {
+        if let Some(slot) = self.shadow.get(line) {
+            if let Some(m) = self.member_mut(slot) {
+                m.counters.filled += 1;
+                m.prefetcher.on_fill(line, source);
+            }
+        }
+    }
+
+    fn on_prefetch_first_use(&mut self, line: LineAddr, source: PrefetchSource, late: bool) {
+        if let Some(slot) = self.shadow.get(line) {
+            if let Some(m) = self.member_mut(slot) {
+                m.counters.useful += 1;
+                if late {
+                    m.counters.late += 1;
+                }
+                m.prefetcher.on_useful(line, source, late);
+            }
+        }
+    }
+
+    fn on_prefetch_evicted(&mut self, line: LineAddr, source: PrefetchSource, used: bool) {
+        if let Some(slot) = self.shadow.remove(line) {
+            if let Some(m) = self.member_mut(slot) {
+                if used {
+                    m.counters.evicted_used += 1;
+                } else {
+                    m.counters.evicted_unused += 1;
+                }
+                m.prefetcher.on_evict(line, source, used);
+            }
+        }
+    }
+
+    fn wants_lifecycle_hooks(&self) -> bool {
+        true
+    }
+
+    fn reset_window_stats(&mut self) {
+        // Counters restart at the measurement-window boundary; shadow
+        // attributions persist, mirroring how the core resets `pf_stats`
+        // but keeps `pf_sources` (a line prefetched during warmup is still
+        // attributable when it gets used or evicted during measurement).
+        for m in &mut self.members {
+            m.counters.reset();
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "zoo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetcher::LegacyScheme;
+    use ipsim_core::PrefetcherKind;
+
+    fn two_scheme_zoo() -> Zoo {
+        let mut zoo = Zoo::new(64);
+        zoo.add(
+            "nl",
+            Box::new(LegacyScheme::new(PrefetcherKind::NextLineTagged.build())),
+            usize::MAX,
+        );
+        zoo.add(
+            "nnl:n=2",
+            Box::new(LegacyScheme::new(
+                PrefetcherKind::NextNLineTagged { n: 2 }.build(),
+            )),
+            usize::MAX,
+        );
+        zoo
+    }
+
+    #[test]
+    fn emission_interleaves_slots_in_order() {
+        let mut zoo = two_scheme_zoo();
+        let mut out = Vec::new();
+        zoo.on_fetch(&FetchEvent::miss(LineAddr(100), None), &mut out);
+        // Slot 0 (next-line) then slot 1 (next-2-line).
+        let tagged: Vec<(u64, u8)> = out.iter().map(|r| (r.line.0, r.scheme)).collect();
+        assert_eq!(tagged, [(101, 0), (101, 1), (102, 1)]);
+        let stats = zoo.scheme_stats();
+        assert_eq!(stats[0].1.generated, 1);
+        assert_eq!(stats[1].1.generated, 2);
+    }
+
+    #[test]
+    fn lifecycle_counters_follow_shadow_attribution() {
+        let mut zoo = two_scheme_zoo();
+        let line = LineAddr(101);
+        let src = PrefetchSource::Sequential;
+        zoo.on_prefetch_issued(&PrefetchRequest::new(line, src).with_scheme(1));
+        assert_eq!(zoo.live_attributions(), 1);
+        zoo.on_prefetch_fill(line, src);
+        zoo.on_prefetch_first_use(line, src, true);
+        zoo.on_prefetch_evicted(line, src, true);
+        assert_eq!(zoo.live_attributions(), 0);
+        let s = zoo.scheme_stats();
+        assert_eq!(s[0].1, SchemeCounters::default(), "slot 0 untouched");
+        let c = s[1].1;
+        assert_eq!(
+            (c.issued, c.filled, c.useful, c.late, c.evicted_used),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(c.evicted_unused, 0);
+    }
+
+    #[test]
+    fn window_reset_clears_counters_but_keeps_attributions() {
+        let mut zoo = two_scheme_zoo();
+        let line = LineAddr(200);
+        zoo.on_prefetch_issued(&PrefetchRequest::sequential(line));
+        zoo.reset_window_stats();
+        assert_eq!(zoo.scheme_stats()[0].1, SchemeCounters::default());
+        assert_eq!(zoo.live_attributions(), 1, "attribution must survive");
+        // The surviving attribution still classifies the later eviction.
+        zoo.on_prefetch_evicted(line, PrefetchSource::Sequential, false);
+        assert_eq!(zoo.scheme_stats()[0].1.evicted_unused, 1);
+    }
+
+    #[test]
+    fn degree_cap_counts_dropped_requests() {
+        let mut zoo = Zoo::new(16);
+        zoo.add(
+            "nnl:n=4",
+            Box::new(LegacyScheme::new(
+                PrefetcherKind::NextNLineTagged { n: 4 }.build(),
+            )),
+            2,
+        );
+        let mut out = Vec::new();
+        zoo.on_fetch(&FetchEvent::miss(LineAddr(10), None), &mut out);
+        assert_eq!(out.len(), 2);
+        let c = zoo.scheme_stats()[0].1;
+        assert_eq!((c.generated, c.degree_capped), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zoo is full")]
+    fn zoo_rejects_more_than_max_schemes() {
+        let mut zoo = Zoo::new(16);
+        for i in 0..=MAX_SCHEMES {
+            zoo.add(
+                format!("none#{i}"),
+                Box::new(LegacyScheme::new(PrefetcherKind::None.build())),
+                usize::MAX,
+            );
+        }
+    }
+}

@@ -116,6 +116,90 @@ fn http_job_matches_batch_cli_byte_for_byte() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The acceptance bar for the prefetcher-zoo bake-off: the table built
+/// from a batch-style local sweep and the table built from the *same*
+/// specs submitted as one daemon job must match byte for byte — both
+/// sides render from their own on-disk telemetry artifacts plus the
+/// per-run summaries, never from shared in-process state.
+#[test]
+fn zoo_bakeoff_job_matches_the_batch_pipeline_byte_for_byte() {
+    use ipsim_experiments::bakeoff::{bakeoff_specs, render_bakeoff};
+    use ipsim_harness::wire::{JobSpec, WireRun};
+    use ipsim_harness::{RunLengths, Summary, TelemetrySink};
+    use ipsim_telemetry::TelemetryConfig;
+
+    let root = tmp("bakeoff");
+    let specs = bakeoff_specs(RunLengths {
+        warm: 2_000,
+        measure: 6_000,
+    });
+
+    // Batch side: execute every spec locally, staging artifacts the same
+    // way the figure harness does.
+    let batch_sink = TelemetrySink::at(root.join("batch-telem"), TelemetryConfig::default());
+    let batch: Vec<Summary> = specs
+        .iter()
+        .map(|spec| {
+            let mut system = spec.build_system();
+            system.enable_telemetry(batch_sink.config().clone());
+            let metrics =
+                system.run_workload(&spec.workloads, spec.lengths.warm, spec.lengths.measure);
+            let run = system.take_telemetry().expect("telemetry enabled");
+            batch_sink.write(spec, &run).expect("artifact write");
+            Summary::from_metrics(&metrics)
+        })
+        .collect();
+    let mut batch_it = batch.into_iter();
+    let batch_table = render_bakeoff(&batch_sink, &specs, move |_| batch_it.next().unwrap())
+        .expect("batch bake-off renders");
+
+    // Serve side: the whole sweep as one job, telemetry staged by the
+    // daemon's own sink.
+    let mut serve_config = config(&root, 2);
+    serve_config.telemetry_root = Some(root.join("serve-telem"));
+    let handle = boot(serve_config);
+    let addr = handle.addr.to_string();
+
+    let job = JobSpec::new(
+        specs
+            .iter()
+            .map(|spec| WireRun::from_run_spec(spec).expect("bake-off specs are wire-expressible"))
+            .collect(),
+    )
+    .unwrap();
+    let accepted = submit(&addr, &job.to_json());
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let id = field(&accepted.json().unwrap(), "id").to_string();
+    let state = client::wait_terminal(&addr, &id, Duration::from_secs(300)).unwrap();
+    assert_eq!(state, "done");
+
+    let result =
+        client::request(&addr, "GET", &format!("/v1/jobs/{id}/result"), &[], None).unwrap();
+    assert_eq!(result.status, 200, "{}", result.body);
+    let result = result.json().unwrap();
+    let runs = result.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(runs.len(), specs.len());
+    let served: Vec<Summary> = runs
+        .iter()
+        .map(|run| {
+            assert!(matches!(run.get("ok"), Some(Json::Bool(true))));
+            Summary::from_tsv(field(run, "tsv")).expect("served summary parses")
+        })
+        .collect();
+
+    let serve_sink = TelemetrySink::at(root.join("serve-telem"), TelemetryConfig::default());
+    let mut served_it = served.into_iter();
+    let serve_table = render_bakeoff(&serve_sink, &specs, move |_| served_it.next().unwrap())
+        .expect("served bake-off renders");
+    assert_eq!(
+        batch_table, serve_table,
+        "bake-off tables diverge between batch and daemon pipelines"
+    );
+
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn tsv_submission_and_inflight_coalescing() {
     let root = tmp("coalesce");

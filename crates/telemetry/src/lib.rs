@@ -168,6 +168,35 @@ impl CoreTrace {
     }
 }
 
+/// One prefetcher-zoo scheme's windowed counters on one core, as
+/// collected from the zoo's shadow attribution at the end of a run.
+///
+/// `scheme` is the canonical spec string (e.g. `disc:ahead=2`), stable
+/// across runs and usable as a join key in the bake-off report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZooSchemeRow {
+    /// Core the scheme ran on.
+    pub core: u32,
+    /// Zoo slot of the scheme on its core.
+    pub slot: u32,
+    /// Canonical scheme spec string.
+    pub scheme: String,
+    /// Requests the scheme emitted (pre-filter, pre-queue).
+    pub generated: u64,
+    /// Requests accepted by the memory system.
+    pub issued: u64,
+    /// Prefetched lines installed in the L1I.
+    pub filled: u64,
+    /// Prefetched lines demand-referenced for the first time.
+    pub useful: u64,
+    /// Subset of `useful` still in flight at first demand reference.
+    pub late: u64,
+    /// Attributed lines evicted after demand use.
+    pub evicted_used: u64,
+    /// Attributed lines evicted without ever being used.
+    pub evicted_unused: u64,
+}
+
 /// Everything telemetry collected over one measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryRun {
@@ -177,6 +206,9 @@ pub struct TelemetryRun {
     pub cores: Vec<CoreTrace>,
     /// Interval samples in record order (interleaved across cores).
     pub samples: Vec<SampleRow>,
+    /// Per-scheme shadow-attribution rows, one per (core, zoo slot);
+    /// empty unless the run used a prefetcher zoo.
+    pub zoo: Vec<ZooSchemeRow>,
 }
 
 impl TelemetryRun {
@@ -274,7 +306,7 @@ mod tests {
         let run = TelemetryRun {
             interval: 100,
             cores: vec![a.take(), b.take()],
-            samples: Vec::new(),
+            ..TelemetryRun::default()
         };
         let totals = run.aggregate_components();
         assert_eq!(

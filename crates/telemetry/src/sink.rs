@@ -15,7 +15,7 @@ use ipsim_types::LineAddr;
 use crate::event::{ComponentCounters, PfComponent, PfEvent, PfEventKind};
 use crate::json::{self, Json};
 use crate::sampler::SampleRow;
-use crate::TelemetryRun;
+use crate::{TelemetryRun, ZooSchemeRow};
 
 /// Schema tag written into (and required from) the JSONL header line.
 pub const JSONL_SCHEMA: &str = "ipsim-telemetry-v1";
@@ -393,6 +393,98 @@ pub fn parse_component_summary_tsv(
     Ok(out)
 }
 
+/// Column names of the zoo TSV artifact, in field order.
+pub const ZOO_COLUMNS: [&str; 10] = [
+    "core",
+    "slot",
+    "scheme",
+    "generated",
+    "issued",
+    "filled",
+    "useful",
+    "late",
+    "evicted_used",
+    "evicted_unused",
+];
+
+/// Writes the per-scheme shadow-attribution rows as TSV: a `#`-prefixed
+/// header naming [`ZOO_COLUMNS`], then one row per (core, zoo slot).
+/// This is the artifact `sim_report --bakeoff` joins across runs.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_zoo_tsv<W: Write>(w: &mut W, rows: &[ZooSchemeRow]) -> io::Result<()> {
+    writeln!(w, "# {}", ZOO_COLUMNS.join("\t"))?;
+    for r in rows {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.core,
+            r.slot,
+            r.scheme,
+            r.generated,
+            r.issued,
+            r.filled,
+            r.useful,
+            r.late,
+            r.evicted_used,
+            r.evicted_unused
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses a zoo TSV artifact written by [`write_zoo_tsv`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn parse_zoo_tsv(text: &str) -> Result<Vec<ZooSchemeRow>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty zoo artifact")?;
+    let want = format!("# {}", ZOO_COLUMNS.join("\t"));
+    if header != want {
+        return Err(format!("bad zoo header {header:?}"));
+    }
+    let mut rows = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 2;
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != ZOO_COLUMNS.len() {
+            return Err(format!(
+                "line {lineno}: {} fields, want {}",
+                fields.len(),
+                ZOO_COLUMNS.len()
+            ));
+        }
+        let num = |i: usize| -> Result<u64, String> {
+            fields[i]
+                .parse::<u64>()
+                .map_err(|_| format!("line {lineno}: bad field {:?}", fields[i]))
+        };
+        if fields[2].is_empty() {
+            return Err(format!("line {lineno}: empty scheme"));
+        }
+        rows.push(ZooSchemeRow {
+            core: num(0)? as u32,
+            slot: num(1)? as u32,
+            scheme: fields[2].to_string(),
+            generated: num(3)?,
+            issued: num(4)?,
+            filled: num(5)?,
+            useful: num(6)?,
+            late: num(7)?,
+            evicted_used: num(8)?,
+            evicted_unused: num(9)?,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +524,28 @@ mod tests {
                     cycles: 2_501,
                     l1i_misses: 44,
                     ..SampleRow::default()
+                },
+            ],
+            zoo: vec![
+                ZooSchemeRow {
+                    core: 0,
+                    slot: 0,
+                    scheme: "nl".to_string(),
+                    generated: 10,
+                    issued: 8,
+                    filled: 7,
+                    useful: 5,
+                    late: 2,
+                    evicted_used: 4,
+                    evicted_unused: 1,
+                },
+                ZooSchemeRow {
+                    core: 0,
+                    slot: 1,
+                    scheme: "disc:ahead=2".to_string(),
+                    generated: 6,
+                    issued: 6,
+                    ..ZooSchemeRow::default()
                 },
             ],
         }
@@ -485,6 +599,21 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(parse_series_tsv(&text).unwrap(), run.samples);
         assert!(parse_series_tsv("# wrong\n").is_err());
+    }
+
+    #[test]
+    fn zoo_tsv_round_trips() {
+        let run = sample_run();
+        let mut buf = Vec::new();
+        write_zoo_tsv(&mut buf, &run.zoo).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(parse_zoo_tsv(&text).unwrap(), run.zoo);
+        assert!(parse_zoo_tsv("# wrong\n").is_err());
+        assert!(
+            parse_zoo_tsv(&text.replace("disc:ahead=2", "")).is_err(),
+            "empty scheme field rejected"
+        );
+        assert!(parse_zoo_tsv(&text.replace('7', "x")).is_err());
     }
 
     #[test]

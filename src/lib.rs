@@ -18,6 +18,7 @@
 //! | [`cache`] | `ipsim-cache` | set-associative caches, MSHRs, install policies |
 //! | [`trace`] | `ipsim-trace` | synthetic commercial-workload generation |
 //! | [`prefetch`] | `ipsim-core` | the paper's prefetchers, queue and filters |
+//! | [`zoo`] | `ipsim-prefetch` | the pluggable prefetcher zoo: registry, shadow attribution, rival schemes |
 //! | [`cpu`] | `ipsim-cpu` | cores, shared L2, bus, the CMP system |
 //! | [`telemetry`] | `ipsim-telemetry` | interval sampling, prefetch lifecycle tracing, artifact sinks |
 //!
@@ -57,6 +58,7 @@
 pub use ipsim_cache as cache;
 pub use ipsim_core as prefetch;
 pub use ipsim_cpu as cpu;
+pub use ipsim_prefetch as zoo;
 pub use ipsim_telemetry as telemetry;
 pub use ipsim_trace as trace;
 pub use ipsim_types as types;
