@@ -68,6 +68,42 @@ fn bench_system(c: &mut Criterion) {
         });
     });
 
+    group.bench_function("single_core_arena_replay_100k", |b| {
+        // The kernel-only stream again, but lent zero-copy from an arena
+        // through `next_slice` instead of copied into a staging block.
+        let mut walker = TraceWalker::new(&prog, Workload::Web.profile(), 0, 5);
+        let ops: Vec<ipsim_types::TraceOp> = (0..INSTRS)
+            .map(|_| ipsim_stream::TraceSource::next_op(&mut walker))
+            .collect();
+        b.iter(|| {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut source = ipsim_stream::ArenaSource::new(ops.as_slice());
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
+            system.run(&mut sources, INSTRS);
+            black_box(system.metrics().instructions())
+        });
+    });
+
+    group.bench_function("single_core_straightline_1m", |b| {
+        // L1I-resident straight-line fetch, the line-granular fast path's
+        // best case: one tag probe per 64 B line, fifteen O(1) advances.
+        const N: u64 = 1_000_000;
+        let span = 256 * 64;
+        let ops: Vec<ipsim_types::TraceOp> = (0..N)
+            .map(|i| ipsim_types::TraceOp {
+                pc: ipsim_types::Addr(0x0040_0000 + (i * 4) % span),
+                kind: ipsim_types::OpKind::Other,
+            })
+            .collect();
+        b.iter(|| {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut source = ipsim_stream::ArenaSource::new(ops.as_slice());
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
+            system.run(&mut sources, N);
+            black_box(system.metrics().instructions())
+        });
+    });
+
     group.bench_function("single_core_discontinuity_100k", |b| {
         b.iter(|| {
             let mut system = SystemBuilder::single_core()

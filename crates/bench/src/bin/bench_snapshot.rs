@@ -27,9 +27,9 @@ use std::time::Instant;
 use ipsim_cache::{FillKind, InstallPolicy, SetAssocCache};
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{OpSource, SystemBuilder};
-use ipsim_stream::TraceSource;
+use ipsim_stream::{ArenaSource, TraceSource};
 use ipsim_trace::{TraceWalker, Workload};
-use ipsim_types::{CacheConfig, LineAddr, Rng64, TraceOp};
+use ipsim_types::{Addr, CacheConfig, LineAddr, OpKind, Rng64, TraceOp};
 
 /// Default snapshot path, relative to the workspace root (the tool is run
 /// via `cargo run`, whose working directory is the workspace root).
@@ -46,6 +46,30 @@ const INSTRS: u64 = 100_000;
 
 /// Operations per sample for the cache micro-benches.
 const CACHE_OPS: u64 = 1_000_000;
+
+/// Instructions per sample for the straight-line fast-path bench: ten
+/// replays of a 100k-op buffer, so first-touch misses on the 256-line
+/// footprint vanish into the noise. The buffer is kept host-L2-resident
+/// (like the kernel-only bench's) so the sample times the simulation
+/// kernel, not host-memory streaming of the op buffer.
+const STRAIGHT_INSTRS: u64 = 1_000_000;
+
+/// Ops in the straight-line buffer; one sample replays it
+/// `STRAIGHT_INSTRS / STRAIGHT_BUF` times.
+const STRAIGHT_BUF: u64 = 100_000;
+
+/// A straight-line instruction stream walking a 16 KiB (256-line) code
+/// footprint and wrapping: after first touch everything is L1I-resident,
+/// so the line-granular fast path covers 15 of every 16 instructions.
+fn straightline_ops(n: u64) -> Vec<TraceOp> {
+    let span = 256 * 64;
+    (0..n)
+        .map(|i| TraceOp {
+            pc: Addr(0x0040_0000 + (i * 4) % span),
+            kind: OpKind::Other,
+        })
+        .collect()
+}
 
 /// Default allowed slowdown for `--check`, percent.
 const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
@@ -169,6 +193,65 @@ fn run_all(reps: u32) -> Vec<BenchResult> {
             let mut system = SystemBuilder::single_core().build().unwrap();
             let mut source = SliceSource { ops: &ops, pos: 0 };
             let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
+            system.run(&mut sources, INSTRS);
+            assert!(system.metrics().instructions() == INSTRS);
+        }),
+    });
+
+    // Zero-copy replay of the same kernel-only stream: `System::run` pulls
+    // borrowed slices straight from the arena instead of copying blocks
+    // into a staging buffer — what the harness's arena replay path sees on
+    // a realistic instruction mix.
+    results.push(BenchResult {
+        name: "system/single_core_arena_replay_100k",
+        ops: INSTRS,
+        min_ms: min_of(reps, || {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut source = ArenaSource::new(ops.as_slice());
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
+            system.run(&mut sources, INSTRS);
+            assert!(system.metrics().instructions() == INSTRS);
+        }),
+    });
+
+    // Straight-line fetch in an L1I-resident footprint, served zero-copy:
+    // the line-granular fast path's best case (one tag probe per line,
+    // fifteen O(1) advances). This is the bench the fast-path win is
+    // gated on. The scheduler quantum is opened to its maximum — exact
+    // for a single core (no interleaving to perturb) and the intended
+    // configuration for batch replays of decoded arenas.
+    let straight = straightline_ops(STRAIGHT_BUF);
+    results.push(BenchResult {
+        name: "system/single_core_straightline_1m",
+        ops: STRAIGHT_INSTRS,
+        min_ms: min_of(reps, || {
+            let mut config = ipsim_types::SystemConfig::single_core();
+            config.sched_quantum = ipsim_types::config::MAX_SCHED_QUANTUM;
+            let mut system = SystemBuilder::new(config).build().unwrap();
+            for _ in 0..STRAIGHT_INSTRS / STRAIGHT_BUF {
+                let mut source = ArenaSource::new(straight.as_slice());
+                let mut sources: Vec<&mut dyn OpSource> = vec![&mut source];
+                system.run(&mut sources, STRAIGHT_BUF);
+            }
+            assert!(system.metrics().instructions() == STRAIGHT_INSTRS);
+        }),
+    });
+
+    // The baseline run with telemetry armed: guards the "no regression
+    // with telemetry on" half of the fast-path contract (the fast path
+    // must not fire-and-miss sampler boundaries, and the telemetry guard
+    // checks must stay off the hot path).
+    results.push(BenchResult {
+        name: "system/single_core_telemetry_100k",
+        ops: INSTRS,
+        min_ms: min_of(reps, || {
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            system.enable_telemetry(ipsim_telemetry::TelemetryConfig {
+                interval: 10_000,
+                max_events_per_core: 4_096,
+            });
+            let mut walker = TraceWalker::new(&prog, profile.clone(), 0, 5);
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
             system.run(&mut sources, INSTRS);
             assert!(system.metrics().instructions() == INSTRS);
         }),

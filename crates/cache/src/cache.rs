@@ -105,6 +105,14 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// Empties the cache and zeroes its statistics, keeping the lane
+    /// allocations — the state of a freshly built cache of the same
+    /// geometry (the run-reuse seam relies on this equivalence).
+    pub fn clear(&mut self) {
+        self.sets.clear();
+        self.stats = CacheStats::default();
+    }
+
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
         (line.0 & self.set_mask) as usize
@@ -120,6 +128,30 @@ impl SetAssocCache {
     /// also sets the `dirty` flag on a hit.
     pub fn access_write(&mut self, line: LineAddr) -> Access {
         self.access_inner(line, true)
+    }
+
+    /// A demand read access that only goes through on a hit.
+    ///
+    /// On a hit this is exactly [`SetAssocCache::access`]'s hit arm —
+    /// counted, LRU-promoted, `used`-flagged — returning the
+    /// first-use-of-prefetch bit. On a miss it returns `None` having
+    /// changed *nothing* (no counters, no LRU), so the caller can fall
+    /// back to the full [`SetAssocCache::access`] path and the miss is
+    /// counted exactly once. The CPU core's express fetch path uses this
+    /// to try the overwhelmingly common resident-line transition without
+    /// committing to the slow path first.
+    #[inline]
+    pub fn probe_demand_hit(&mut self, line: LineAddr) -> Option<bool> {
+        let idx = self.set_index(line);
+        let slot = self.sets.touch(idx, line)?;
+        self.stats.accesses += 1;
+        let flags = self.sets.flags(slot);
+        let first_use = flags & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED;
+        self.sets.set_flags(slot, flags | FLAG_USED);
+        if first_use {
+            self.stats.prefetch_first_uses += 1;
+        }
+        Some(first_use)
     }
 
     fn access_inner(&mut self, line: LineAddr, write: bool) -> Access {
@@ -464,5 +496,29 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
         assert!(c.probe(LineAddr(0)));
+    }
+
+    #[test]
+    fn clear_restores_fresh_state() {
+        let mut c = tiny();
+        for l in 0..100u64 {
+            c.fill(LineAddr(l), FillKind::Demand);
+            c.access(LineAddr(l));
+        }
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses, 0);
+        // LRU behaviour restarts identically to a fresh cache: fill a set
+        // past capacity and check the first insert is the victim.
+        let mut fresh = tiny();
+        for cache in [&mut c, &mut fresh] {
+            for l in [0u64, 4, 8] {
+                cache.fill(LineAddr(l), FillKind::Demand);
+            }
+        }
+        assert_eq!(c.iter_lines().collect::<Vec<_>>().len(), 2);
+        assert_eq!(c.probe(LineAddr(0)), fresh.probe(LineAddr(0)));
+        assert_eq!(c.probe(LineAddr(4)), fresh.probe(LineAddr(4)));
+        assert_eq!(c.probe(LineAddr(8)), fresh.probe(LineAddr(8)));
     }
 }

@@ -82,11 +82,39 @@ impl FlatSets {
     }
 
     /// Finds `line` in `set` without touching LRU order (tag probe).
+    ///
+    /// Compares every way's tag in one pass with no early exit: a line is
+    /// resident in at most one way, so the match mask has at most one bit
+    /// set. The ubiquitous 4-way geometry (every cache and TLB preset)
+    /// gets a fixed-shape compare tree — four independent compares OR-ed
+    /// into a mask, no loop, no loop-carried select; other widths take
+    /// the equivalent scan.
     #[inline]
     pub(crate) fn find(&self, set: usize, line: LineAddr) -> Option<usize> {
         let base = set * self.ways;
         let lane = &self.lines[base..base + self.ways];
-        lane.iter().position(|&l| l == line).map(|w| base + w)
+        if let &[a, b, c, d] = lane {
+            let mask = usize::from(a == line)
+                | usize::from(b == line) << 1
+                | usize::from(c == line) << 2
+                | usize::from(d == line) << 3;
+            return (mask != 0).then(|| base + mask.trailing_zeros() as usize);
+        }
+        let mut mask = 0usize;
+        for (w, &resident) in lane.iter().enumerate() {
+            mask |= usize::from(resident == line) << w;
+        }
+        (mask != 0).then(|| base + mask.trailing_zeros() as usize)
+    }
+
+    /// Empties every set and restarts the LRU stamp counter — exactly the
+    /// state of a freshly built [`FlatSets`], with the lane allocations
+    /// kept.
+    pub(crate) fn clear(&mut self) {
+        self.lines.fill(INVALID_LINE);
+        self.flags.fill(0);
+        self.stamps.fill(0);
+        self.next_stamp = 1;
     }
 
     /// Finds `line` in `set` and promotes it to MRU, returning its slot.

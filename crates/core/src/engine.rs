@@ -191,6 +191,18 @@ pub trait PrefetchEngine: std::fmt::Debug {
 
     /// Short scheme name for reports (e.g. `"next-4-line (tagged)"`).
     fn name(&self) -> &'static str;
+
+    /// `true` when this engine can ever append a request in `on_fetch` /
+    /// `on_cond_branch`. An engine returning `false` makes the whole
+    /// prefetch pipeline provably dead — the queue and recent-fetch
+    /// filter stay empty forever, so the core skips the per-fetch hook
+    /// block (queue invalidation scan, filter insert, engine dispatch,
+    /// issue budget) outright. Every counter that block touches stays at
+    /// the value the full path would compute (all zeros), so the skip is
+    /// observationally exact.
+    fn generates_requests(&self) -> bool {
+        true
+    }
 }
 
 /// The no-op baseline: never prefetches.
@@ -209,6 +221,10 @@ impl PrefetchEngine for NoPrefetcher {
 
     fn name(&self) -> &'static str {
         "no prefetch"
+    }
+
+    fn generates_requests(&self) -> bool {
+        false
     }
 }
 

@@ -56,6 +56,14 @@ impl RecentFetchFilter {
         self.filled = (self.filled + 1).min(self.ring.len());
     }
 
+    /// Forgets every recorded fetch, restoring the state of a freshly
+    /// built filter (run-reuse reset).
+    pub fn clear(&mut self) {
+        self.ring.fill(LineAddr(u64::MAX));
+        self.head = 0;
+        self.filled = 0;
+    }
+
     /// `true` when `line` was among the recorded recent fetches.
     pub fn contains(&self, line: LineAddr) -> bool {
         // The ring is pre-filled with an unreachable sentinel line address,

@@ -98,6 +98,13 @@ impl PrefetchQueue {
         &self.stats
     }
 
+    /// Empties the queue — entries, dedup records and statistics — back to
+    /// the state of a freshly built queue (run-reuse reset).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.stats = QueueStats::default();
+    }
+
     /// Number of waiting (issuable) entries.
     pub fn waiting(&self) -> usize {
         self.slots

@@ -91,6 +91,19 @@ impl BranchUnit {
         }
     }
 
+    /// Forgets everything learned — counters, history, BTB, RAS and
+    /// statistics — restoring the state of a freshly built unit with the
+    /// same geometry (run-reuse reset; table allocations kept).
+    pub fn reset_cold(&mut self) {
+        self.gshare.fill(1); // weakly not-taken, as in `new`
+        self.history = 0;
+        self.btb.fill(0);
+        self.ras.fill(Addr(0));
+        self.ras_top = 0;
+        self.ras_depth = 0;
+        self.stats = BranchStats::default();
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &BranchStats {
         &self.stats

@@ -62,6 +62,10 @@ pub struct Core {
     /// the attribution lookups feeding it) collapses to one never-taken
     /// branch per site for engines that don't consume it.
     engine_hooks: bool,
+    /// Cached `!engine.generates_requests()`: with an engine that never
+    /// emits a request the prefetch queue and filter are provably empty
+    /// forever, so the per-fetch hook block is skipped wholesale.
+    engine_inert: bool,
     queue: PrefetchQueue,
     filter: RecentFetchFilter,
     pf_sources: PfSourceTable,
@@ -71,6 +75,10 @@ pub struct Core {
     tracer: Option<Box<CoreTracer>>,
     req_buf: Vec<PrefetchRequest>,
     retire_buf: Vec<ipsim_cache::MshrEntry>,
+
+    /// Test hook: forces [`Core::step_block`] down the per-instruction
+    /// path so the equivalence proptest can compare both paths.
+    force_slow_path: bool,
 
     cur_line: Option<LineAddr>,
     prev_line: Option<LineAddr>,
@@ -111,6 +119,7 @@ impl Core {
         limit: Option<LimitSpec>,
     ) -> Core {
         let engine_hooks = engine.wants_lifecycle_hooks();
+        let engine_inert = !engine.generates_requests();
         Core {
             id,
             issue_width: config.issue_width,
@@ -129,6 +138,7 @@ impl Core {
             dtlb: config.tlb.enabled.then(|| Tlb::new(&config.tlb)),
             engine,
             engine_hooks,
+            engine_inert,
             queue: PrefetchQueue::new(PREFETCH_QUEUE_ENTRIES),
             filter: RecentFetchFilter::new(RECENT_FILTER_ENTRIES),
             // An attribution is live only while its line sits in the
@@ -141,6 +151,7 @@ impl Core {
             tracer: None,
             req_buf: Vec::with_capacity(16),
             retire_buf: Vec::with_capacity(config.mshrs as usize),
+            force_slow_path: false,
             cur_line: None,
             prev_line: None,
             prev_cat: MissCategory::Sequential,
@@ -232,23 +243,27 @@ impl Core {
 
         // Expose conditional branches' untaken paths to the engine
         // (wrong-path prefetching hook).
+        // An inert engine's `on_cond_branch` appends nothing, so the whole
+        // dispatch is a guaranteed no-op then.
         if let OpKind::Cti {
             class: ipsim_types::instr::CtiClass::CondBranch,
             taken,
             target,
         } = op.kind
         {
-            let alternate = if taken {
-                op.pc.offset(ipsim_types::instr::INSTR_BYTES)
-            } else {
-                target
-            }
-            .line(self.line_size);
-            self.req_buf.clear();
-            self.engine.on_cond_branch(alternate, &mut self.req_buf);
-            if !self.req_buf.is_empty() {
-                self.enqueue_generated();
-                self.issue_prefetches(self.clock, 2, mem);
+            if !self.engine_inert {
+                let alternate = if taken {
+                    op.pc.offset(ipsim_types::instr::INSTR_BYTES)
+                } else {
+                    target
+                }
+                .line(self.line_size);
+                self.req_buf.clear();
+                self.engine.on_cond_branch(alternate, &mut self.req_buf);
+                if !self.req_buf.is_empty() {
+                    self.enqueue_generated();
+                    self.issue_prefetches(self.clock, 2, mem);
+                }
             }
         }
 
@@ -273,10 +288,121 @@ impl Core {
     /// calling [`Core::step`] on each. The scheduler pulls ops from a
     /// source a quantum at a time and hands them over here so the per-op
     /// path is all static calls.
+    ///
+    /// Maximal runs of plain (non-CTI, non-memory) instructions that stay
+    /// inside the currently fetched line are advanced in one batched
+    /// counter update instead of per-instruction calls — see
+    /// [`Core::advance_straight_line`] for why that is *exactly* what
+    /// [`Core::step`] would have computed. The equivalence is enforced by
+    /// a property test driving random streams down both paths.
     pub fn step_block(&mut self, ops: &[TraceOp], mem: &mut MemSystem) {
-        for &op in ops {
-            self.step(op, mem);
+        if self.force_slow_path {
+            for &op in ops {
+                self.step(op, mem);
+            }
+            return;
         }
+        let mut i = 0;
+        while i < ops.len() {
+            // Fast path: while no data miss is outstanding (the MLP window
+            // is a strict no-op then) count how many upcoming ops are plain
+            // instructions fetching from the already-resident current line.
+            if self.mlp.outstanding() == 0 {
+                if let Some(cur) = self.cur_line {
+                    let ls = self.line_size;
+                    let plain = |op: &TraceOp| -> bool {
+                        // Non-short-circuit `&`: both tests are branch-free
+                        // and the compiler fuses four of them per iteration
+                        // below into independent compare/AND trees.
+                        matches!(op.kind, OpKind::Other) & (op.pc.line(ls) == cur)
+                    };
+                    let start = i;
+                    // Only the *length* of the maximal plain-op prefix
+                    // matters, not the order it is discovered in, so scan
+                    // four ops per iteration and fall back to the per-op
+                    // tail loop to pin down the exact boundary.
+                    while i + 4 <= ops.len()
+                        && (plain(&ops[i])
+                            & plain(&ops[i + 1])
+                            & plain(&ops[i + 2])
+                            & plain(&ops[i + 3]))
+                    {
+                        i += 4;
+                    }
+                    while i < ops.len() && plain(&ops[i]) {
+                        i += 1;
+                    }
+                    if i > start {
+                        self.advance_straight_line((i - start) as u64);
+                        continue;
+                    }
+                }
+                // Express line transition: a plain op crossing into a
+                // *resident* line with an inert engine. `step` for that op
+                // is the issue-width/idx accounting plus `fetch_line`'s hit
+                // arm; with an inert engine the hit arm is exactly the
+                // bookkeeping below (the i-MSHR is provably empty, so the
+                // drain is a no-op, and the whole prefetcher-hook block is
+                // skipped anyway). `probe_demand_hit` changes nothing on a
+                // miss, so falling through to the full `step` then counts
+                // the access exactly once.
+                if self.engine_inert && matches!(ops[i].kind, OpKind::Other) {
+                    let line = ops[i].pc.line(self.line_size);
+                    if let Some(first_use) = self.l1i.probe_demand_hit(line) {
+                        debug_assert!(
+                            self.i_mshr.is_empty(),
+                            "inert engine must leave the i-MSHR empty"
+                        );
+                        self.line_fetches += 1;
+                        if let Some(tlb) = &mut self.itlb {
+                            self.clock += tlb.access(line.base(self.line_size));
+                        }
+                        if first_use {
+                            // Unreachable with an inert engine (nothing is
+                            // ever installed as a prefetch), but mirrored
+                            // from `fetch_line` so the express arm stays a
+                            // line-for-line transcription of the slow path.
+                            self.note_useful(line, false);
+                        }
+                        self.cur_line = Some(line);
+                        self.prev_line = Some(line);
+                        self.advance_straight_line(1);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            self.step(ops[i], mem);
+            i += 1;
+        }
+    }
+
+    /// Batch-advances the core over `k` straight-line instructions within
+    /// the current fetch line. Bit-for-bit what `k` calls to [`Core::step`]
+    /// do for an [`OpKind::Other`] op whose PC stays in `cur_line` while no
+    /// data miss is outstanding: each such step only increments `idx`, runs
+    /// the issue-width accounting (`frac` stays `< issue_width`, so the
+    /// per-op carry test is exactly the division below), skips the fetch
+    /// (`cur_line` matches), skips branch/data paths (kind is `Other`),
+    /// finds `mlp.advance` a no-op (nothing pending, and nothing can
+    /// become pending without a load), and leaves `prev_cat` at
+    /// `Sequential`. No telemetry hook fires on that path either, so the
+    /// batch is exact with tracing enabled too.
+    #[inline]
+    fn advance_straight_line(&mut self, k: u64) {
+        self.idx += k;
+        let w = self.issue_width as u64;
+        let total = self.frac as u64 + k;
+        self.clock += total / w;
+        self.frac = (total % w) as u32;
+        self.prev_cat = MissCategory::Sequential;
+    }
+
+    /// Test hook: disables the batched straight-line fast path so
+    /// [`Core::step_block`] replays the exact per-instruction sequence.
+    #[doc(hidden)]
+    pub fn set_force_slow_path(&mut self, force: bool) {
+        self.force_slow_path = force;
     }
 
     /// Processes a fetch-stream transition to `line`.
@@ -345,22 +471,27 @@ impl Core {
 
         // Prefetcher hooks: demand fetches invalidate matching queued
         // prefetches and feed the filter; the engine then generates new
-        // requests, which are filtered and queued.
-        self.queue.on_demand_fetch(line);
-        self.filter.record(line);
-        self.req_buf.clear();
-        self.engine.on_fetch(&ev, &mut self.req_buf);
-        self.enqueue_generated();
+        // requests, which are filtered and queued. With an inert engine
+        // the queue and filter are provably empty forever and no counter
+        // in this block can move, so the whole block is skipped.
+        if !self.engine_inert {
+            self.queue.on_demand_fetch(line);
+            self.filter.record(line);
+            self.req_buf.clear();
+            self.engine.on_fetch(&ev, &mut self.req_buf);
+            self.enqueue_generated();
 
-        // Issue prefetches with the *pre-stall* timestamp: during a demand
-        // stall the tags and bus are otherwise idle, which is exactly when
-        // the queue drains (and what makes prefetches timely).
-        let budget = if ev.miss {
-            PROBES_PER_MISS_EVENT
-        } else {
-            PROBES_PER_HIT_EVENT
-        };
-        self.issue_prefetches(t0, budget, mem);
+            // Issue prefetches with the *pre-stall* timestamp: during a
+            // demand stall the tags and bus are otherwise idle, which is
+            // exactly when the queue drains (and what makes prefetches
+            // timely).
+            let budget = if ev.miss {
+                PROBES_PER_MISS_EVENT
+            } else {
+                PROBES_PER_HIT_EVENT
+            };
+            self.issue_prefetches(t0, budget, mem);
+        }
 
         self.prev_line = Some(line);
     }
@@ -631,6 +762,53 @@ impl Core {
         }
         self.l1i.reset_stats();
         self.l1d.reset_stats();
+    }
+
+    /// Restores the state of a freshly built core, reusing every
+    /// allocation: caches, MSHRs, predictors, prefetch machinery, clocks
+    /// and counters all return to their post-construction values. The
+    /// prefetch engine is stateful and trait-boxed, so the caller supplies
+    /// a freshly built one (the system layer keeps the build recipe).
+    ///
+    /// Equivalence with a fresh core is load-bearing — the harness reuses
+    /// one system across sweep runs — and is enforced by a reuse-vs-fresh
+    /// test at the system level.
+    pub fn reset_cold(&mut self, engine: Box<dyn PrefetchEngine>) {
+        self.clock = 0;
+        self.frac = 0;
+        self.idx = 0;
+        self.l1i.clear();
+        self.l1d.clear();
+        self.i_mshr.clear();
+        self.d_mshr.clear();
+        self.mlp.clear();
+        self.branch.reset_cold();
+        if let Some(t) = &mut self.itlb {
+            t.reset_cold();
+        }
+        if let Some(t) = &mut self.dtlb {
+            t.reset_cold();
+        }
+        self.engine_hooks = engine.wants_lifecycle_hooks();
+        self.engine_inert = !engine.generates_requests();
+        self.engine = engine;
+        self.queue.clear();
+        self.filter.clear();
+        self.pf_sources.clear();
+        self.pf_stats = PrefetchStats::default();
+        self.tracer = None;
+        self.req_buf.clear();
+        self.retire_buf.clear();
+        self.cur_line = None;
+        self.prev_line = None;
+        self.prev_cat = MissCategory::Sequential;
+        self.start_clock = 0;
+        self.start_idx = 0;
+        self.line_fetches = 0;
+        self.l1i_miss_cats = CategoryCounts::new();
+        self.eliminated_misses = 0;
+        self.l1d_accesses = 0;
+        self.l1d_misses = 0;
     }
 
     /// Metrics over the current measurement window.

@@ -15,10 +15,7 @@ use crate::limit::LimitSpec;
 use crate::memsys::MemSystem;
 use crate::metrics::SystemMetrics;
 
-/// Instructions each core executes before the scheduler re-picks the
-/// laggard core. Small enough that shared-L2/bus interleaving stays
-/// faithful, large enough to amortise scheduling.
-const SCHED_QUANTUM: u64 = 16;
+use ipsim_types::config::MAX_SCHED_QUANTUM;
 
 /// Anything that can feed a core one instruction at a time.
 ///
@@ -239,6 +236,10 @@ impl SystemBuilder {
         Ok(System {
             cores,
             mem: MemSystem::new(&self.config.mem, self.policy),
+            // The engine build recipe is kept so `reset_cold` can hand
+            // every core a freshly built engine without the caller.
+            prefetcher: self.prefetcher,
+            zoo: self.zoo,
             config: self.config,
             telemetry: None,
         })
@@ -258,6 +259,10 @@ pub struct System {
     cores: Vec<Core>,
     mem: MemSystem,
     config: SystemConfig,
+    /// Engine build recipe (see [`SystemBuilder::build`]): what
+    /// [`System::reset_cold`] rebuilds per-core engines from.
+    prefetcher: PrefetcherKind,
+    zoo: Option<ZooPlan>,
     telemetry: Option<TelemetryState>,
 }
 
@@ -417,33 +422,51 @@ impl System {
             .iter()
             .map(|c| c.executed() + instrs_per_core)
             .collect();
-        // Ops are pulled a quantum at a time through one virtual
-        // `next_block` call, then dispatched to the core with static calls
-        // — identical per-core op order and identical quantum-granular
-        // interleaving to the old per-op loop, minus 15/16ths of the
-        // vtable traffic.
+        // Ops are pulled a quantum at a time through one virtual call,
+        // then dispatched to the core with static calls — identical
+        // per-core op order and identical quantum-granular interleaving to
+        // the old per-op loop, minus the per-op vtable traffic. Sources
+        // that hold decoded ops in memory serve a borrowed slice through
+        // `next_slice` (zero copies); everything else is copied into the
+        // staging buffer through `next_block`.
+        let sched_quantum = self.config.sched_quantum;
         let mut block = [TraceOp {
             pc: ipsim_types::Addr(0),
             kind: ipsim_types::instr::OpKind::Other,
-        }; SCHED_QUANTUM as usize];
+        }; MAX_SCHED_QUANTUM as usize];
+        let single_core = self.cores.len() == 1;
         loop {
-            // Pick the unfinished core with the smallest local clock.
-            let mut next: Option<usize> = None;
-            for (i, core) in self.cores.iter().enumerate() {
-                if core.executed() < targets[i]
-                    && next.is_none_or(|n| core.clock() < self.cores[n].clock())
-                {
-                    next = Some(i);
+            // Pick the unfinished core with the smallest local clock. With
+            // one core the pick is trivially core 0 until it finishes.
+            let i = if single_core {
+                if self.cores[0].executed() >= targets[0] {
+                    break;
                 }
-            }
-            let Some(i) = next else {
-                break;
+                0
+            } else {
+                let mut next: Option<usize> = None;
+                for (i, core) in self.cores.iter().enumerate() {
+                    if core.executed() < targets[i]
+                        && next.is_none_or(|n| core.clock() < self.cores[n].clock())
+                    {
+                        next = Some(i);
+                    }
+                }
+                let Some(i) = next else {
+                    break;
+                };
+                i
             };
             let core = &mut self.cores[i];
-            let quantum = SCHED_QUANTUM.min(targets[i] - core.executed()) as usize;
-            let ops = &mut block[..quantum];
-            sources[i].next_block(ops);
-            core.step_block(ops, &mut self.mem);
+            let quantum = sched_quantum.min(targets[i] - core.executed()) as usize;
+            match sources[i].next_slice(quantum) {
+                Some(ops) => core.step_block(ops, &mut self.mem),
+                None => {
+                    let ops = &mut block[..quantum];
+                    sources[i].next_block(ops);
+                    core.step_block(ops, &mut self.mem);
+                }
+            }
             // Interval sampling at quantum granularity: one never-taken
             // branch when telemetry is off, two loads and a compare when
             // it is on but no threshold was crossed.
@@ -512,6 +535,37 @@ impl System {
         if let Some(state) = &mut self.telemetry {
             let executed: Vec<u64> = self.cores.iter().map(Core::executed).collect();
             state.sampler.reset(&executed);
+        }
+    }
+
+    /// Restores the state of a freshly built system while reusing every
+    /// allocation: cores are reset in place (with freshly built prefetch
+    /// engines from the stored recipe), the memory system is emptied, and
+    /// telemetry is disarmed. A run on a reset system is bit-identical to
+    /// a run on a newly built one — the harness's run-reuse seam depends
+    /// on it, and a reuse-vs-fresh test enforces it.
+    pub fn reset_cold(&mut self) {
+        for core in &mut self.cores {
+            let engine = match &self.zoo {
+                Some(plan) => {
+                    let bound =
+                        self.config.core.l1i.lines() as usize + self.config.core.mshrs as usize;
+                    Box::new(plan.build(bound)) as Box<dyn ipsim_core::PrefetchEngine>
+                }
+                None => self.prefetcher.build(),
+            };
+            core.reset_cold(engine);
+        }
+        self.mem.reset_cold();
+        self.telemetry = None;
+    }
+
+    /// Test hook: forces every core's `step_block` down the exact
+    /// per-instruction path (see `Core::set_force_slow_path`).
+    #[doc(hidden)]
+    pub fn set_force_slow_path(&mut self, force: bool) {
+        for core in &mut self.cores {
+            core.set_force_slow_path(force);
         }
     }
 

@@ -93,6 +93,48 @@ proptest! {
         prop_assert_eq!(a, b, "same configuration must reproduce exactly");
     }
 
+    /// The line-granular fast path in `Core::step_block` must be a pure
+    /// optimisation: any configuration run with the fast path forced off
+    /// produces bit-identical metrics — per-core cycles, every counter,
+    /// every breakdown — and bit-identical telemetry. Exercised across
+    /// workloads, prefetchers, policies, seeds and scheduler quanta (the
+    /// quantum bounds how many ops a batch can cover).
+    #[test]
+    fn fast_path_is_bit_identical_to_per_op_stepping(
+        w in any_workload(),
+        kind in any_prefetcher(),
+        policy in any_policy(),
+        seed in 0u64..1000,
+        quantum in prop_oneof![Just(1u64), Just(3), Just(16), Just(64)],
+        telemetry in prop_oneof![Just(false), Just(true)],
+    ) {
+        let run = |force_slow: bool| {
+            let mut ws = WorkloadSet::homogeneous(w);
+            ws.walker_seed = seed;
+            let mut config = SystemConfig::cmp4();
+            config.sched_quantum = quantum;
+            let mut system = SystemBuilder::new(config)
+                .prefetcher(kind)
+                .install_policy(policy)
+                .build()
+                .expect("valid config");
+            system.set_force_slow_path(force_slow);
+            if telemetry {
+                system.enable_telemetry(ipsim_telemetry::TelemetryConfig {
+                    interval: 10_000,
+                    max_events_per_core: 4_096,
+                });
+            }
+            let mut m = system.run_workload(&ws, 20_000, 60_000);
+            m.sim_wall_seconds = 0.0; // host timing, not simulation state
+            (format!("{m:?}"), format!("{:?}", system.take_telemetry()))
+        };
+        let fast = run(false);
+        let slow = run(true);
+        prop_assert_eq!(&fast.0, &slow.0, "metrics diverged");
+        prop_assert_eq!(&fast.1, &slow.1, "telemetry diverged");
+    }
+
     /// Prefetching never makes the L1I miss *stall* situation absurd: the
     /// prefetched run retires the same instructions in no more than ~1.5x
     /// the baseline cycles (prefetchers can lose a little to bandwidth, but

@@ -97,6 +97,42 @@ fn trace_file_stats(path: &str) -> Result<(), String> {
             file_bytes as f64 / ops as f64
         );
     }
+    // Decode throughput, both ways through the same file. A streaming
+    // replay pays the buffered per-op rate on every run; the arena path
+    // pays the one-shot decode rate once, then replays at memcpy speed.
+    // The two rates are close by construction (same codec underneath) —
+    // the arena's win is amortisation, not a faster decoder.
+    if ops > 0 {
+        reader.rewind().map_err(|e| e.to_string())?;
+        let t0 = std::time::Instant::now();
+        let mut buffered = 0u64;
+        while reader.next_op().map_err(|e| e.to_string())?.is_some() {
+            buffered += 1;
+        }
+        let buffered_s = t0.elapsed().as_secs_f64();
+
+        // Pre-fault the arena allocation (resize touches every page) so the
+        // timing compares decode paths, not first-touch page faults — the
+        // harness amortises the allocation across every replay of the run.
+        let filler = ipsim_types::instr::TraceOp {
+            pc: ipsim_types::Addr(0),
+            kind: OpKind::Other,
+        };
+        let mut arena = vec![filler; ops as usize];
+        arena.clear();
+        let t0 = std::time::Instant::now();
+        reader
+            .decode_all_into(&mut arena)
+            .map_err(|e| e.to_string())?;
+        let arena_s = t0.elapsed().as_secs_f64();
+
+        let mips = |n: u64, s: f64| if s > 0.0 { n as f64 / 1e6 / s } else { 0.0 };
+        println!(
+            "  dec_mips    {:.1} buffered (per-op), {:.1} zero-copy (arena)",
+            mips(buffered, buffered_s),
+            mips(arena.len() as u64, arena_s),
+        );
+    }
     println!("  kind mix:");
     let mut keys: Vec<_> = counts.iter().collect();
     keys.sort();

@@ -55,7 +55,7 @@ pub use spec::RunSpec;
 pub use summary::Summary;
 pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
 pub use telemetry::TelemetrySink;
-pub use traces::{RunSource, TraceStore};
+pub use traces::{RunSource, SystemSlot, TraceStore};
 pub use wire::{JobSpec, WireRun};
 
 /// Run-length configuration shared by every experiment.

@@ -22,7 +22,7 @@ use crate::runlog::RunRecord;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
 use crate::telemetry::TelemetrySink;
-use crate::traces::{RunSource, TraceStore};
+use crate::traces::{RunSource, SystemSlot, TraceStore};
 
 /// Outcome of executing one batch of unique specs.
 pub struct ExecReport {
@@ -71,17 +71,24 @@ pub fn execute(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if ipsim_signal::triggered() {
-                    break;
+            scope.spawn(|| {
+                // One reusable simulator per worker: consecutive runs over
+                // the same system configuration reset in place instead of
+                // re-allocating. A panicking run abandons the slot's
+                // system, so the next run builds fresh.
+                let mut slot = SystemSlot::new();
+                loop {
+                    if ipsim_signal::triggered() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = run_one(&specs[i], cache, traces, telemetry, &mut slot);
+                    progress.on_run(&outcome.1);
+                    *slots[i].lock().unwrap() = Some(outcome);
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let outcome = run_one(&specs[i], cache, traces, telemetry);
-                progress.on_run(&outcome.1);
-                *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
@@ -124,6 +131,7 @@ fn run_one(
     cache: &RunCache,
     traces: &TraceStore,
     telemetry: Option<&TelemetrySink>,
+    slot: &mut SystemSlot,
 ) -> (Result<Summary, String>, RunRecord) {
     let t0 = Instant::now();
     let key = spec.cache_key();
@@ -141,6 +149,7 @@ fn run_one(
                 sim_instructions: 0,
                 mips: 0.0,
                 sim_mips: 0.0,
+                sim_s: 0.0,
                 decode_mips: 0.0,
                 l1i_mpi,
                 iv_mpki: 0.0,
@@ -151,18 +160,19 @@ fn run_one(
     }
     let config = telemetry.map(|sink| sink.config().clone());
     let run = catch_unwind(AssertUnwindSafe(|| {
-        traces.execute_with(spec, config.as_ref())
+        traces.execute_in(spec, config.as_ref(), slot)
     }))
     .map_err(|panic| panic_message(&*panic));
-    let (result, source, sim_mips, decode_mips, collected) = match run {
+    let (result, source, sim_mips, sim_s, decode_mips, collected) = match run {
         Ok(run) => (
             Ok(run.summary),
             run.source,
             run.sim_mips,
+            run.sim_seconds,
             run.decode_mips,
             run.telemetry,
         ),
-        Err(e) => (Err(e), RunSource::Live, 0.0, 0.0, None),
+        Err(e) => (Err(e), RunSource::Live, 0.0, 0.0, 0.0, None),
     };
     if let Ok(summary) = &result {
         cache.store(spec, summary);
@@ -191,6 +201,7 @@ fn run_one(
             0.0
         },
         sim_mips,
+        sim_s,
         decode_mips,
         l1i_mpi: result.as_ref().map(|s| s.l1i_mpi).unwrap_or(0.0),
         iv_mpki,

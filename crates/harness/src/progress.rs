@@ -32,6 +32,11 @@ pub struct Progress {
     done: AtomicUsize,
     cached: AtomicU64,
     started: Instant,
+    // Sweep-aggregate kernel throughput: Σ measured M-instrs and Σ kernel
+    // seconds across executed runs, so `finish` can report total measured
+    // work over total kernel time (not an unweighted mean of per-run
+    // rates, which short runs would skew).
+    kernel: Mutex<(f64, f64)>,
     // Serialises stderr writes so live-line updates never interleave.
     write_lock: Mutex<()>,
 }
@@ -55,6 +60,7 @@ impl Progress {
             done: AtomicUsize::new(0),
             cached: AtomicU64::new(0),
             started: Instant::now(),
+            kernel: Mutex::new((0.0, 0.0)),
             write_lock: Mutex::new(()),
         }
     }
@@ -64,6 +70,11 @@ impl Progress {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if record.cached() {
             self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        if record.sim_s > 0.0 {
+            let mut kernel = self.kernel.lock().unwrap();
+            kernel.0 += record.sim_mips * record.sim_s;
+            kernel.1 += record.sim_s;
         }
         if self.mode == ProgressMode::Silent {
             return;
@@ -110,11 +121,33 @@ impl Progress {
         }
     }
 
-    /// Ends the display (terminates the live line).
+    /// Sweep-aggregate kernel throughput: total measured instructions over
+    /// total kernel seconds across every executed (non-cached) run so far.
+    /// `None` until at least one run simulated.
+    pub fn aggregate_sim_mips(&self) -> Option<f64> {
+        let kernel = self.kernel.lock().unwrap();
+        (kernel.1 > 0.0).then(|| kernel.0 / kernel.1)
+    }
+
+    /// Ends the display (terminates the live line) and, when any run
+    /// actually simulated, reports the sweep-aggregate kernel throughput.
     pub fn finish(&self) {
+        if self.mode == ProgressMode::Silent {
+            return;
+        }
+        let _guard = self.write_lock.lock().unwrap();
+        let mut err = std::io::stderr().lock();
         if self.mode == ProgressMode::Live {
-            let _guard = self.write_lock.lock().unwrap();
-            let _ = writeln!(std::io::stderr());
+            let _ = writeln!(err);
+        }
+        let kernel = self.kernel.lock().unwrap();
+        if kernel.1 > 0.0 {
+            let _ = writeln!(
+                err,
+                "sweep kernel: {:.1} sim-MIPS aggregate over {:.1}s simulated",
+                kernel.0 / kernel.1,
+                kernel.1,
+            );
         }
     }
 
@@ -168,6 +201,7 @@ mod tests {
             sim_instructions: 1,
             mips: 1.0,
             sim_mips: 0.0,
+            sim_s: 0.0,
             decode_mips: 0.0,
             l1i_mpi: 0.0,
             iv_mpki: 0.0,
@@ -200,6 +234,7 @@ mod tests {
             sim_instructions: 0,
             mips: 0.0,
             sim_mips: 0.0,
+            sim_s: 0.0,
             decode_mips: 0.0,
             l1i_mpi: 0.0,
             iv_mpki: 0.0,
@@ -210,5 +245,35 @@ mod tests {
         p.finish();
         assert_eq!(p.done.load(Ordering::Relaxed), 2);
         assert_eq!(p.cached.load(Ordering::Relaxed), 2);
+        assert_eq!(p.aggregate_sim_mips(), None, "cache hits don't aggregate");
+    }
+
+    /// The aggregate is instruction-weighted: a long slow run dominates a
+    /// short fast one, matching "total work over total time".
+    #[test]
+    fn aggregate_sim_mips_weights_by_kernel_seconds() {
+        let p = Progress::new(ProgressMode::Silent, 2);
+        let mut rec = RunRecord {
+            key: "k".into(),
+            label: "l".into(),
+            source: crate::traces::RunSource::Live,
+            ok: true,
+            wall_s: 1.0,
+            sim_instructions: 1,
+            mips: 1.0,
+            sim_mips: 100.0,
+            sim_s: 1.0,
+            decode_mips: 0.0,
+            l1i_mpi: 0.0,
+            iv_mpki: 0.0,
+            telemetry_events: 0,
+        };
+        p.on_run(&rec);
+        rec.sim_mips = 10.0;
+        rec.sim_s = 9.0;
+        p.on_run(&rec);
+        // 100 M-instr in 1 s + 90 M-instr in 9 s = 190 M-instr / 10 s.
+        let agg = p.aggregate_sim_mips().unwrap();
+        assert!((agg - 19.0).abs() < 1e-9, "{agg}");
     }
 }

@@ -27,6 +27,12 @@
 //! events written to the run's artifact; 0 when telemetry was off).
 //! A log with an older header found on disk is rotated to
 //! `<path>.v<N>.bak` (its own version) rather than mixed or clobbered.
+//!
+//! Schema v5 adds `sim_s`: wall seconds inside the timed measure window —
+//! the denominator of `sim_mips`. With it, sweep-level aggregate kernel
+//! throughput is computable from the log (Σ(sim_mips·sim_s) / Σ sim_s), so
+//! per-run rates can be weighted by how long each run actually simulated
+//! instead of averaged naively.
 
 use std::fs::OpenOptions;
 use std::io::{self, Write};
@@ -36,7 +42,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use crate::traces::RunSource;
 
 /// First line of a fresh run log.
-pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v4";
+pub const RUNLOG_SCHEMA: &str = "# ipsim-runlog v5";
 
 /// Default run-log path, relative to the working directory.
 pub const DEFAULT_RUNLOG: &str = "results/runlog.tsv";
@@ -73,6 +79,9 @@ pub struct RunRecord {
     /// the timed measure window, overhead around the simulation loop
     /// excluded); 0 if cached.
     pub sim_mips: f64,
+    /// Wall seconds inside the timed measure window (the denominator of
+    /// `sim_mips`); 0 if cached.
+    pub sim_s: f64,
     /// Trace-decode throughput (million ops/s) measured while validating
     /// this run's stored streams; 0 unless the run replayed.
     pub decode_mips: f64,
@@ -113,7 +122,7 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         out.push_str(RUNLOG_SCHEMA);
         out.push('\n');
         out.push_str(
-            "# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tsim_mips\tdec_mips\t\
+            "# ts\tworkers\tsource\tok\twall_s\tsim_minstr\tmips\tsim_mips\tsim_s\tdec_mips\t\
              l1i_mpi\tiv_mpki\ttelem\tkey\tlabel\n",
         );
     }
@@ -123,13 +132,14 @@ pub fn append(path: &Path, workers: usize, records: &[RunRecord]) -> io::Result<
         .unwrap_or(0);
     for r in records {
         out.push_str(&format!(
-            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.5}\t{:.2}\t{}\t{}\t{}\n",
+            "{ts}\t{workers}\t{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.4}\t{:.2}\t{:.5}\t{:.2}\t{}\t{}\t{}\n",
             r.source.as_str(),
             u8::from(r.ok),
             r.wall_s,
             r.sim_instructions as f64 / 1e6,
             r.mips,
             r.sim_mips,
+            r.sim_s,
             r.decode_mips,
             r.l1i_mpi,
             r.iv_mpki,
@@ -178,6 +188,7 @@ mod tests {
             sim_instructions: 30_000_000,
             mips: 24.0,
             sim_mips: 31.5,
+            sim_s: 0.635,
             decode_mips: 0.0,
             l1i_mpi: 0.0221,
             iv_mpki: 18.5,
@@ -200,8 +211,9 @@ mod tests {
         assert!(lines[2].contains("\tdeadbeefdeadbeef\t"));
         assert!(lines[2].contains("\tlive\t"));
         assert!(lines[3].contains("\treplay\t"));
-        assert_eq!(lines[2].split('\t').count(), 14);
+        assert_eq!(lines[2].split('\t').count(), 15);
         assert!(lines[2].contains("\t31.50\t"), "sim_mips column present");
+        assert!(lines[2].contains("\t0.6350\t"), "sim_s column present");
         assert!(lines[2].contains("\t0.02210\t"), "l1i_mpi column present");
         assert!(lines[2].contains("\t18.50\t"), "iv_mpki column present");
         assert!(lines[2].contains("\t1234\t"), "telem column present");

@@ -4,6 +4,7 @@ use ipsim_cache::InstallPolicy;
 use ipsim_core::PrefetcherKind;
 use ipsim_cpu::{LimitSpec, System, SystemBuilder, SystemMetrics, WorkloadSet};
 use ipsim_prefetch::ZooPlan;
+use ipsim_types::config::DEFAULT_SCHED_QUANTUM;
 use ipsim_types::SystemConfig;
 
 use crate::cache::RunCache;
@@ -116,6 +117,11 @@ impl RunSpec {
         if let Some(plan) = &self.zoo {
             descr.push_str(&format!("|zoo={}", plan.canonical()));
         }
+        // Appended only when non-default so the pre-knob key corpus
+        // survives: sq=16 specs hash exactly as before the knob existed.
+        if c.sched_quantum != DEFAULT_SCHED_QUANTUM {
+            descr.push_str(&format!("|sq={}", c.sched_quantum));
+        }
         descr
     }
 
@@ -127,6 +133,61 @@ impl RunSpec {
     /// on-disk cache.
     pub fn cache_key(&self) -> String {
         format!("{:016x}", fnv1a64(self.descriptor().as_bytes()))
+    }
+
+    /// The system half of the descriptor: exactly the fields that
+    /// determine what [`RunSpec::build_system`] constructs (configuration,
+    /// prefetcher/zoo, policy, limit). Workloads and run lengths are
+    /// deliberately absent — they describe what flows *through* a system,
+    /// not the system itself.
+    fn system_descriptor(&self) -> String {
+        let c = &self.config;
+        let mut descr = format!(
+            "system-v1|cores={}|l1i={}x{}x{}|l1d={}x{}x{}|l2={}x{}x{}|lat={},{},{}|bw={:.4}|\
+             fw={},iw={},rob={},pd={},mshr={}|gsh={},btb={},ras={}|sq={}|pf={:?}|pol={:?}|lim={:?}",
+            c.n_cores,
+            c.core.l1i.size_bytes(),
+            c.core.l1i.assoc(),
+            c.core.l1i.line().bytes(),
+            c.core.l1d.size_bytes(),
+            c.core.l1d.assoc(),
+            c.core.l1d.line().bytes(),
+            c.mem.l2.size_bytes(),
+            c.mem.l2.assoc(),
+            c.mem.l2.line().bytes(),
+            c.core.l1_latency,
+            c.mem.l2_latency,
+            c.mem.mem_latency,
+            c.mem.offchip_bytes_per_cycle,
+            c.core.fetch_width,
+            c.core.issue_width,
+            c.core.rob_entries,
+            c.core.pipeline_depth,
+            c.core.mshrs,
+            c.core.branch.gshare_entries,
+            c.core.branch.btb_entries,
+            c.core.branch.ras_entries,
+            c.sched_quantum,
+            self.prefetcher,
+            self.policy,
+            self.limit,
+        );
+        if c.core.tlb.enabled {
+            descr.push_str(&format!("|tlb={:?}", c.core.tlb));
+        }
+        if let Some(plan) = &self.zoo {
+            descr.push_str(&format!("|zoo={}", plan.canonical()));
+        }
+        descr
+    }
+
+    /// A stable key for the *system* this spec builds: equal iff two specs
+    /// construct interchangeable [`System`]s, so a reset-in-place slot
+    /// (see `crate::traces::SystemSlot`) can safely reuse one spec's
+    /// system for another. Workload and length changes preserve the key;
+    /// any config/prefetcher/policy/limit change breaks it.
+    pub fn system_key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.system_descriptor().as_bytes()))
     }
 
     /// The workload half of the descriptor: exactly the fields that
@@ -320,6 +381,65 @@ mod tests {
         assert!(zoo.label().contains("zoo[nl+disc]"), "{}", zoo.label());
         let sys = zoo.build_system();
         assert_eq!(sys.zoo_scheme_stats().len(), 2);
+    }
+
+    /// The default quantum must hash exactly as it did before the knob
+    /// existed (no `|sq=` appended), so the on-disk cache corpus and the
+    /// golden figure keys survive; any other value must change the key.
+    #[test]
+    fn sched_quantum_affects_key_only_when_non_default() {
+        let lengths = RunLengths {
+            warm: 1,
+            measure: 2,
+        };
+        let base = RunSpec::new(
+            SystemConfig::cmp4(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let mut explicit_default = base.clone();
+        explicit_default.config.sched_quantum = ipsim_types::config::DEFAULT_SCHED_QUANTUM;
+        assert_eq!(base.cache_key(), explicit_default.cache_key());
+        assert!(!base.descriptor().contains("|sq="));
+
+        let mut shorter = base.clone();
+        shorter.config.sched_quantum = 8;
+        assert_ne!(base.cache_key(), shorter.cache_key());
+        assert!(shorter.descriptor().ends_with("|sq=8"));
+        assert_eq!(
+            base.trace_key(),
+            shorter.trace_key(),
+            "quantum changes interleaving, not the instruction streams"
+        );
+    }
+
+    #[test]
+    fn system_key_ignores_workloads_and_lengths() {
+        let a = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            RunLengths {
+                warm: 1,
+                measure: 2,
+            },
+        );
+        let mut b = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Web),
+            RunLengths {
+                warm: 500,
+                measure: 700,
+            },
+        );
+        assert_eq!(a.system_key(), b.system_key());
+        assert_ne!(a.cache_key(), b.cache_key());
+
+        b.config.sched_quantum = 8;
+        assert_ne!(a.system_key(), b.system_key());
+        let c = a.clone().prefetcher(PrefetcherKind::NextLineTagged);
+        assert_ne!(a.system_key(), c.system_key());
+        let d = a.clone().zoo(ZooPlan::parse("nl+disc").unwrap());
+        assert_ne!(a.system_key(), d.system_key());
     }
 
     #[test]

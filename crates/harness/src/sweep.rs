@@ -128,6 +128,11 @@ pub struct SweepReport {
     pub traces_quarantined: u64,
     /// Telemetry artifact directories written this sweep.
     pub telemetry_written: u64,
+    /// Sweep-aggregate kernel throughput: total measured instructions over
+    /// total kernel seconds across executed runs (`None` when everything
+    /// came from the cache). Weighted by per-run kernel seconds, so long
+    /// runs count proportionally.
+    pub aggregate_sim_mips: Option<f64>,
     /// Wall time of the execution phase.
     pub wall: Duration,
     /// Whether a shutdown signal (Ctrl-C / SIGTERM) cut execution short.
@@ -242,6 +247,7 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         traces_replayed: traces.replayed(),
         traces_quarantined: traces.quarantined(),
         telemetry_written: telemetry.as_ref().map_or(0, TelemetrySink::written),
+        aggregate_sim_mips: progress.aggregate_sim_mips(),
         wall: exec.wall,
         interrupted,
     }
@@ -403,6 +409,10 @@ mod tests {
         assert_eq!(report.traces_captured, 2);
         assert_eq!(report.traces_replayed, 0);
         assert_eq!(report.traces_quarantined, 0);
+        assert!(
+            report.aggregate_sim_mips.is_some_and(|m| m > 0.0),
+            "executed sweeps report aggregate kernel throughput"
+        );
 
         // The broken figure failed; the others still rendered.
         assert!(!report.all_ok());
@@ -429,6 +439,10 @@ mod tests {
         assert_eq!(report2.cache_misses, 0);
         assert_eq!(report2.traces_captured, 0);
         assert_eq!(report2.traces_replayed, 0);
+        assert_eq!(
+            report2.aggregate_sim_mips, None,
+            "all-cached sweeps simulated nothing"
+        );
 
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }

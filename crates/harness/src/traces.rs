@@ -24,17 +24,18 @@
 //! * capture I/O errors degrade the run to plain live generation
 //!   (the simulation result is identical either way).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ipsim_cpu::{OpSource, System};
-use ipsim_stream::{ReplaySource, Tee, TraceReader, TraceWriter};
+use ipsim_stream::{ArenaSource, ReplaySource, Tee, TraceReader, TraceWriter};
 use ipsim_telemetry::{TelemetryConfig, TelemetryRun};
+use ipsim_types::instr::TraceOp;
 
 use crate::spec::RunSpec;
 use crate::summary::Summary;
@@ -45,6 +46,101 @@ pub const TRACE_DIR_ENV: &str = "IPSIM_TRACE_DIR";
 
 /// Default trace directory, relative to the working directory.
 pub const DEFAULT_TRACE_DIR: &str = "results/traces";
+
+/// Environment variable overriding the in-memory arena budget, in total
+/// decoded ops held across all cached streams. `0` disables arenas (every
+/// replay streams through the codec).
+pub const ARENA_OPS_ENV: &str = "IPSIM_ARENA_OPS";
+
+/// Default arena budget: 16 million ops (~a few hundred MB at `TraceOp`
+/// width) — far above the paper sweeps' stream lengths, far below a
+/// machine-threatening allocation.
+pub const DEFAULT_ARENA_OPS: u64 = 16_000_000;
+
+fn arena_budget() -> u64 {
+    std::env::var(ARENA_OPS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ARENA_OPS)
+}
+
+/// A reusable simulator slot: keeps the last [`System`] built for a
+/// [`RunSpec::system_key`] and serves it back reset-in-place
+/// ([`System::reset_cold`]) instead of re-allocating caches, predictors
+/// and queues for every run. A sweep varies workloads far more often than
+/// systems, so the common case is a key hit.
+///
+/// The slot is ownership-transfer, not borrowing: [`SystemSlot::take`]
+/// moves the system out and [`SystemSlot::put`] returns it. If a run
+/// panics between the two, the system is simply never returned and the
+/// next `take` builds fresh — a poisoned simulator can never leak into a
+/// later run. One slot per pool worker; slots are not `Sync`.
+#[derive(Default)]
+pub struct SystemSlot {
+    key: Option<String>,
+    system: Option<System>,
+}
+
+impl SystemSlot {
+    /// An empty slot; the first [`SystemSlot::take`] builds fresh.
+    pub fn new() -> SystemSlot {
+        SystemSlot::default()
+    }
+
+    /// A system for `spec`: the stored one reset in place when its
+    /// [`RunSpec::system_key`] matches, a fresh build otherwise.
+    pub fn take(&mut self, spec: &RunSpec) -> System {
+        let want = spec.system_key();
+        let system = match (self.key.as_deref(), self.system.take()) {
+            (Some(have), Some(mut system)) if have == want => {
+                system.reset_cold();
+                system
+            }
+            _ => spec.build_system(),
+        };
+        self.key = Some(want);
+        system
+    }
+
+    /// Returns a system taken with [`SystemSlot::take`] for reuse. Only
+    /// hand back the system from the matching `take` — the slot assumes
+    /// it corresponds to the key recorded there.
+    pub fn put(&mut self, system: System) {
+        self.system = Some(system);
+    }
+}
+
+/// One fully decoded stream set (all cores of one trace key) plus the
+/// decode throughput observed while building it.
+#[derive(Debug, Clone)]
+struct CachedArena {
+    ops: Arc<Vec<Vec<TraceOp>>>,
+    decode_mips: f64,
+}
+
+/// Per-core view into a shared arena, so each core's [`ArenaSource`] can
+/// borrow its slice while all cores share one `Arc`.
+struct CoreOps {
+    arena: Arc<Vec<Vec<TraceOp>>>,
+    core: usize,
+}
+
+impl AsRef<[TraceOp]> for CoreOps {
+    fn as_ref(&self) -> &[TraceOp] {
+        &self.arena[self.core]
+    }
+}
+
+/// Arena admission outcome for one replay attempt.
+enum ArenaOutcome {
+    /// Decoded (or already cached) streams, ready to serve zero-copy.
+    Hit(CachedArena),
+    /// A per-core file is missing or corrupt — capture instead.
+    Missing,
+    /// The run's streams don't fit the arena budget — stream the replay
+    /// through the codec as before.
+    OverBudget,
+}
 
 /// Where a run's result (and instruction stream) came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +185,12 @@ pub struct TracedRun {
     /// cache hits. Compare against the run-level `mips` to see how much
     /// wall time goes to overhead around the simulation loop.
     pub sim_mips: f64,
+    /// Wall seconds inside the measured simulation window (the denominator
+    /// of [`TracedRun::sim_mips`]); 0 for cache hits. Sweep-level
+    /// aggregation weights per-run `sim_mips` by this, so the aggregate is
+    /// total measured instructions over total kernel seconds rather than
+    /// an unweighted mean of rates.
+    pub sim_seconds: f64,
     /// Telemetry collected over the measurement window; `Some` iff the
     /// run was executed with a [`TelemetryConfig`]. Replay, capture and
     /// live paths all collect identically — telemetry observes the
@@ -110,6 +212,15 @@ pub struct TraceStore {
     /// Trace keys some thread is currently capturing (or has captured)
     /// this process; prevents two workers racing to write the same files.
     claims: Mutex<HashSet<String>>,
+    /// Fully decoded streams, keyed by trace key and shared across the
+    /// worker pool; `total_ops` tracks the store-wide arena budget.
+    arenas: Mutex<ArenaCache>,
+}
+
+#[derive(Debug, Default)]
+struct ArenaCache {
+    map: HashMap<String, CachedArena>,
+    total_ops: u64,
 }
 
 impl TraceStore {
@@ -121,6 +232,7 @@ impl TraceStore {
             replayed: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             claims: Mutex::new(HashSet::new()),
+            arenas: Mutex::new(ArenaCache::default()),
         }
     }
 
@@ -132,6 +244,7 @@ impl TraceStore {
             replayed: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             claims: Mutex::new(HashSet::new()),
+            arenas: Mutex::new(ArenaCache::default()),
         }
     }
 
@@ -188,13 +301,28 @@ impl TraceStore {
     /// (replay / capture / live) is unaffected by telemetry, and — because
     /// telemetry never perturbs simulation — neither is the summary.
     pub fn execute_with(&self, spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> TracedRun {
+        self.execute_in(spec, telemetry, &mut SystemSlot::new())
+    }
+
+    /// Like [`TraceStore::execute_with`], but drawing the simulator from
+    /// `slot` ([`SystemSlot::take`]) and returning it afterwards, so
+    /// back-to-back runs over the same system configuration reset in
+    /// place instead of rebuilding. Results are identical to a fresh
+    /// build ([`System::reset_cold`] restores post-construction state
+    /// exactly); only construction cost changes.
+    pub fn execute_in(
+        &self,
+        spec: &RunSpec,
+        telemetry: Option<&TelemetryConfig>,
+        slot: &mut SystemSlot,
+    ) -> TracedRun {
         let Some(dir) = self.dir.clone() else {
-            return live_run(spec, telemetry);
+            return live_run(spec, telemetry, slot);
         };
         let key = spec.trace_key();
-        match self.try_replay(&dir, spec, &key, telemetry) {
+        match self.try_replay(&dir, spec, &key, telemetry, slot) {
             Some(run) => run,
-            None => self.capture_or_live(&dir, spec, &key, telemetry),
+            None => self.capture_or_live(&dir, spec, &key, telemetry, slot),
         }
     }
 
@@ -207,9 +335,43 @@ impl TraceStore {
         spec: &RunSpec,
         key: &str,
         telemetry: Option<&TelemetryConfig>,
+        slot: &mut SystemSlot,
     ) -> Option<TracedRun> {
         let n_cores = spec.config.n_cores;
         let per_core_ops = spec.lengths.warm + spec.lengths.measure;
+        // Zero-copy fast path: decode the whole stream set once into a
+        // shared arena and lend the scheduler borrowed slices. Over-budget
+        // runs fall through to the per-op streaming decoder below.
+        match self.arena_for(dir, key, n_cores, per_core_ops) {
+            ArenaOutcome::Hit(arena) => {
+                let mut sources: Vec<ArenaSource<CoreOps>> = (0..n_cores as usize)
+                    .map(|core| {
+                        ArenaSource::new(CoreOps {
+                            arena: arena.ops.clone(),
+                            core,
+                        })
+                    })
+                    .collect();
+                let mut system = instrumented(spec, telemetry, slot);
+                let mut dyns: Vec<&mut dyn OpSource> =
+                    sources.iter_mut().map(|s| s as &mut dyn OpSource).collect();
+                let metrics =
+                    system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
+                self.replayed.fetch_add(1, Ordering::Relaxed);
+                let run = TracedRun {
+                    summary: Summary::from_metrics(&metrics),
+                    source: RunSource::Replay,
+                    decode_mips: arena.decode_mips,
+                    sim_mips: metrics.sim_mips(),
+                    sim_seconds: metrics.sim_wall_seconds,
+                    telemetry: system.take_telemetry(),
+                };
+                slot.put(system);
+                return Some(run);
+            }
+            ArenaOutcome::Missing => return None,
+            ArenaOutcome::OverBudget => {}
+        }
         let mut sources: Vec<ReplaySource<BufReader<File>>> = Vec::with_capacity(n_cores as usize);
         let t0 = Instant::now();
         for core in 0..n_cores {
@@ -234,12 +396,12 @@ impl TraceStore {
         }
         let decode_s = t0.elapsed().as_secs_f64();
         let decoded_ops: u64 = sources.iter().map(|s| s.stats().ops).sum();
-        let mut system = build_instrumented(spec, telemetry);
+        let mut system = instrumented(spec, telemetry, slot);
         let mut dyns: Vec<&mut dyn OpSource> =
             sources.iter_mut().map(|s| s as &mut dyn OpSource).collect();
         let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
         self.replayed.fetch_add(1, Ordering::Relaxed);
-        TracedRun {
+        let run = TracedRun {
             summary: Summary::from_metrics(&metrics),
             source: RunSource::Replay,
             decode_mips: if decode_s > 0.0 {
@@ -248,9 +410,68 @@ impl TraceStore {
                 0.0
             },
             sim_mips: metrics.sim_mips(),
+            sim_seconds: metrics.sim_wall_seconds,
             telemetry: system.take_telemetry(),
+        };
+        slot.put(system);
+        Some(run)
+    }
+
+    /// Finds or builds the decoded arena for `key`. Decode happens outside
+    /// the cache lock (workers decoding different keys don't serialise);
+    /// the budget is re-checked at insert, and a losing racer simply serves
+    /// from its private copy without caching it.
+    fn arena_for(&self, dir: &Path, key: &str, n_cores: u32, per_core_ops: u64) -> ArenaOutcome {
+        let total_ops = per_core_ops * u64::from(n_cores);
+        let budget = arena_budget();
+        {
+            let cache = self.arenas.lock().unwrap();
+            if let Some(cached) = cache.map.get(key) {
+                return ArenaOutcome::Hit(cached.clone());
+            }
+            if cache.total_ops + total_ops > budget {
+                return ArenaOutcome::OverBudget;
+            }
         }
-        .into()
+        let t0 = Instant::now();
+        let mut cores: Vec<Vec<TraceOp>> = Vec::with_capacity(n_cores as usize);
+        for core in 0..n_cores {
+            let path = self.core_path(dir, key, core);
+            let Ok(file) = File::open(&path) else {
+                return ArenaOutcome::Missing;
+            };
+            let decoded = TraceReader::open(BufReader::new(file)).and_then(|mut reader| {
+                let mut ops = Vec::new();
+                reader.decode_all_into(&mut ops).map(|stats| (ops, stats))
+            });
+            match decoded {
+                Ok((ops, stats)) if stats.ops == per_core_ops => cores.push(ops),
+                // Corrupt, truncated, or a valid file of the wrong length
+                // (key tampering): quarantine and recapture.
+                Ok(_) | Err(_) => {
+                    self.quarantine(&path);
+                    return ArenaOutcome::Missing;
+                }
+            }
+        }
+        let decode_s = t0.elapsed().as_secs_f64();
+        let arena = CachedArena {
+            ops: Arc::new(cores),
+            decode_mips: if decode_s > 0.0 {
+                total_ops as f64 / 1e6 / decode_s
+            } else {
+                0.0
+            },
+        };
+        let mut cache = self.arenas.lock().unwrap();
+        if let Some(existing) = cache.map.get(key) {
+            return ArenaOutcome::Hit(existing.clone());
+        }
+        if cache.total_ops + total_ops <= budget {
+            cache.total_ops += total_ops;
+            cache.map.insert(key.to_string(), arena.clone());
+        }
+        ArenaOutcome::Hit(arena)
     }
 
     /// Runs `spec` live, capturing the stream if this thread wins the
@@ -261,12 +482,13 @@ impl TraceStore {
         spec: &RunSpec,
         key: &str,
         telemetry: Option<&TelemetryConfig>,
+        slot: &mut SystemSlot,
     ) -> TracedRun {
         let claimed = self.claims.lock().unwrap().insert(key.to_string());
         if !claimed || fs::create_dir_all(dir).is_err() {
             // Someone else is already writing this stream (or the store
             // directory is unusable): plain live run.
-            return live_run(spec, telemetry);
+            return live_run(spec, telemetry, slot);
         }
 
         let n_cores = spec.config.n_cores;
@@ -285,7 +507,7 @@ impl TraceStore {
                 }
                 None => {
                     discard(&tmp_paths);
-                    return live_run(spec, telemetry);
+                    return live_run(spec, telemetry, slot);
                 }
             }
         }
@@ -298,13 +520,15 @@ impl TraceStore {
             .enumerate()
             .map(|(c, w)| Tee::new(spec.workloads.walker(&programs, c as u32), w))
             .collect();
-        let mut system = build_instrumented(spec, telemetry);
+        let mut system = instrumented(spec, telemetry, slot);
         let mut dyns: Vec<&mut dyn OpSource> =
             tees.iter_mut().map(|t| t as &mut dyn OpSource).collect();
         let metrics = system.run_workload_from(&mut dyns, spec.lengths.warm, spec.lengths.measure);
         let summary = Summary::from_metrics(&metrics);
         let sim_mips = metrics.sim_mips();
+        let sim_seconds = metrics.sim_wall_seconds;
         let collected = system.take_telemetry();
+        slot.put(system);
 
         // Seal and publish. Any sink error (latched mid-run or at finish)
         // voids the whole capture but never the simulation result.
@@ -331,6 +555,7 @@ impl TraceStore {
                 source: RunSource::Live,
                 decode_mips: 0.0,
                 sim_mips,
+                sim_seconds,
                 telemetry: collected,
             };
         }
@@ -340,6 +565,7 @@ impl TraceStore {
             source: RunSource::Capture,
             decode_mips: 0.0,
             sim_mips,
+            sim_seconds,
             telemetry: collected,
         }
     }
@@ -355,9 +581,15 @@ impl TraceStore {
     }
 }
 
-/// Builds `spec`'s system with telemetry armed when a config is given.
-fn build_instrumented(spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> System {
-    let mut system = spec.build_system();
+/// Draws `spec`'s system from `slot` with telemetry armed when a config
+/// is given. ([`System::reset_cold`] disarms telemetry, so a reused
+/// system never inherits instrumentation from its previous run.)
+fn instrumented(
+    spec: &RunSpec,
+    telemetry: Option<&TelemetryConfig>,
+    slot: &mut SystemSlot,
+) -> System {
+    let mut system = slot.take(spec);
     if let Some(config) = telemetry {
         system.enable_telemetry(config.clone());
     }
@@ -365,16 +597,23 @@ fn build_instrumented(spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> Sy
 }
 
 /// Executes `spec` with plain live generation (no store involvement).
-fn live_run(spec: &RunSpec, telemetry: Option<&TelemetryConfig>) -> TracedRun {
-    let mut system = build_instrumented(spec, telemetry);
+fn live_run(
+    spec: &RunSpec,
+    telemetry: Option<&TelemetryConfig>,
+    slot: &mut SystemSlot,
+) -> TracedRun {
+    let mut system = instrumented(spec, telemetry, slot);
     let metrics = system.run_workload(&spec.workloads, spec.lengths.warm, spec.lengths.measure);
-    TracedRun {
+    let run = TracedRun {
         summary: Summary::from_metrics(&metrics),
         source: RunSource::Live,
         decode_mips: 0.0,
         sim_mips: metrics.sim_mips(),
+        sim_seconds: metrics.sim_wall_seconds,
         telemetry: system.take_telemetry(),
-    }
+    };
+    slot.put(system);
+    run
 }
 
 /// Removes leftover capture temp files (best effort).
@@ -514,6 +753,98 @@ mod tests {
             assert!(!telem.samples.is_empty());
         }
         assert!(store.execute(&spec).telemetry.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Reset-in-place must be invisible in results: cycling one slot
+    /// through different systems and workloads — forcing both key hits
+    /// (reset_cold reuse) and key misses (fresh build) — produces exactly
+    /// the summaries fresh systems do, on live and replay paths alike.
+    #[test]
+    fn slot_reuse_matches_fresh_builds() {
+        let dir = tmp_dir("slot");
+        let store = TraceStore::at(&dir);
+        let base = spec();
+        let nl = base
+            .clone()
+            .prefetcher(ipsim_core::PrefetcherKind::NextLineTagged);
+        let mut web = base.clone();
+        web.workloads = ipsim_cpu::WorkloadSet::homogeneous(ipsim_trace::Workload::Web);
+
+        // base → base: same system key, second run reuses via reset_cold.
+        // base → nl: key miss, fresh build. nl → web(nl-less): miss again.
+        // Interleave captures and replays so both paths go through slots.
+        let sequence = [&base, &base, &nl, &web, &base, &nl];
+        let mut slot = SystemSlot::new();
+        for spec in sequence {
+            let run = store.execute_in(spec, None, &mut slot);
+            assert_eq!(
+                run.summary,
+                spec.execute(),
+                "slot-reused run diverged from a fresh system for {}",
+                spec.label()
+            );
+            assert!(run.sim_seconds > 0.0, "executed runs report kernel time");
+        }
+        assert!(store.replayed() > 0, "later runs replayed captured streams");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Telemetry must not leak across slot reuses: a telemetry run
+    /// followed by a plain run on the same slot collects nothing the
+    /// second time.
+    #[test]
+    fn slot_reuse_does_not_leak_telemetry() {
+        let store = TraceStore::disabled();
+        let spec = spec();
+        let mut slot = SystemSlot::new();
+        let with = store.execute_in(&spec, Some(&TelemetryConfig::default()), &mut slot);
+        assert!(with.telemetry.is_some());
+        let without = store.execute_in(&spec, None, &mut slot);
+        assert!(without.telemetry.is_none(), "telemetry survived reset_cold");
+        assert_eq!(with.summary, without.summary);
+    }
+
+    /// Replays small enough for the arena budget decode once and serve
+    /// zero-copy; an over-budget store streams per-op instead. Both must
+    /// match live results exactly.
+    #[test]
+    fn arena_and_streaming_replay_agree_with_live() {
+        let dir = tmp_dir("arena");
+        let spec = spec();
+        let live = spec.execute();
+
+        let store = TraceStore::at(&dir);
+        assert_eq!(store.execute(&spec).source, RunSource::Capture);
+        let arena = store.execute(&spec);
+        assert_eq!(arena.source, RunSource::Replay);
+        assert_eq!(arena.summary, live);
+        assert!(
+            store
+                .arenas
+                .lock()
+                .unwrap()
+                .map
+                .contains_key(&spec.trace_key()),
+            "a budget-sized stream set is cached in the arena"
+        );
+        // Replays after the first reuse the cached arena (and report the
+        // decode throughput observed when it was built).
+        let again = store.execute(&spec);
+        assert_eq!(again.summary, live);
+        assert_eq!(again.decode_mips, arena.decode_mips);
+
+        // A zero budget disables arenas: same files, streaming decoder.
+        std::env::set_var(ARENA_OPS_ENV, "0");
+        let streaming_store = TraceStore::at(&dir);
+        let streaming = streaming_store.execute(&spec);
+        std::env::remove_var(ARENA_OPS_ENV);
+        assert_eq!(streaming.source, RunSource::Replay);
+        assert_eq!(streaming.summary, live);
+        assert!(
+            streaming_store.arenas.lock().unwrap().map.is_empty(),
+            "over-budget replays must not cache arenas"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

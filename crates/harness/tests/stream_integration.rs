@@ -114,9 +114,9 @@ fn replay_reproduces_live_figures_byte_identically() {
     assert_eq!(replay.traces_replayed, 5);
     assert_eq!(figure_text(&replay), live_text);
 
-    // The run log records stream provenance under the v4 schema.
+    // The run log records stream provenance under the v5 schema.
     let cap_log = fs::read_to_string(base.join("cache-capture.runlog.tsv")).unwrap();
-    assert!(cap_log.starts_with("# ipsim-runlog v4"), "{cap_log}");
+    assert!(cap_log.starts_with("# ipsim-runlog v5"), "{cap_log}");
     assert_eq!(cap_log.matches("\tcapture\t").count(), 2);
     assert_eq!(cap_log.matches("\treplay\t").count(), 3);
     let rep_log = fs::read_to_string(base.join("cache-replay.runlog.tsv")).unwrap();

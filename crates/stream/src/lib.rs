@@ -82,6 +82,22 @@ pub trait TraceSource {
             *slot = self.next_op();
         }
     }
+
+    /// Zero-copy variant of [`TraceSource::next_block`]: returns a
+    /// borrowed view of the next `n` instructions and advances past them,
+    /// or `None` when this source cannot lend its ops (the default — live
+    /// walkers generate ops, tees must observe every op, replay decodes
+    /// into a rotating buffer). Only sources that hold fully decoded ops
+    /// in memory ([`ArenaSource`]) override this.
+    ///
+    /// A `Some` slice has exactly `n` ops; an implementation that cannot
+    /// serve `n` more ops must panic (the scheduler never asks past the
+    /// agreed stream length, so running dry is a harness bug — the same
+    /// contract as [`ReplaySource`]'s `next_op`).
+    fn next_slice(&mut self, n: usize) -> Option<&[TraceOp]> {
+        let _ = n;
+        None
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -91,6 +107,10 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
 
     fn next_block(&mut self, out: &mut [TraceOp]) {
         (**self).next_block(out)
+    }
+
+    fn next_slice(&mut self, n: usize) -> Option<&[TraceOp]> {
+        (**self).next_slice(n)
     }
 }
 
@@ -190,6 +210,78 @@ impl<R: Read + Seek> ReplaySource<R> {
     /// Whole-trace statistics gathered during verification.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+}
+
+/// Replays fully decoded, in-memory instructions as an infallible
+/// [`TraceSource`] — the zero-copy end of the capture/replay seam.
+///
+/// Decode a trace once with
+/// [`TraceReader::decode_all_into`](reader::TraceReader::decode_all_into)
+/// (or synthesise ops any other way), then replay the arena any number of
+/// times without touching the codec again. [`TraceSource::next_slice`]
+/// hands the scheduler borrowed sub-slices, so a replayed run performs no
+/// per-op decode *and* no per-quantum copy.
+///
+/// Generic over anything that derefs to `[TraceOp]` (`Vec`, `&[TraceOp]`,
+/// or an `Arc`-backed view), so one decoded arena can feed many runs.
+///
+/// # Panics
+///
+/// Like [`ReplaySource`], draining past the end of the arena panics: the
+/// scheduler never asks for more ops than the agreed stream length, so
+/// running dry is a harness bug, not a runtime condition.
+pub struct ArenaSource<T: AsRef<[TraceOp]>> {
+    ops: T,
+    pos: usize,
+}
+
+impl<T: AsRef<[TraceOp]>> ArenaSource<T> {
+    /// A source serving `ops` from the start.
+    pub fn new(ops: T) -> ArenaSource<T> {
+        ArenaSource { ops, pos: 0 }
+    }
+
+    /// Ops served so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Total ops in the arena.
+    pub fn len(&self) -> usize {
+        self.ops.as_ref().len()
+    }
+
+    /// `true` when the arena holds no ops at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.as_ref().is_empty()
+    }
+
+    /// Restarts from the first op.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl<T: AsRef<[TraceOp]>> TraceSource for ArenaSource<T> {
+    #[inline]
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops.as_ref()[self.pos];
+        self.pos += 1;
+        op
+    }
+
+    fn next_block(&mut self, out: &mut [TraceOp]) {
+        let end = self.pos + out.len();
+        out.copy_from_slice(&self.ops.as_ref()[self.pos..end]);
+        self.pos = end;
+    }
+
+    #[inline]
+    fn next_slice(&mut self, n: usize) -> Option<&[TraceOp]> {
+        let start = self.pos;
+        self.pos += n;
+        Some(&self.ops.as_ref()[start..self.pos])
     }
 }
 

@@ -361,6 +361,41 @@ impl<R: Read + Seek> TraceReader<R> {
         Ok(stats)
     }
 
+    /// Decodes the whole trace into `out` in one pass — the arena decode
+    /// feeding [`ArenaSource`](crate::ArenaSource). Every block CRC is
+    /// still verified (by [`load_block`](Self::load_block)) before its ops
+    /// are surfaced, and the total is reconciled against the index, so
+    /// this is as safe as `verify_blocks` + streaming decode while paying
+    /// the codec exactly once per trace instead of once per replay.
+    ///
+    /// `out` is appended to (capacity is reserved up front) so callers can
+    /// reuse one allocation across traces. Rewinds when done. Returns
+    /// whole-file statistics.
+    pub fn decode_all_into(&mut self, out: &mut Vec<TraceOp>) -> Result<StreamStats, CodecError> {
+        self.rewind()?;
+        self.payload_bytes_seen = 0;
+        out.reserve(self.total_ops as usize);
+        let mut ops = 0u64;
+        while let Some(op) = self.next_op()? {
+            out.push(op);
+            ops += 1;
+        }
+        if ops != self.total_ops {
+            return Err(CodecError::CountMismatch {
+                expected: self.total_ops,
+                found: ops,
+            });
+        }
+        let stats = StreamStats {
+            ops,
+            blocks: self.index.len() as u64,
+            payload_bytes: self.payload_bytes_seen,
+            file_bytes: self.file_bytes,
+        };
+        self.rewind()?;
+        Ok(stats)
+    }
+
     /// Decodes every block, checking all CRCs and reconciling op counts
     /// against the index, then rewinds. Returns whole-file statistics.
     ///

@@ -264,6 +264,14 @@ impl MemConfig {
     }
 }
 
+/// Default scheduler quantum: instructions each core executes before the
+/// scheduler re-picks the laggard core.
+pub const DEFAULT_SCHED_QUANTUM: u64 = 16;
+
+/// Largest supported scheduler quantum (the scheduler's op staging buffer
+/// is sized to this at compile time).
+pub const MAX_SCHED_QUANTUM: u64 = 64;
+
 /// A full system: `n_cores` identical cores over one shared memory system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -273,6 +281,12 @@ pub struct SystemConfig {
     pub core: CoreConfig,
     /// Shared L2 / memory / bus.
     pub mem: MemConfig,
+    /// Instructions each core executes before the scheduler re-picks the
+    /// laggard core. Small enough that shared-L2/bus interleaving stays
+    /// faithful, large enough to amortise scheduling. 1..=[`MAX_SCHED_QUANTUM`];
+    /// non-default values change multi-core interleaving and therefore
+    /// results.
+    pub sched_quantum: u64,
 }
 
 impl SystemConfig {
@@ -282,6 +296,7 @@ impl SystemConfig {
             n_cores: 1,
             core: CoreConfig::default(),
             mem: MemConfig::default_single_core(),
+            sched_quantum: DEFAULT_SCHED_QUANTUM,
         }
     }
 
@@ -291,6 +306,7 @@ impl SystemConfig {
             n_cores: 4,
             core: CoreConfig::default(),
             mem: MemConfig::default_cmp(),
+            sched_quantum: DEFAULT_SCHED_QUANTUM,
         }
     }
 
@@ -329,6 +345,18 @@ impl SystemConfig {
             return Err(ConfigError::NotPowerOfTwo {
                 what: "BTB entries",
                 value: self.core.branch.btb_entries as u64,
+            });
+        }
+        if self.sched_quantum == 0 {
+            return Err(ConfigError::Zero {
+                what: "scheduler quantum",
+            });
+        }
+        if self.sched_quantum > MAX_SCHED_QUANTUM {
+            return Err(ConfigError::OutOfRange {
+                what: "scheduler quantum",
+                value: self.sched_quantum,
+                max: MAX_SCHED_QUANTUM,
             });
         }
         Ok(())
@@ -397,6 +425,18 @@ mod tests {
         assert!(s.validate().is_err());
         let mut s = SystemConfig::single_core();
         s.core.branch.btb_entries = 1000;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn sched_quantum_is_bounded() {
+        assert_eq!(SystemConfig::single_core().sched_quantum, 16);
+        let mut s = SystemConfig::single_core();
+        s.sched_quantum = 0;
+        assert!(s.validate().is_err());
+        s.sched_quantum = MAX_SCHED_QUANTUM;
+        assert!(s.validate().is_ok());
+        s.sched_quantum = MAX_SCHED_QUANTUM + 1;
         assert!(s.validate().is_err());
     }
 }
