@@ -416,19 +416,33 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pulls the top-level `"commit"` and `"method"` strings out of a
+/// snapshot's baseline block, if it has one. The block nests follow-up
+/// PR sub-blocks with their own commit/method, but those come later in
+/// the text, so the first occurrence of each key is the top-level pair.
+fn baseline_provenance(json: &str) -> Option<(String, String)> {
+    let block = extract_baseline_block(json)?;
+    let commit = field_str(&block, "\"commit\": \"")?;
+    let method = field_str(&block, "\"method\": \"")?;
+    Some((commit, method))
+}
+
 /// Compares fresh `results` against the committed snapshot at `path`.
 /// Returns the process exit code: 0 on pass, 1 on regression or a missing
-/// / unreadable snapshot.
+/// / unreadable snapshot. A regressed bench prints the band it had to
+/// land in, and the failure footer names where the committed numbers
+/// came from (baseline commit + measurement method) so the reader can
+/// judge whether the comparison is even meaningful on this machine.
 fn check_against(path: &str, results: &[BenchResult]) -> i32 {
     let tolerance_pct = std::env::var("IPSIM_BENCH_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TOLERANCE_PCT);
-    let Ok(committed) = std::fs::read_to_string(path) else {
+    let Ok(committed_text) = std::fs::read_to_string(path) else {
         eprintln!("bench_snapshot: no committed snapshot at {path}");
         return 1;
     };
-    let committed = extract_benches(&committed);
+    let committed = extract_benches(&committed_text);
     if committed.is_empty() {
         eprintln!("bench_snapshot: {path} has no readable benches");
         return 1;
@@ -439,23 +453,36 @@ fn check_against(path: &str, results: &[BenchResult]) -> i32 {
             eprintln!("  {:<38} not in committed snapshot (new bench?)", r.name);
             continue;
         };
+        let allowed_ms = committed_ms * (1.0 + tolerance_pct / 100.0);
         let delta_pct = (r.min_ms / committed_ms - 1.0) * 100.0;
-        let verdict = if delta_pct > tolerance_pct {
+        if delta_pct > tolerance_pct {
             failed = true;
-            "REGRESSED"
+            eprintln!(
+                "  {:<38} committed {:>8.3} ms, now {:>8.3} ms ({:+.1}%) REGRESSED \
+                 [band: <= {:.3} ms at {}% tolerance]",
+                r.name, committed_ms, r.min_ms, delta_pct, allowed_ms, tolerance_pct,
+            );
         } else {
-            "ok"
-        };
-        eprintln!(
-            "  {:<38} committed {:>8.3} ms, now {:>8.3} ms ({:+.1}%) {}",
-            r.name, committed_ms, r.min_ms, delta_pct, verdict,
-        );
+            eprintln!(
+                "  {:<38} committed {:>8.3} ms, now {:>8.3} ms ({:+.1}%) ok",
+                r.name, committed_ms, r.min_ms, delta_pct,
+            );
+        }
     }
     if failed {
         eprintln!(
             "bench_snapshot: system_throughput regressed more than {tolerance_pct}% \
              vs {path} (set IPSIM_BENCH_TOLERANCE to widen on noisy machines)"
         );
+        match baseline_provenance(&committed_text) {
+            Some((commit, method)) => {
+                eprintln!("  committed numbers: snapshot at {path}, baseline commit {commit}");
+                eprintln!("  baseline method: {method}");
+            }
+            None => {
+                eprintln!("  committed numbers: snapshot at {path} (no baseline provenance block)")
+            }
+        }
         1
     } else {
         0

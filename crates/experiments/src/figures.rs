@@ -28,66 +28,79 @@ pub fn all() -> Vec<Figure> {
         Figure {
             name: "fig01",
             title: "L1I miss rates vs cache geometry",
+            version: 1,
             render: fig01,
         },
         Figure {
             name: "fig02",
             title: "L2 instruction miss rates vs L2 capacity",
+            version: 1,
             render: fig02,
         },
         Figure {
             name: "fig03",
             title: "instruction miss breakdown by category",
+            version: 1,
             render: fig03,
         },
         Figure {
             name: "fig04",
             title: "limit study: perfect elimination of miss classes",
+            version: 1,
             render: fig04,
         },
         Figure {
             name: "fig05",
             title: "instruction miss rates under prefetching",
+            version: 1,
             render: fig05,
         },
         Figure {
             name: "fig06",
             title: "prefetch speedup with conventional L2 install",
+            version: 1,
             render: fig06,
         },
         Figure {
             name: "fig07",
             title: "L2 data pollution from instruction prefetching",
+            version: 1,
             render: fig07,
         },
         Figure {
             name: "fig08",
             title: "prefetch speedup with L2 bypass until useful",
+            version: 1,
             render: fig08,
         },
         Figure {
             name: "fig09",
             title: "prefetch accuracy and the next-2-line variant",
+            version: 1,
             render: fig09,
         },
         Figure {
             name: "fig10",
             title: "miss coverage vs discontinuity table size",
+            version: 1,
             render: fig10,
         },
         Figure {
             name: "fig11",
             title: "extension ablations: discontinuity design choices",
+            version: 1,
             render: fig11,
         },
         Figure {
             name: "fig12",
             title: "extension: off-chip bandwidth sensitivity",
+            version: 1,
             render: fig12,
         },
         Figure {
             name: "fig13",
             title: "extension: memory-latency sensitivity",
+            version: 1,
             render: fig13,
         },
     ]

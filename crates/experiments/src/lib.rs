@@ -19,6 +19,7 @@
 
 pub mod bakeoff;
 pub mod figures;
+pub mod report;
 
 pub use ipsim_harness::{Executor, RunLengths, RunSpec, Summary};
 

@@ -25,6 +25,7 @@ const BINS: &[(&str, &str)] = &[
     ("pf_check", env!("CARGO_BIN_EXE_pf_check")),
     ("pf_detail", env!("CARGO_BIN_EXE_pf_detail")),
     ("sim_report", env!("CARGO_BIN_EXE_sim_report")),
+    ("sweep_report", env!("CARGO_BIN_EXE_sweep_report")),
     ("sweep_zipf", env!("CARGO_BIN_EXE_sweep_zipf")),
     ("telemetry_check", env!("CARGO_BIN_EXE_telemetry_check")),
     ("trace_dump", env!("CARGO_BIN_EXE_trace_dump")),

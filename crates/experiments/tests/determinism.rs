@@ -44,6 +44,8 @@ fn cold_sweep(
         telemetry,
         telemetry_dir: Some(base.join("telemetry")),
         progress: ProgressMode::Silent,
+        manifest: None,
+        force: false,
     };
     (run_sweep(figures, &opts), base)
 }

@@ -1,11 +1,12 @@
 //! Hand-rolled argument parsing shared by every figure binary.
 
+use crate::shard::{self, ShardSpec};
 use crate::RunLengths;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...] [--no-traces]
-                       [--telemetry]
+                       [--telemetry] [--shards N] [--force]
 
   --quick          ~5x shorter warm-up/measurement windows (smoke runs)
   --jobs N, -j N   worker threads for the run pool
@@ -16,7 +17,17 @@ usage: <figure-binary> [--quick] [--jobs N] [--figures figNN,figNN,...] [--no-tr
   --telemetry      collect interval samples and prefetch lifecycle events,
                    writing per-run artifacts under results/telemetry/
                    (see also IPSIM_TELEMETRY_DIR); results are unchanged
+  --shards N       split the sweep's run set over N processes partitioned
+                   by cache key (all_figures only; default $IPSIM_SHARDS
+                   or 1); results and figures are byte-identical for any N
+  --force          re-render every figure, bypassing the incremental
+                   manifest (results/figures/manifest.tsv)
+  --shard-exec I/N internal: execute shard I of N and exit (spawned by
+                   --shards; not for interactive use)
   --help           this text
+
+  IPSIM_RUN_LENGTHS=WARM/MEASURE overrides the windows (beats --quick);
+  the smoke hook CI and tests use to sweep with tiny instruction counts
 ";
 
 /// Parsed harness arguments.
@@ -34,6 +45,17 @@ pub struct HarnessArgs {
     /// Whether to collect telemetry and write per-run artifacts
     /// (`--telemetry` enables).
     pub telemetry: bool,
+    /// Process-shard count from `--shards`; `None` when the flag is
+    /// absent (callers fall back to `$IPSIM_SHARDS`, then 1 — see
+    /// [`HarnessArgs::resolve_shards`]).
+    pub shards: Option<usize>,
+    /// Re-render every figure, bypassing the incremental manifest
+    /// (`--force`).
+    pub force: bool,
+    /// Internal shard-child mode (`--shard-exec I/N`): execute shard I of
+    /// N and exit without rendering. Set only on processes spawned by a
+    /// `--shards` parent.
+    pub shard_exec: Option<ShardSpec>,
 }
 
 impl HarnessArgs {
@@ -49,6 +71,9 @@ impl HarnessArgs {
             figures: None,
             traces: true,
             telemetry: false,
+            shards: None,
+            force: false,
+            shard_exec: None,
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -57,6 +82,7 @@ impl HarnessArgs {
                 "--quick" => out.lengths = RunLengths::quick(),
                 "--no-traces" => out.traces = false,
                 "--telemetry" => out.telemetry = true,
+                "--force" => out.force = true,
                 "--jobs" | "-j" => {
                     let v = args
                         .next()
@@ -69,12 +95,30 @@ impl HarnessArgs {
                         .ok_or_else(|| format!("{arg} needs a value\n\n{USAGE}"))?;
                     out.figures = Some(parse_figures(v.as_ref()));
                 }
+                "--shards" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| format!("{arg} needs a value\n\n{USAGE}"))?;
+                    out.shards = Some(parse_shards(v.as_ref())?);
+                }
+                "--shard-exec" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| format!("{arg} needs a value\n\n{USAGE}"))?;
+                    out.shard_exec =
+                        Some(ShardSpec::parse(v.as_ref()).map_err(|e| format!("{e}\n\n{USAGE}"))?);
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 _ => {
                     if let Some(v) = arg.strip_prefix("--jobs=") {
                         out.workers = parse_workers(v)?;
                     } else if let Some(v) = arg.strip_prefix("--figures=") {
                         out.figures = Some(parse_figures(v));
+                    } else if let Some(v) = arg.strip_prefix("--shards=") {
+                        out.shards = Some(parse_shards(v)?);
+                    } else if let Some(v) = arg.strip_prefix("--shard-exec=") {
+                        out.shard_exec =
+                            Some(ShardSpec::parse(v).map_err(|e| format!("{e}\n\n{USAGE}"))?);
                     } else {
                         return Err(format!("unknown argument `{arg}`\n\n{USAGE}"));
                     }
@@ -84,22 +128,113 @@ impl HarnessArgs {
         Ok(out)
     }
 
+    /// The effective shard count: `--shards` beats `$IPSIM_SHARDS` beats 1.
+    /// A malformed environment value is an error (a typo must not silently
+    /// serialise the sweep).
+    pub fn resolve_shards(&self) -> Result<usize, String> {
+        if let Some(n) = self.shards {
+            return Ok(n);
+        }
+        Ok(shard::shards_from_env()?.unwrap_or(1))
+    }
+
+    /// The argument vector a `--shards` parent passes to the child process
+    /// executing `shard`: the parent's own sweep-shaping flags (lengths,
+    /// workers, figure subset, traces, telemetry, force) plus
+    /// `--shard-exec I/N`. The child re-derives the identical job set and
+    /// executes only the shard it owns.
+    pub fn child_args(&self, shard: ShardSpec) -> Vec<String> {
+        let mut argv = Vec::new();
+        if self.lengths == RunLengths::quick() {
+            argv.push("--quick".to_string());
+        }
+        argv.push("--jobs".to_string());
+        argv.push(self.workers.to_string());
+        if let Some(figures) = &self.figures {
+            argv.push("--figures".to_string());
+            argv.push(figures.join(","));
+        }
+        if !self.traces {
+            argv.push("--no-traces".to_string());
+        }
+        if self.telemetry {
+            argv.push("--telemetry".to_string());
+        }
+        if self.force {
+            argv.push("--force".to_string());
+        }
+        argv.push("--shard-exec".to_string());
+        argv.push(shard.to_string());
+        argv
+    }
+
     /// Parses the process arguments, exiting with the usage text on error.
     /// `--help` prints the usage to stdout and exits 0.
+    ///
+    /// `$IPSIM_RUN_LENGTHS` (format `WARM/MEASURE`, instruction counts)
+    /// overrides the windows last, beating `--quick`. Shard children
+    /// inherit the variable, so every process of a sharded sweep agrees
+    /// on the run set. This is the hook CI smoke sweeps and tests use to
+    /// drive the real binaries with tiny windows.
     pub fn from_env_or_exit() -> HarnessArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         if argv.iter().any(|a| a == "--help" || a == "-h") {
             println!("{USAGE}");
             std::process::exit(0);
         }
-        match HarnessArgs::parse(&argv) {
+        let mut args = match HarnessArgs::parse(&argv) {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        };
+        match lengths_from_env() {
+            Ok(Some(lengths)) => args.lengths = lengths,
+            Ok(None) => {}
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
         }
+        args
     }
+}
+
+/// Environment variable overriding the run windows (`WARM/MEASURE`
+/// instruction counts) for every figure binary; see
+/// [`HarnessArgs::from_env_or_exit`].
+pub const LENGTHS_ENV: &str = "IPSIM_RUN_LENGTHS";
+
+/// Parses a `WARM/MEASURE` lengths spec (e.g. `10000/20000`).
+pub fn parse_lengths_spec(raw: &str) -> Result<RunLengths, String> {
+    let err = || {
+        format!(
+            "{LENGTHS_ENV} must be WARM/MEASURE instruction counts \
+             (e.g. 10000/20000), got `{raw}`"
+        )
+    };
+    let (warm, measure) = raw.split_once('/').ok_or_else(err)?;
+    let warm: u64 = warm.trim().parse().map_err(|_| err())?;
+    let measure: u64 = measure.trim().parse().map_err(|_| err())?;
+    if measure == 0 {
+        return Err(err());
+    }
+    Ok(RunLengths { warm, measure })
+}
+
+/// The run-lengths override from `$IPSIM_RUN_LENGTHS`, if set and
+/// non-empty. A malformed value is an error: a typo must not silently
+/// run a multi-hour full-window sweep.
+pub fn lengths_from_env() -> Result<Option<RunLengths>, String> {
+    let Some(raw) = std::env::var_os(LENGTHS_ENV) else {
+        return Ok(None);
+    };
+    let raw = raw.to_string_lossy();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    parse_lengths_spec(&raw).map(Some)
 }
 
 /// One worker per available hardware thread by default; the pool clamps to
@@ -115,6 +250,15 @@ fn parse_workers(v: &str) -> Result<usize, String> {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(format!(
             "--jobs needs a positive integer, got `{v}`\n\n{USAGE}"
+        )),
+    }
+}
+
+fn parse_shards(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "--shards needs a positive integer, got `{v}`\n\n{USAGE}"
         )),
     }
 }
@@ -162,12 +306,87 @@ mod tests {
     }
 
     #[test]
+    fn shard_flags_parse_in_both_forms() {
+        let d = HarnessArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(d.shards, None);
+        assert!(!d.force);
+        assert_eq!(d.shard_exec, None);
+
+        let a = HarnessArgs::parse(["--shards", "4", "--force"]).unwrap();
+        assert_eq!(a.shards, Some(4));
+        assert!(a.force);
+
+        let b = HarnessArgs::parse(["--shards=7"]).unwrap();
+        assert_eq!(b.shards, Some(7));
+
+        let c = HarnessArgs::parse(["--shard-exec", "2/4"]).unwrap();
+        assert_eq!(c.shard_exec, Some(ShardSpec { index: 2, count: 4 }));
+        let e = HarnessArgs::parse(["--shard-exec=0/2"]).unwrap();
+        assert_eq!(e.shard_exec, Some(ShardSpec { index: 0, count: 2 }));
+    }
+
+    #[test]
+    fn child_args_replicate_the_parents_sweep_shape() {
+        let parent = HarnessArgs::parse([
+            "--quick",
+            "--jobs",
+            "3",
+            "--figures",
+            "fig01,fig05",
+            "--no-traces",
+            "--telemetry",
+            "--force",
+            "--shards",
+            "4",
+        ])
+        .unwrap();
+        let argv = parent.child_args(ShardSpec { index: 2, count: 4 });
+        // A child parses back to the same sweep shape, minus the shard
+        // driver flags, plus its own shard identity.
+        let child = HarnessArgs::parse(&argv).unwrap();
+        assert_eq!(child.lengths, parent.lengths);
+        assert_eq!(child.workers, parent.workers);
+        assert_eq!(child.figures, parent.figures);
+        assert_eq!(child.traces, parent.traces);
+        assert_eq!(child.telemetry, parent.telemetry);
+        assert_eq!(child.force, parent.force);
+        assert_eq!(child.shards, None, "children must not re-spawn shards");
+        assert_eq!(child.shard_exec, Some(ShardSpec { index: 2, count: 4 }));
+
+        // Defaults stay defaults: a plain parent spawns a minimal child.
+        let plain = HarnessArgs::parse(["--shards", "2"]).unwrap();
+        let argv = plain.child_args(ShardSpec { index: 1, count: 2 });
+        assert!(!argv.contains(&"--quick".to_string()));
+        assert!(!argv.contains(&"--force".to_string()));
+        assert!(argv
+            .windows(2)
+            .any(|w| w[0] == "--shard-exec" && w[1] == "1/2"));
+    }
+
+    #[test]
+    fn lengths_specs_parse_and_reject() {
+        let l = parse_lengths_spec("10000/20000").unwrap();
+        assert_eq!(l.warm, 10_000);
+        assert_eq!(l.measure, 20_000);
+        let zero_warm = parse_lengths_spec("0/500").unwrap();
+        assert_eq!(zero_warm.warm, 0);
+        for bad in ["", "10000", "10000/", "/20000", "a/b", "1000/0"] {
+            assert!(parse_lengths_spec(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
     fn errors_carry_usage() {
         for bad in [
             &["--jobs", "0"][..],
             &["--jobs", "x"],
             &["--wat"],
             &["--jobs"],
+            &["--shards", "0"],
+            &["--shards", "x"],
+            &["--shards"],
+            &["--shard-exec", "4/4"],
+            &["--shard-exec", "nope"],
         ] {
             let err = HarnessArgs::parse(bad.iter().copied()).unwrap_err();
             assert!(err.contains("usage:"), "{err}");

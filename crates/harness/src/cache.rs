@@ -80,6 +80,15 @@ impl RunCache {
         self.dir.join(format!("{key}.tsv"))
     }
 
+    /// Read-only lookup by raw cache key, for reporting tools that walk
+    /// the runlog rather than hold `RunSpec`s. Does not touch the hit/miss
+    /// counters and never quarantines: a reporter must not mutate the
+    /// store it is describing. Corrupt or missing entries are `None`.
+    pub fn lookup_key(&self, key: &str) -> Option<Summary> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_entry(&text)
+    }
+
     /// Looks up `spec`; counts a hit or a miss. Corrupt entries are
     /// quarantined to `<key>.tsv.corrupt` and reported as misses.
     pub fn lookup(&self, spec: &RunSpec) -> Option<Summary> {
@@ -199,7 +208,12 @@ mod tests {
         assert!(cache.lookup(&spec).is_none());
         let summary = Summary::zeroed();
         cache.store(&spec, &summary);
-        assert_eq!(cache.lookup(&spec), Some(summary));
+        assert_eq!(cache.lookup(&spec), Some(summary.clone()));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Raw-key lookup sees the same entry without moving a counter.
+        assert_eq!(cache.lookup_key(&spec.cache_key()), Some(summary));
+        assert!(cache.lookup_key("not-a-key").is_none());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         let _ = fs::remove_dir_all(&dir);
     }

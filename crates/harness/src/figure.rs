@@ -33,6 +33,13 @@ pub struct Figure {
     pub name: &'static str,
     /// One-line description for the sweep report.
     pub title: &'static str,
+    /// Renderer version, part of the incremental-render fingerprint
+    /// (`crate::manifest`). Bump it whenever the renderer changes what it
+    /// prints for the *same* inputs — new columns, reworded headers,
+    /// different precision — so stale output files are re-rendered instead
+    /// of trusted. Input changes (new/removed runs) are caught by the
+    /// fingerprint's key set and need no bump.
+    pub version: u32,
     /// The renderer.
     pub render: RenderFn,
 }
@@ -56,6 +63,16 @@ impl Figure {
             )
         })?;
         Ok(specs)
+    }
+
+    /// The sorted, deduplicated cache keys of every run this figure
+    /// consumes — its declared input set, feeding the incremental-render
+    /// fingerprint ([`crate::manifest::fingerprint`]).
+    pub fn input_keys(&self, lengths: RunLengths) -> Result<Vec<String>, String> {
+        let mut keys: Vec<String> = self.jobs(lengths)?.iter().map(RunSpec::cache_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Ok(keys)
     }
 
     /// Renders the figure against resolved results. `resolve` returns the
@@ -89,6 +106,7 @@ impl std::fmt::Debug for Figure {
         f.debug_struct("Figure")
             .field("name", &self.name)
             .field("title", &self.title)
+            .field("version", &self.version)
             .finish_non_exhaustive()
     }
 }
@@ -117,6 +135,7 @@ mod tests {
     const FIG: Figure = Figure {
         name: "figtest",
         title: "test figure",
+        version: 1,
         render: two_job_render,
     };
 
@@ -133,6 +152,33 @@ mod tests {
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].workloads.name(), "DB");
         assert_eq!(jobs[1].workloads.name(), "Web");
+    }
+
+    #[test]
+    fn input_keys_are_sorted_and_deduplicated() {
+        fn repeat_render(lengths: RunLengths, x: &mut Executor) -> String {
+            // Reads the same run twice; the declared input set must not.
+            let spec = RunSpec::new(
+                SystemConfig::single_core(),
+                WorkloadSet::homogeneous(Workload::Db),
+                lengths,
+            );
+            format!("{} {}\n", x(&spec).instructions, x(&spec).instructions)
+        }
+        let fig = Figure {
+            name: "figdup",
+            title: "duplicate-input figure",
+            version: 1,
+            render: repeat_render,
+        };
+        let keys = fig.input_keys(lengths()).unwrap();
+        assert_eq!(keys.len(), 1, "{keys:?}");
+
+        let keys = FIG.input_keys(lengths()).unwrap();
+        assert_eq!(keys.len(), 2);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   wall time, simulated MIPS, stream provenance (`cache` / `live` /
 //!   `capture` / `replay`) and trace-decode throughput, cache hit/miss
 //!   counters, and a live `N/M runs, ETA` stderr line.
+//! * [`shard::ShardSpec`] partitions any sweep's run set deterministically
+//!   by content-addressed cache key into N process shards
+//!   ([`sweep::run_shard`]); shards coordinate only through the shared run
+//!   cache, so results merge for free and work is never duplicated.
+//! * [`manifest::FigureManifest`] records each figure's render fingerprint
+//!   (FNV-1a over name, renderer version and sorted input keys) plus its
+//!   output hash, so warm sweeps skip byte-identical re-renders — and the
+//!   runs feeding them — entirely.
 //! * [`telemetry::TelemetrySink`] turns each executed run's collected
 //!   telemetry (`ipsim-telemetry`) into an on-disk artifact directory
 //!   keyed by the run-cache hash: JSONL lifecycle events, a Chrome
@@ -37,9 +45,11 @@ pub mod args;
 pub mod cache;
 pub mod figure;
 pub mod hash;
+pub mod manifest;
 pub mod pool;
 pub mod progress;
 pub mod runlog;
+pub mod shard;
 pub mod spec;
 pub mod summary;
 pub mod sweep;
@@ -50,10 +60,12 @@ pub mod wire;
 pub use args::HarnessArgs;
 pub use cache::RunCache;
 pub use figure::{Executor, Figure, RenderFn};
+pub use manifest::FigureManifest;
 pub use progress::ProgressMode;
+pub use shard::ShardSpec;
 pub use spec::RunSpec;
 pub use summary::Summary;
-pub use sweep::{run_sweep, FigureReport, SweepOptions, SweepReport};
+pub use sweep::{run_shard, run_sweep, FigureReport, ShardReport, SweepOptions, SweepReport};
 pub use telemetry::TelemetrySink;
 pub use traces::{RunSource, SystemSlot, TraceStore};
 pub use wire::{JobSpec, WireRun};

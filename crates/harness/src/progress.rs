@@ -29,6 +29,9 @@ pub enum ProgressMode {
 pub struct Progress {
     mode: ProgressMode,
     total: usize,
+    // Line prefix identifying the producer when several processes share
+    // one stderr (sharded sweeps: `s1/4`); empty for ordinary sweeps.
+    tag: String,
     done: AtomicUsize,
     cached: AtomicU64,
     started: Instant,
@@ -44,19 +47,31 @@ pub struct Progress {
 impl Progress {
     /// A meter for `total` runs.
     pub fn new(mode: ProgressMode, total: usize) -> Progress {
-        let mode = match mode {
-            ProgressMode::Auto => {
+        Progress::with_tag(mode, total, None)
+    }
+
+    /// A meter whose lines carry a `[tag]` prefix — shard children use
+    /// their shard identity so interleaved multi-process output stays
+    /// attributable. A tagged meter never uses the `\r` live line (shards
+    /// sharing a terminal would fight over it): `Auto`/`Live` resolve to
+    /// `Plain`.
+    pub fn with_tag(mode: ProgressMode, total: usize, tag: Option<&str>) -> Progress {
+        let mode = match (mode, tag) {
+            (ProgressMode::Silent, _) => ProgressMode::Silent,
+            (_, Some(_)) => ProgressMode::Plain,
+            (ProgressMode::Auto, None) => {
                 if std::io::stderr().is_terminal() {
                     ProgressMode::Live
                 } else {
                     ProgressMode::Plain
                 }
             }
-            other => other,
+            (other, None) => other,
         };
         Progress {
             mode,
             total,
+            tag: tag.map(|t| format!("[{t}] ")).unwrap_or_default(),
             done: AtomicUsize::new(0),
             cached: AtomicU64::new(0),
             started: Instant::now(),
@@ -111,7 +126,8 @@ impl Progress {
                 };
                 let _ = writeln!(
                     err,
-                    "[{done}/{total}] {label}: {what} · ETA {eta}",
+                    "{tag}[{done}/{total}] {label}: {what} · ETA {eta}",
+                    tag = self.tag,
                     total = self.total,
                     label = record.label,
                     eta = fmt_eta(eta),
@@ -144,7 +160,8 @@ impl Progress {
         if kernel.1 > 0.0 {
             let _ = writeln!(
                 err,
-                "sweep kernel: {:.1} sim-MIPS aggregate over {:.1}s simulated",
+                "{}sweep kernel: {:.1} sim-MIPS aggregate over {:.1}s simulated",
+                self.tag,
                 kernel.0 / kernel.1,
                 kernel.1,
             );

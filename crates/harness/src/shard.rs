@@ -1,0 +1,224 @@
+//! Deterministic sweep sharding: partition a run set by cache key.
+//!
+//! A shard is a pure function of the run's content-addressed cache key
+//! ([`crate::spec::RunSpec::cache_key`]) and the shard count — no state,
+//! no coordination. Two processes planning the same sweep therefore agree
+//! on the partition without talking to each other: each executes only the
+//! keys it owns, all write through the shared [`crate::cache::RunCache`]
+//! (whose temp-file + rename stores are already multi-process safe), and
+//! the merged result is exactly the single-process sweep. Work is never
+//! duplicated because the shards are a disjoint exact cover of the key
+//! space, which `plan` guarantees by construction and the property tests
+//! below prove.
+//!
+//! The assignment hashes the key *again* (salted FNV-1a, see
+//! [`shard_index`]) rather than taking hex digits of the key directly, so
+//! shard balance never depends on how the cache-key hash distributes its
+//! low bits, and the salt can evolve independently of the key format.
+
+use std::fmt;
+
+use crate::spec::RunSpec;
+
+/// Environment variable supplying a default shard count to sweep drivers
+/// (`all_figures` reads it when `--shards` is absent).
+pub const SHARDS_ENV: &str = "IPSIM_SHARDS";
+
+/// Domain salt for [`shard_index`]; versioned so a future rebalancing is
+/// an explicit, greppable change rather than a silent drift.
+const SHARD_SALT: &str = "shard-v1|";
+
+/// One shard's identity within a sharded sweep: `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total shards the sweep is split into (>= 1).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard spec that owns every run.
+    pub fn solo() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Parses the `I/N` wire form used by `--shard-exec` (e.g. `2/4`).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let err = || format!("shard spec must be `I/N` with 0 <= I < N, got `{s}`");
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = index.trim().parse().map_err(|_| err())?;
+        let count: usize = count.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this shard owns the run with content key `key`.
+    pub fn owns(&self, key: &str) -> bool {
+        shard_index(key, self.count) == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The shard a content key belongs to, for `count` shards.
+pub fn shard_index(key: &str, count: usize) -> usize {
+    debug_assert!(count >= 1, "shard count must be >= 1");
+    if count <= 1 {
+        return 0;
+    }
+    let mut h = crate::hash::Fnv1a64::new();
+    h.write(SHARD_SALT.as_bytes());
+    h.write(key.as_bytes());
+    (h.finish() % count as u64) as usize
+}
+
+/// Partitions `specs` into `count` shards by cache key, preserving input
+/// order within each shard. Every spec lands in exactly one shard;
+/// duplicate keys land in the same shard (so per-shard dedup still works).
+pub fn plan(specs: &[RunSpec], count: usize) -> Vec<Vec<RunSpec>> {
+    let count = count.max(1);
+    let mut shards: Vec<Vec<RunSpec>> = (0..count).map(|_| Vec::new()).collect();
+    for spec in specs {
+        shards[shard_index(&spec.cache_key(), count)].push(spec.clone());
+    }
+    shards
+}
+
+/// The shard count from `$IPSIM_SHARDS`, if set to a positive integer.
+/// An unparsable value is reported so a typo doesn't silently serialise
+/// the sweep.
+pub fn shards_from_env() -> Result<Option<usize>, String> {
+    let Some(raw) = std::env::var_os(SHARDS_ENV) else {
+        return Ok(None);
+    };
+    let raw = raw.to_string_lossy();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "{SHARDS_ENV} must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunLengths;
+    use ipsim_cpu::WorkloadSet;
+    use ipsim_trace::Workload;
+    use ipsim_types::{CacheConfig, SystemConfig};
+
+    fn specs(n: usize) -> Vec<RunSpec> {
+        // Vary a result-determining knob so every spec has a distinct key.
+        let sizes = [16u64, 32, 64, 128];
+        (0..n)
+            .map(|i| {
+                let mut config = SystemConfig::single_core();
+                config.core.l1i =
+                    CacheConfig::new(sizes[i % sizes.len()] << 10, 4, 64).expect("valid geometry");
+                RunSpec::new(
+                    config,
+                    WorkloadSet::homogeneous(if i % 2 == 0 {
+                        Workload::Db
+                    } else {
+                        Workload::Web
+                    }),
+                    RunLengths {
+                        warm: 100 + i as u64,
+                        measure: 200,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0/1", "0/4", "3/4", "6/7"] {
+            let spec = ShardSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        for bad in ["", "1", "4/4", "5/4", "-1/4", "0/0", "a/b", "1/", "/2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn plan_is_a_disjoint_exact_cover() {
+        let all = specs(40);
+        for count in [1usize, 2, 4, 7] {
+            let shards = plan(&all, count);
+            assert_eq!(shards.len(), count);
+            let total: usize = shards.iter().map(Vec::len).sum();
+            assert_eq!(total, all.len(), "every spec lands in exactly one shard");
+            // Each spec is owned by exactly the shard it landed in.
+            for (i, shard) in shards.iter().enumerate() {
+                for spec in shard {
+                    let key = spec.cache_key();
+                    assert_eq!(shard_index(&key, count), i);
+                    let owners: usize = (0..count)
+                        .filter(|&j| (ShardSpec { index: j, count }).owns(&key))
+                        .count();
+                    assert_eq!(owners, 1, "key {key} has {owners} owners");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable_and_key_driven() {
+        // Pinned values: the assignment is part of the multi-process
+        // protocol (parent and children compute it independently), so a
+        // change here is a breaking change to in-flight sweeps.
+        assert_eq!(shard_index("deadbeefdeadbeef", 1), 0);
+        assert_eq!(shard_index("deadbeefdeadbeef", 4), 1);
+        assert_eq!(shard_index("0123456789abcdef", 4), 1);
+        assert_eq!(shard_index("deadbeefdeadbeef", 7), 0);
+        assert_eq!(shard_index("0123456789abcdef", 7), 4);
+        // Same key, same shard, every time.
+        for key in ["a", "b", "deadbeefdeadbeef"] {
+            for count in [2usize, 4, 7] {
+                assert_eq!(shard_index(key, count), shard_index(key, count));
+                assert!(shard_index(key, count) < count);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_spread_work_for_realistic_key_counts() {
+        // Not a strict balance bound — FNV is not a perfect spreader — but
+        // with 40 distinct keys over 4 shards, no shard may be empty and
+        // none may hog more than half the work, or process-parallel sweeps
+        // would degrade to serial.
+        let shards = plan(&specs(40), 4);
+        for shard in &shards {
+            assert!(!shard.is_empty(), "a shard got no work");
+            assert!(shard.len() <= 20, "one shard owns {} of 40", shard.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_land_in_the_same_shard() {
+        let mut all = specs(8);
+        all.extend(specs(8)); // every key twice
+        let shards = plan(&all, 4);
+        for shard in shards {
+            let mut keys: Vec<String> = shard.iter().map(RunSpec::cache_key).collect();
+            keys.sort();
+            for pair in keys.chunks(2) {
+                assert_eq!(pair.len(), 2, "duplicates split across shards");
+                assert_eq!(pair[0], pair[1]);
+            }
+        }
+    }
+}

@@ -16,9 +16,11 @@ use ipsim_telemetry::TelemetryConfig;
 
 use crate::cache::RunCache;
 use crate::figure::Figure;
+use crate::manifest::{self, FigureManifest, ManifestEntry};
 use crate::pool::{self, ExecReport};
 use crate::progress::{Progress, ProgressMode};
 use crate::runlog;
+use crate::shard::ShardSpec;
 use crate::spec::RunSpec;
 use crate::summary::Summary;
 use crate::telemetry::TelemetrySink;
@@ -53,6 +55,14 @@ pub struct SweepOptions {
     pub telemetry_dir: Option<PathBuf>,
     /// Progress reporting mode.
     pub progress: ProgressMode,
+    /// Incremental-render manifest path; `None` disables skipping and
+    /// always renders every figure (the pre-manifest behaviour). See
+    /// [`crate::manifest`].
+    pub manifest: Option<PathBuf>,
+    /// Bypass the manifest and re-render everything (`--force`). The
+    /// manifest is still *updated* after rendering, so the next sweep can
+    /// skip again.
+    pub force: bool,
 }
 
 impl SweepOptions {
@@ -70,6 +80,8 @@ impl SweepOptions {
             telemetry: None,
             telemetry_dir: None,
             progress: ProgressMode::Auto,
+            manifest: None,
+            force: false,
         }
     }
 
@@ -101,8 +113,13 @@ pub struct FigureReport {
     pub name: &'static str,
     /// Figure title.
     pub title: &'static str,
-    /// Rendered output, or the failure reason.
+    /// Rendered output, or the failure reason. For a skipped figure this
+    /// is the (byte-identical) text already on disk, so downstream
+    /// consumers never see a gap.
     pub outcome: Result<String, String>,
+    /// Whether the manifest proved the on-disk output current and the
+    /// render (and its input runs) were skipped entirely.
+    pub skipped: bool,
 }
 
 /// Everything a sweep did, for reporting and tests.
@@ -110,10 +127,14 @@ pub struct FigureReport {
 pub struct SweepReport {
     /// Per-figure outcomes, in input order.
     pub figures: Vec<FigureReport>,
-    /// Jobs requested across all figures, before dedup.
+    /// Jobs requested across all figures, before dedup (skipped figures'
+    /// jobs included — they were requested, then proven unnecessary).
     pub total_jobs: usize,
-    /// Unique jobs after global dedup by cache key.
+    /// Unique jobs after global dedup by cache key, over the figures that
+    /// actually rendered (a fully-skipped sweep executes zero runs).
     pub unique_jobs: usize,
+    /// Figures skipped because the manifest proved their output current.
+    pub figures_skipped: usize,
     /// Disk-cache hits.
     pub cache_hits: u64,
     /// Disk-cache misses (simulated this sweep).
@@ -149,26 +170,126 @@ impl SweepReport {
     }
 }
 
-/// Runs `figures` end to end: enumerate, dedup, execute, render, persist.
-///
-/// Figure failures (enumeration panic, simulation panic, render panic) are
-/// contained per figure; the sweep always completes and the report carries
-/// each failure. Worker count never affects any rendered byte.
-pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
-    // Phase 1: enumerate every figure's jobs.
+/// One figure's skip decision: either "the on-disk output is provably
+/// current" (carrying its text) or "must render".
+enum SkipDecision {
+    Current(String),
+    Render,
+}
+
+/// The shared front half of a sweep: per-figure job enumeration, manifest
+/// skip decisions, and the global dedup over figures that must render.
+/// Every process of a sharded sweep computes this independently and —
+/// because enumeration, fingerprints and the on-disk manifest are all
+/// deterministic inputs — arrives at the same plan.
+struct JobPlan {
+    /// Per-figure enumerated jobs (enumeration panics become `Err`).
+    planned: Vec<Result<Vec<RunSpec>, String>>,
+    /// Per-figure render fingerprint (`None` for failed enumeration).
+    fingerprints: Vec<Option<String>>,
+    /// Per-figure skip decision.
+    skips: Vec<SkipDecision>,
+    /// Unique jobs (deduped by cache key, first-seen order) across the
+    /// figures that must render.
+    unique: Vec<RunSpec>,
+    /// Jobs requested across all figures, before dedup and skipping.
+    total_jobs: usize,
+}
+
+fn plan_jobs(figures: &[Figure], opts: &SweepOptions) -> JobPlan {
     let planned: Vec<Result<Vec<RunSpec>, String>> =
         figures.iter().map(|f| f.jobs(opts.lengths)).collect();
     let total_jobs: usize = planned.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum();
 
-    // Phase 2: global dedup by cache key, preserving first-seen order so
-    // scheduling (and thus the progress display) is deterministic.
+    let fingerprints: Vec<Option<String>> = figures
+        .iter()
+        .zip(&planned)
+        .map(|(figure, plan)| {
+            let plan = plan.as_ref().ok()?;
+            let keys: Vec<String> = plan.iter().map(RunSpec::cache_key).collect();
+            Some(manifest::fingerprint(figure.name, figure.version, &keys))
+        })
+        .collect();
+
+    let loaded = (!opts.force)
+        .then(|| opts.manifest.as_deref().map(FigureManifest::load))
+        .flatten()
+        .unwrap_or_default();
+    let skips: Vec<SkipDecision> = figures
+        .iter()
+        .zip(&fingerprints)
+        .map(|(figure, fingerprint)| {
+            skip_decision(&loaded, figure.name, fingerprint.as_deref(), opts)
+        })
+        .collect();
+
+    // Global dedup by cache key over figures that must render, preserving
+    // first-seen order so scheduling (and thus the progress display) is
+    // deterministic.
     let mut seen = HashSet::new();
     let mut unique: Vec<RunSpec> = Vec::new();
-    for spec in planned.iter().flatten().flatten() {
-        if seen.insert(spec.cache_key()) {
-            unique.push(spec.clone());
+    for (plan, skip) in planned.iter().zip(&skips) {
+        if matches!(skip, SkipDecision::Current(_)) {
+            continue;
+        }
+        for spec in plan.iter().flatten() {
+            if seen.insert(spec.cache_key()) {
+                unique.push(spec.clone());
+            }
         }
     }
+
+    JobPlan {
+        planned,
+        fingerprints,
+        skips,
+        unique,
+        total_jobs,
+    }
+}
+
+/// Whether one figure's render can be skipped: the manifest's recorded
+/// fingerprint matches and the output file on disk still hashes to the
+/// recorded value. Returns the on-disk text so the report (and any
+/// downstream consumer) sees the same bytes a render would have produced.
+fn skip_decision(
+    loaded: &FigureManifest,
+    name: &str,
+    fingerprint: Option<&str>,
+    opts: &SweepOptions,
+) -> SkipDecision {
+    let (Some(fingerprint), Some(dir)) = (fingerprint, &opts.results_dir) else {
+        return SkipDecision::Render;
+    };
+    let Some(entry) = loaded.get(name) else {
+        return SkipDecision::Render;
+    };
+    if entry.fingerprint != fingerprint {
+        return SkipDecision::Render;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    let Ok(bytes) = std::fs::read(&path) else {
+        return SkipDecision::Render;
+    };
+    if manifest::hash_hex(&bytes) != entry.output_hash {
+        return SkipDecision::Render;
+    }
+    match String::from_utf8(bytes) {
+        Ok(text) => SkipDecision::Current(text),
+        Err(_) => SkipDecision::Render,
+    }
+}
+
+/// Runs `figures` end to end: enumerate, dedup, execute, render, persist.
+///
+/// Figure failures (enumeration panic, simulation panic, render panic) are
+/// contained per figure; the sweep always completes and the report carries
+/// each failure. Worker count never affects any rendered byte, and neither
+/// does the manifest: a skipped figure's reported text is the byte-identical
+/// output already on disk.
+pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
+    // Phases 1-2: enumerate, decide skips, dedup.
+    let plan = plan_jobs(figures, opts);
 
     // Phase 3: execute unique runs across the pool, captains first (see
     // module docs) so every stream is captured before anyone replays it.
@@ -178,9 +299,9 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
     };
     let traces = opts.trace_store();
     let telemetry = opts.telemetry_sink();
-    let progress = Progress::new(opts.progress, unique.len());
+    let progress = Progress::new(opts.progress, plan.unique.len());
     let exec = execute_phased(
-        &unique,
+        &plan.unique,
         opts.workers,
         &cache,
         &traces,
@@ -199,7 +320,8 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         eprintln!("warning: could not append {}: {e}", runlog_path.display());
     }
 
-    // Phase 5: render each figure sequentially and persist its output.
+    // Phase 5: render each non-skipped figure sequentially and persist its
+    // output; record every successful render in the manifest.
     let interrupted = exec.interrupted;
     let resolve = |spec: &RunSpec| -> Result<Summary, String> {
         match exec.results.get(&spec.cache_key()) {
@@ -216,30 +338,70 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         }
     };
     let mut reports = Vec::with_capacity(figures.len());
-    for (figure, plan) in figures.iter().zip(planned) {
-        let outcome = match plan {
-            Err(e) => Err(e),
+    let mut updated = opts
+        .manifest
+        .as_deref()
+        .map(FigureManifest::load)
+        .unwrap_or_default();
+    let mut manifest_dirty = false;
+    let mut figures_skipped = 0;
+    for (i, figure) in figures.iter().enumerate() {
+        if let SkipDecision::Current(text) = &plan.skips[i] {
+            figures_skipped += 1;
+            reports.push(FigureReport {
+                name: figure.name,
+                title: figure.title,
+                outcome: Ok(text.clone()),
+                skipped: true,
+            });
+            continue;
+        }
+        let outcome = match &plan.planned[i] {
+            Err(e) => Err(e.clone()),
             Ok(_) => figure.output(opts.lengths, &resolve),
         };
         if let (Some(dir), Ok(text)) = (&opts.results_dir, &outcome) {
             let path = dir.join(format!("{}.txt", figure.name));
             let write =
                 std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text.as_bytes()));
-            if let Err(e) = write {
-                eprintln!("warning: could not write {}: {e}", path.display());
+            match write {
+                Ok(()) => {
+                    // Only a figure whose output landed on disk earns a
+                    // manifest entry: the skip check re-hashes that file.
+                    if let (Some(fingerprint), Ok(jobs)) = (&plan.fingerprints[i], &plan.planned[i])
+                    {
+                        updated.set(
+                            figure.name,
+                            ManifestEntry {
+                                fingerprint: fingerprint.clone(),
+                                output_hash: manifest::hash_hex(text.as_bytes()),
+                                inputs: jobs.len(),
+                            },
+                        );
+                        manifest_dirty = true;
+                    }
+                }
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
             }
         }
         reports.push(FigureReport {
             name: figure.name,
             title: figure.title,
             outcome,
+            skipped: false,
         });
+    }
+    if let (Some(path), true) = (&opts.manifest, manifest_dirty) {
+        if let Err(e) = updated.store(path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
     }
 
     SweepReport {
         figures: reports,
-        total_jobs,
-        unique_jobs: unique.len(),
+        total_jobs: plan.total_jobs,
+        unique_jobs: plan.unique.len(),
+        figures_skipped,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         quarantined: cache.quarantined(),
@@ -250,6 +412,97 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
         aggregate_sim_mips: progress.aggregate_sim_mips(),
         wall: exec.wall,
         interrupted,
+    }
+}
+
+/// What one shard's execution pass did (no rendering happens here).
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Which shard this was.
+    pub shard: ShardSpec,
+    /// Unique jobs across the whole sweep (what all shards partition).
+    pub sweep_jobs: usize,
+    /// Unique jobs owned by this shard.
+    pub assigned: usize,
+    /// Disk-cache hits (runs another shard or a prior sweep already did).
+    pub cache_hits: u64,
+    /// Disk-cache misses (simulated by this shard).
+    pub cache_misses: u64,
+    /// Workload streams captured to the trace store by this shard.
+    pub traces_captured: u64,
+    /// Runs replayed from the trace store by this shard.
+    pub traces_replayed: u64,
+    /// Telemetry artifact directories written by this shard.
+    pub telemetry_written: u64,
+    /// Shard-aggregate kernel throughput (see [`SweepReport`]).
+    pub aggregate_sim_mips: Option<f64>,
+    /// Wall time of this shard's execution phase.
+    pub wall: Duration,
+    /// Whether a shutdown signal cut execution short.
+    pub interrupted: bool,
+}
+
+/// Executes the slice of a sweep's run set owned by `shard`, writing
+/// results through the shared run cache; renders nothing.
+///
+/// Every shard process calls this with the same `figures` and `opts` and a
+/// different `shard`; the union of all shards' work is exactly
+/// [`run_sweep`]'s execution phase (same enumeration, same manifest skips,
+/// same dedup), partitioned by [`crate::shard::shard_index`]. Afterwards a
+/// plain `run_sweep` over the shared cache renders from all-hits. Shard
+/// batches land in the runlog tagged `shard I/N` so per-shard utilization
+/// is reconstructable.
+pub fn run_shard(figures: &[Figure], opts: &SweepOptions, shard: ShardSpec) -> ShardReport {
+    let plan = plan_jobs(figures, opts);
+    let assigned: Vec<RunSpec> = plan
+        .unique
+        .iter()
+        .filter(|spec| shard.owns(&spec.cache_key()))
+        .cloned()
+        .collect();
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => RunCache::at(dir.clone()),
+        None => RunCache::from_env(),
+    };
+    let traces = opts.trace_store();
+    let telemetry = opts.telemetry_sink();
+    let progress = Progress::with_tag(
+        opts.progress,
+        assigned.len(),
+        (shard.count > 1).then(|| format!("s{shard}")).as_deref(),
+    );
+    let exec = execute_phased(
+        &assigned,
+        opts.workers,
+        &cache,
+        &traces,
+        telemetry.as_ref(),
+        &progress,
+    );
+    progress.finish();
+
+    let runlog_path = opts
+        .runlog
+        .clone()
+        .unwrap_or_else(runlog::runlog_path_from_env);
+    let tag = format!("shard {shard}");
+    if let Err(e) = runlog::append_tagged(&runlog_path, opts.workers, Some(&tag), &exec.records) {
+        eprintln!("warning: could not append {}: {e}", runlog_path.display());
+    }
+
+    ShardReport {
+        shard,
+        sweep_jobs: plan.unique.len(),
+        assigned: assigned.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        traces_captured: traces.captured(),
+        traces_replayed: traces.replayed(),
+        telemetry_written: telemetry.as_ref().map_or(0, TelemetrySink::written),
+        aggregate_sim_mips: progress.aggregate_sim_mips(),
+        wall: exec.wall,
+        interrupted: exec.interrupted,
     }
 }
 
@@ -373,6 +626,8 @@ mod tests {
             telemetry: None,
             telemetry_dir: Some(base.join("telemetry")),
             progress: ProgressMode::Silent,
+            manifest: None,
+            force: false,
         }
     }
 
@@ -380,16 +635,19 @@ mod tests {
         Figure {
             name: "figa",
             title: "figure a",
+            version: 1,
             render: render_a,
         },
         Figure {
             name: "figb",
             title: "figure b",
+            version: 1,
             render: render_b,
         },
         Figure {
             name: "figx",
             title: "broken figure",
+            version: 1,
             render: render_broken,
         },
     ];
@@ -445,6 +703,179 @@ mod tests {
         );
 
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    /// Same name as `render_b`, different input set (Japp instead of Web):
+    /// stands in for "one config knob changed" between two sweeps.
+    fn render_b_changed(lengths: RunLengths, x: &mut Executor) -> String {
+        let shared = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::Db),
+            lengths,
+        );
+        let own = RunSpec::new(
+            SystemConfig::single_core(),
+            WorkloadSet::homogeneous(Workload::JApp),
+            lengths,
+        );
+        format!("b {} {}\n", x(&shared).instructions, x(&own).instructions)
+    }
+
+    #[test]
+    fn manifest_skips_unchanged_figures_and_rerenders_exactly_the_affected() {
+        let mut opts = opts("manifest");
+        opts.manifest = Some(
+            opts.results_dir
+                .as_ref()
+                .unwrap()
+                .join("figures/manifest.tsv"),
+        );
+        let working = &FIGS[..2];
+
+        // Cold: everything renders, manifest written.
+        let first = run_sweep(working, &opts);
+        assert!(first.all_ok());
+        assert_eq!(first.figures_skipped, 0);
+        assert!(opts.manifest.as_ref().unwrap().is_file());
+
+        // Warm, unchanged: every figure skipped, zero runs executed, and
+        // the reported text still matches the cold render byte for byte.
+        let warm = run_sweep(working, &opts);
+        assert_eq!(warm.figures_skipped, 2);
+        assert_eq!(warm.unique_jobs, 0, "skipped figures schedule no runs");
+        assert_eq!(warm.cache_hits + warm.cache_misses, 0);
+        for (a, b) in first.figures.iter().zip(&warm.figures) {
+            assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert!(b.skipped);
+        }
+
+        // One figure's input set changes (a knob turned): exactly that
+        // figure re-renders, the other is still skipped.
+        let changed = [
+            FIGS[0],
+            Figure {
+                name: "figb",
+                title: "figure b",
+                version: 1,
+                render: render_b_changed,
+            },
+        ];
+        let third = run_sweep(&changed, &opts);
+        assert!(third.all_ok());
+        assert_eq!(third.figures_skipped, 1);
+        assert!(third.figures[0].skipped, "figa's inputs are unchanged");
+        assert!(!third.figures[1].skipped, "figb's inputs changed");
+        // Only figb's new run was needed; its shared Db run came from the
+        // run cache, so exactly one simulation happened.
+        assert_eq!(third.cache_misses, 1);
+
+        // A renderer-version bump re-renders even with identical inputs.
+        let bumped = [
+            Figure {
+                name: "figa",
+                title: "figure a",
+                version: 2,
+                render: render_a,
+            },
+            changed[1],
+        ];
+        let fourth = run_sweep(&bumped, &opts);
+        assert!(!fourth.figures[0].skipped, "version bump must re-render");
+        assert!(fourth.figures[1].skipped);
+
+        // --force renders everything but keeps the manifest fresh, so the
+        // next plain sweep skips again.
+        opts.force = true;
+        let forced = run_sweep(&bumped, &opts);
+        assert_eq!(forced.figures_skipped, 0);
+        opts.force = false;
+        let after = run_sweep(&bumped, &opts);
+        assert_eq!(after.figures_skipped, 2);
+
+        let _ = std::fs::remove_dir_all(opts.results_dir.as_ref().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_manifest_or_tampered_output_falls_back_to_full_render() {
+        let mut opts = opts("manifest-corrupt");
+        let manifest_path = opts
+            .results_dir
+            .as_ref()
+            .unwrap()
+            .join("figures/manifest.tsv");
+        opts.manifest = Some(manifest_path.clone());
+        let working = &FIGS[..2];
+        run_sweep(working, &opts);
+
+        // Torn manifest: full render (no skips), manifest rewritten.
+        std::fs::write(&manifest_path, "# ipsim-figure-manifest v1\nfiga\t00").unwrap();
+        let report = run_sweep(working, &opts);
+        assert_eq!(report.figures_skipped, 0, "torn manifest must not skip");
+        assert!(report.all_ok());
+
+        // Healthy again: skips resume.
+        let healthy = run_sweep(working, &opts);
+        assert_eq!(healthy.figures_skipped, 2);
+
+        // A hand-edited output file is not trusted.
+        let figa = opts.results_dir.as_ref().unwrap().join("figa.txt");
+        std::fs::write(&figa, "tampered\n").unwrap();
+        let retouched = run_sweep(working, &opts);
+        assert!(!retouched.figures[0].skipped, "tampered output re-renders");
+        assert!(retouched.figures[1].skipped);
+        assert_ne!(std::fs::read_to_string(&figa).unwrap(), "tampered\n");
+
+        let _ = std::fs::remove_dir_all(opts.results_dir.as_ref().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn sharded_execution_merges_into_the_single_process_sweep() {
+        use crate::shard::ShardSpec;
+
+        // Baseline: ordinary single-process sweep in its own directories.
+        let base_opts = opts("shard-base");
+        let baseline = run_sweep(&FIGS[..2], &base_opts);
+        assert!(baseline.all_ok());
+
+        for count in [2usize, 3] {
+            let opts = opts(&format!("shard-{count}"));
+            let mut assigned_total = 0;
+            let mut misses_total = 0;
+            for index in 0..count {
+                let report = run_shard(&FIGS[..2], &opts, ShardSpec { index, count });
+                assert!(!report.interrupted);
+                assert_eq!(report.sweep_jobs, 2);
+                assigned_total += report.assigned;
+                misses_total += report.cache_misses;
+            }
+            assert_eq!(assigned_total, 2, "shards partition the unique jobs");
+            assert_eq!(misses_total, 2, "no run simulated twice across shards");
+
+            // The merge pass renders entirely from the shared cache...
+            let merged = run_sweep(&FIGS[..2], &opts);
+            assert_eq!(merged.cache_misses, 0);
+            assert_eq!(merged.cache_hits, 2);
+            // ...byte-identical to the single-process sweep.
+            for (a, b) in baseline.figures.iter().zip(&merged.figures) {
+                assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            }
+
+            // The runlog carries one tagged batch per shard that did work.
+            let log = std::fs::read_to_string(opts.runlog.as_ref().unwrap()).unwrap();
+            let markers: Vec<&str> = log
+                .lines()
+                .filter(|l| l.starts_with("# batch shard "))
+                .collect();
+            assert!(!markers.is_empty());
+            for index in 0..count {
+                let tag = format!("# batch shard {index}/{count}");
+                let owned = markers.iter().filter(|m| **m == tag).count();
+                assert!(owned <= 1, "one batch per shard, got {owned} for {tag}");
+            }
+
+            let _ = std::fs::remove_dir_all(opts.results_dir.as_ref().unwrap().parent().unwrap());
+        }
+        let _ = std::fs::remove_dir_all(base_opts.results_dir.as_ref().unwrap().parent().unwrap());
     }
 
     #[test]

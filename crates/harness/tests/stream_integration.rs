@@ -50,6 +50,7 @@ fn render_shared_stream(lengths: RunLengths, x: &mut Executor) -> String {
 const FIG: Figure = Figure {
     name: "figstream",
     title: "stream integration figure",
+    version: 1,
     render: render_shared_stream,
 };
 
@@ -77,6 +78,8 @@ fn opts(base: &Path, cache: &str, workers: usize, traces: bool) -> SweepOptions 
         telemetry: None,
         telemetry_dir: None,
         progress: ProgressMode::Silent,
+        manifest: None,
+        force: false,
     }
 }
 

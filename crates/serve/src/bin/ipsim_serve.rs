@@ -14,6 +14,9 @@ usage: ipsim_serve [options]
   --traces DIR      trace-store dir; `none` disables (default results/traces)
   --telemetry DIR   collect per-run telemetry artifacts under DIR (default off)
   --workers N       job-executing worker threads (default: half the cores)
+  --fanout N        runs executed concurrently within one job, partitioned
+                    by the sweep shard planner (default 1: one at a time);
+                    results are byte-identical for any N
   --max-queue N     queued-job bound before 429 (default 64)
   --rate BURST/SEC  per-client token bucket (default 16/4)
   --no-sync         skip the per-append journal fsync (benchmarks only)
@@ -49,6 +52,13 @@ fn main() {
             }
             "--telemetry" => config.telemetry_root = Some(value("--telemetry").into()),
             "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--fanout" => {
+                config.job_fanout = parse(&value("--fanout"), "--fanout");
+                if config.job_fanout == 0 {
+                    eprintln!("--fanout needs a positive integer\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
             "--max-queue" => config.max_queue = parse(&value("--max-queue"), "--max-queue"),
             "--rate" => {
                 let spec = value("--rate");

@@ -22,10 +22,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use ipsim_harness::pool;
 use ipsim_harness::progress::{Progress, ProgressMode};
-use ipsim_harness::runlog;
 use ipsim_harness::wire::JobSpec;
+use ipsim_harness::{pool, runlog, shard};
 use ipsim_harness::{RunCache, RunSpec, TelemetrySink, TraceStore};
 use ipsim_telemetry::TelemetryConfig;
 
@@ -47,6 +46,14 @@ pub struct ServeConfig {
     /// and journals jobs but never runs them (used by the recovery and
     /// backpressure tests).
     pub workers: usize,
+    /// Runs executed concurrently *within* one claimed job. `1` (the
+    /// default) keeps the original one-at-a-time loop; higher values chunk
+    /// the job's specs with the sweep shard planner
+    /// ([`ipsim_harness::shard::plan`]) — the same content-keyed partition
+    /// `all_figures --shards` uses — and fan each chunk across a pool.
+    /// Results are reassembled in submitted run order, so responses are
+    /// byte-identical for any fan-out.
+    pub job_fanout: usize,
     /// Maximum *queued* jobs before submissions get `429`.
     pub max_queue: usize,
     /// Per-client token-bucket burst size.
@@ -69,6 +76,7 @@ impl ServeConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| (n.get() / 2).max(1))
                 .unwrap_or(2),
+            job_fanout: 1,
             max_queue: 64,
             rate_capacity: 16.0,
             rate_refill: 4.0,
@@ -565,49 +573,78 @@ impl Service {
                 return;
             }
         };
-        let mut results = Vec::with_capacity(specs.len());
+        // Execution chunks: one spec at a time at the default fan-out
+        // (progress stays maximally observable), or the shard planner's
+        // content-keyed partition when `job_fanout > 1` — each chunk fans
+        // across a pool of `job_fanout` workers. Either way the chunks are
+        // a disjoint exact cover of the job's specs, and results are
+        // reassembled in submitted order below.
+        let fanout = self.config.job_fanout.max(1);
+        let chunks: Vec<Vec<RunSpec>> = if fanout == 1 {
+            specs.iter().map(|s| vec![s.clone()]).collect()
+        } else {
+            shard::plan(&specs, fanout)
+                .into_iter()
+                .filter(|chunk| !chunk.is_empty())
+                .collect()
+        };
+        let mut outcomes: HashMap<String, RunResult> = HashMap::new();
         let mut records = Vec::new();
-        for spec in &specs {
+        for chunk in &chunks {
             if self.draining() {
                 // Drain mid-job: no terminal event — the journal still has
                 // submit without done, so the next boot re-enqueues this
                 // job, and its finished runs replay from the run cache.
                 return;
             }
-            let key = spec.cache_key();
-            let progress = Progress::new(ProgressMode::Silent, 1);
+            let progress = Progress::new(ProgressMode::Silent, chunk.len());
             let report = pool::execute(
-                std::slice::from_ref(spec),
-                1,
+                chunk,
+                fanout.min(chunk.len()),
                 &self.cache,
                 &self.traces,
                 self.telemetry.as_ref(),
                 &progress,
             );
-            let Some(result) = report.results.get(&key) else {
-                // The pool only skips runs on an interrupt.
-                return;
-            };
-            results.push(match result {
-                Ok(summary) => RunResult {
-                    key,
-                    label: spec.label(),
-                    ok: true,
-                    tsv: summary.to_tsv(),
-                },
-                Err(panic) => RunResult {
-                    key,
-                    label: spec.label(),
-                    ok: false,
-                    tsv: panic.clone(),
-                },
-            });
+            for spec in chunk {
+                let key = spec.cache_key();
+                let Some(result) = report.results.get(&key) else {
+                    // The pool only skips runs on an interrupt.
+                    return;
+                };
+                let run_result = match result {
+                    Ok(summary) => RunResult {
+                        key: key.clone(),
+                        label: spec.label(),
+                        ok: true,
+                        tsv: summary.to_tsv(),
+                    },
+                    Err(panic) => RunResult {
+                        key: key.clone(),
+                        label: spec.label(),
+                        ok: false,
+                        tsv: panic.clone(),
+                    },
+                };
+                outcomes.insert(key, run_result);
+            }
             records.extend(report.records);
             let mut inner = self.inner.lock().unwrap();
             if let Some(job) = inner.jobs.get_mut(id) {
-                job.done_runs = results.len();
+                job.done_runs = outcomes.len().min(job.total_runs);
             }
         }
+        // Reassemble in submitted run order: the response must not depend
+        // on which chunk a run landed in (duplicate keys share a result).
+        let results: Vec<RunResult> = specs
+            .iter()
+            .map(|spec| {
+                outcomes
+                    .get(&spec.cache_key())
+                    .cloned()
+                    .expect("every chunked spec has an outcome")
+            })
+            .collect();
 
         // Terminal event first (durable), then the in-memory flip.
         if let Err(e) = self.journal.append(&Event::Done {
@@ -672,6 +709,7 @@ mod tests {
             trace_dir: None,
             telemetry_root: None,
             workers: 0,
+            job_fanout: 1,
             max_queue: 4,
             rate_capacity: 1e9,
             rate_refill: 1e9,

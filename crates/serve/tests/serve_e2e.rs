@@ -23,6 +23,7 @@ fn config(root: &Path, workers: usize) -> ServeConfig {
         trace_dir: None,
         telemetry_root: None,
         workers,
+        job_fanout: 1,
         max_queue: 16,
         rate_capacity: 1e9,
         rate_refill: 1e9,
@@ -198,6 +199,58 @@ fn zoo_bakeoff_job_matches_the_batch_pipeline_byte_for_byte() {
 
     handle.join();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `job_fanout` chunks a job's runs with the sweep shard planner and fans
+/// each chunk across a pool; the response must still list results in
+/// submitted run order with byte-identical TSV lines.
+#[test]
+fn job_fanout_preserves_result_order_and_bytes() {
+    let multi_spec = "{\"v\":1,\"runs\":[\
+         {\"config\":\"single_core\",\"workload\":\"db\",\"prefetcher\":\"none\",\
+          \"policy\":\"install_both\",\"warm\":2000,\"measure\":5000},\
+         {\"config\":\"single_core\",\"workload\":\"web\",\"prefetcher\":\"nl_tagged\",\
+          \"policy\":\"install_both\",\"warm\":2000,\"measure\":5000},\
+         {\"config\":\"single_core\",\"workload\":\"japp\",\"prefetcher\":\"none\",\
+          \"policy\":\"install_both\",\"warm\":2000,\"measure\":5000},\
+         {\"config\":\"single_core\",\"workload\":\"tpcw\",\"prefetcher\":\"nl_always\",\
+          \"policy\":\"install_both\",\"warm\":2000,\"measure\":5000},\
+         {\"config\":\"single_core\",\"workload\":\"mixed\",\"prefetcher\":\"none\",\
+          \"policy\":\"install_both\",\"warm\":2000,\"measure\":5000}]}";
+
+    let run_job = |tag: &str, fanout: usize| -> (Vec<String>, PathBuf) {
+        let root = tmp(tag);
+        let mut cfg = config(&root, 1);
+        cfg.job_fanout = fanout;
+        let handle = boot(cfg);
+        let addr = handle.addr.to_string();
+        let accepted = submit(&addr, multi_spec);
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let id = field(&accepted.json().unwrap(), "id").to_string();
+        let state = client::wait_terminal(&addr, &id, Duration::from_secs(300)).unwrap();
+        assert_eq!(state, "done");
+        let result =
+            client::request(&addr, "GET", &format!("/v1/jobs/{id}/result"), &[], None).unwrap();
+        assert_eq!(result.status, 200, "{}", result.body);
+        let result = result.json().unwrap();
+        let runs = result.get("results").and_then(Json::as_arr).unwrap();
+        let rows: Vec<String> = runs
+            .iter()
+            .map(|run| {
+                assert!(matches!(run.get("ok"), Some(Json::Bool(true))));
+                format!("{}\t{}", field(run, "label"), field(run, "tsv"))
+            })
+            .collect();
+        handle.join();
+        (rows, root)
+    };
+
+    let (serial, root_a) = run_job("fanout-1", 1);
+    let (fanned, root_b) = run_job("fanout-3", 3);
+    assert_eq!(serial.len(), 5);
+    assert_eq!(serial, fanned, "fan-out changed result order or bytes");
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
 }
 
 #[test]
