@@ -3,7 +3,8 @@
 
 .PHONY: build test lint figures figures-sharded bench bench-snapshot \
         bench-check sim-report sweep-report telemetry-check bakeoff \
-        bakeoff-smoke serve serve-load serve-smoke shard-smoke
+        bakeoff-smoke serve serve-load serve-smoke shard-smoke \
+        ops-report metrics-smoke
 
 build:
 	cargo build --release
@@ -86,6 +87,19 @@ serve-load:
 # dedup, kill -9 + journal recovery, queue backpressure. Needs curl+jq.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# Render a saved operational snapshot offline: counters/gauges, per
+# label-set histogram percentiles, span timing table. Point at a
+# /v1/metrics scrape and/or an exported spans.trace.json, e.g.
+# OPS_REPORT_FLAGS="--metrics scrape.prom --spans results/serve/spans.trace.json".
+ops-report:
+	cargo run --release -p ipsim-experiments --bin ops_report -- $(OPS_REPORT_FLAGS)
+
+# End-to-end observability smoke: /v1/metrics exposition + required
+# families, histograms move under a real job, /v1/stats percentiles,
+# drain-time span export validated by telemetry_check. Needs curl+jq.
+metrics-smoke: build
+	bash scripts/metrics_smoke.sh
 
 # Sharded-sweep smoke: 2-shard mini-sweep with a real child process,
 # golden figure hashes, warm-rerun manifest skip, stable-report

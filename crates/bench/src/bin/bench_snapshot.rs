@@ -257,6 +257,32 @@ fn run_all(reps: u32) -> Vec<BenchResult> {
         }),
     });
 
+    // The baseline run with live [`ipsim_obs`] hooks at far above harness
+    // density: a counter/gauge/histogram/span bundle every 1 000
+    // instructions (the harness fires a handful per run). The gap to
+    // `single_core_baseline_100k` bounds what operational metrics cost
+    // when enabled; `tests/obs_overhead.rs` guards the disabled path.
+    results.push(BenchResult {
+        name: "system/single_core_obs_100k",
+        ops: INSTRS,
+        min_ms: min_of(reps, || {
+            let m = ipsim_obs::metrics();
+            let counter = m.counter("ipsim_bench_snapshot_obs_total", &[]);
+            let hist = m.histogram("ipsim_bench_snapshot_obs_micros", &[]);
+            let spans = ipsim_obs::spans();
+            let mut system = SystemBuilder::single_core().build().unwrap();
+            let mut walker = TraceWalker::new(&prog, profile.clone(), 0, 5);
+            for i in 0..INSTRS / 1_000 {
+                let _span = spans.span("bench.obs");
+                let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+                system.run(&mut sources, 1_000);
+                counter.inc();
+                hist.observe(i);
+            }
+            assert!(system.metrics().instructions() == INSTRS);
+        }),
+    });
+
     results.push(BenchResult {
         name: "system/single_core_discontinuity_100k",
         ops: INSTRS,

@@ -1,0 +1,125 @@
+//! Guard: disabled [`ipsim_obs`] hooks must be (almost) free.
+//!
+//! Harness and serve call counters, gauges, histograms and spans on their
+//! operational paths. With `ipsim_obs::set_enabled(false)` every such
+//! call must collapse to a single relaxed atomic load — nobody should pay
+//! for observability they turned off. This guard bounds that cost from
+//! far above the real call density: the B side interleaves a full hook
+//! bundle (counter inc, gauge add, histogram observe, span open/close)
+//! into the simulation every 1 000 instructions — hundreds of bundles per
+//! sample, where the harness fires a handful per *run* — so a regression
+//! in the disabled path (say, a registry lock sneaking onto the hot side
+//! of the flag check) is amplified well past the bound.
+//!
+//! Methodology mirrors `telemetry_overhead.rs`: interleaved A/B samples
+//! over identical instruction streams, estimator is the floor over
+//! adjacent pairs of the with/without ratio (machine-wide noise hits both
+//! halves of a pair and cancels), rounds repeat until the bound holds.
+//! Widen with `IPSIM_OBS_OVERHEAD_PCT` (default 3) on noisy machines.
+//!
+//! This test owns its process (integration-test binary) because it flips
+//! the process-global enabled flag; it must not share a process with
+//! enabled-path tests.
+
+use std::time::Instant;
+
+use ipsim_cpu::{OpSource, SystemBuilder};
+use ipsim_trace::{TraceWalker, Workload};
+
+/// Instructions per timed sample (~tens of ms: jitter well under the
+/// few-percent effect being measured).
+const INSTRS: u64 = 400_000;
+
+/// Instructions between hook bundles on the B side.
+const CHUNK: u64 = 1_000;
+
+/// One timed sample. Both sides run the kernel in [`CHUNK`]-sized slices
+/// so the slicing overhead is common-mode; only the B side additionally
+/// fires the disabled hook bundle between slices.
+fn sample(prog: &ipsim_trace::Program, hooks: bool) -> f64 {
+    let m = ipsim_obs::metrics();
+    let counter = m.counter("ipsim_bench_obs_guard_total", &[]);
+    let gauge = m.gauge("ipsim_bench_obs_guard_depth", &[]);
+    let hist = m.histogram("ipsim_bench_obs_guard_micros", &[]);
+    let spans = ipsim_obs::spans();
+
+    let mut system = SystemBuilder::single_core().build().unwrap();
+    let mut walker = TraceWalker::new(prog, Workload::Web.profile(), 0, 5);
+    let t0 = Instant::now();
+    for i in 0..INSTRS / CHUNK {
+        {
+            let mut sources: Vec<&mut dyn OpSource> = vec![&mut walker];
+            system.run(&mut sources, CHUNK);
+        }
+        if hooks {
+            let _span = spans.span("bench.obs_guard");
+            counter.inc();
+            gauge.add(1);
+            hist.observe(i);
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(system.metrics().instructions(), INSTRS);
+    wall
+}
+
+#[test]
+fn disabled_obs_overhead_is_bounded() {
+    let max_pct: f64 = std::env::var("IPSIM_OBS_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let reps: u32 = std::env::var("IPSIM_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+
+    ipsim_obs::set_enabled(false);
+    let prog = Workload::Web.build_program(1);
+    // Warm-up: page in both paths (and register the guard families)
+    // before any timed sample.
+    sample(&prog, false);
+    sample(&prog, true);
+    // The hooks must be live code taking the disabled path, not
+    // optimised-out: nothing may have been recorded.
+    assert_eq!(
+        ipsim_obs::metrics()
+            .counter("ipsim_bench_obs_guard_total", &[])
+            .get(),
+        0,
+        "disabled counters must not advance"
+    );
+    assert_eq!(
+        ipsim_obs::spans().completed().len(),
+        0,
+        "disabled spans must not record"
+    );
+
+    let mut ratio = f64::INFINITY;
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let mut overhead_pct = f64::INFINITY;
+    for round in 0..4 {
+        for _ in 0..reps {
+            let off_sample = sample(&prog, false);
+            let on_sample = sample(&prog, true);
+            off = off.min(off_sample);
+            on = on.min(on_sample);
+            ratio = ratio.min(on_sample / off_sample);
+        }
+        overhead_pct = (ratio - 1.0) * 100.0;
+        eprintln!(
+            "disabled obs hook overhead (round {round}): plain floor {:.3} ms, hooks floor \
+             {:.3} ms, paired floor {overhead_pct:+.2}%, bound {max_pct}%",
+            off * 1e3,
+            on * 1e3,
+        );
+        if overhead_pct <= max_pct {
+            break;
+        }
+    }
+    assert!(
+        overhead_pct <= max_pct,
+        "disabled obs hooks cost {overhead_pct:.2}% (> {max_pct}%) at 100x+ real call \
+         density — widen with IPSIM_OBS_OVERHEAD_PCT on noisy machines"
+    );
+}

@@ -27,33 +27,59 @@ use ipsim_telemetry::sink::{
 use ipsim_telemetry::{validate_lifecycle, PfEventKind};
 
 const USAGE: &str = "\
-usage: telemetry_check [ROOT]
+usage: telemetry_check [ROOT] [TRACE.json ...]
 
 Validates every telemetry artifact directory under ROOT (default:
-$IPSIM_TELEMETRY_DIR or results/telemetry). Exits nonzero if any
-artifact fails its format or lifecycle validation.
+$IPSIM_TELEMETRY_DIR or results/telemetry). Arguments that are files
+are validated as loose Chrome-trace exports instead (e.g. the
+spans.trace.json the serving daemon writes on drain). Exits nonzero
+if any artifact fails its format or lifecycle validation.
 ";
 
-fn root_from_args() -> PathBuf {
+/// Parsed positional arguments: an optional artifact root plus any loose
+/// Chrome-trace files. A file argument never becomes the root; when only
+/// files are given the directory scan is skipped entirely.
+fn targets_from_args() -> (Option<PathBuf>, Vec<PathBuf>) {
     let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
             }
-            other if root.is_none() && !other.starts_with('-') => root = Some(other.into()),
+            other if !other.starts_with('-') => {
+                let path = PathBuf::from(other);
+                if path.is_file() {
+                    files.push(path);
+                } else if root.is_none() {
+                    root = Some(path);
+                } else {
+                    eprintln!("more than one ROOT directory given\n\n{USAGE}");
+                    exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown argument `{other}`\n\n{USAGE}");
                 exit(2);
             }
         }
     }
-    root.unwrap_or_else(|| {
-        std::env::var(TELEMETRY_DIR_ENV)
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| PathBuf::from(DEFAULT_TELEMETRY_DIR))
-    })
+    if root.is_none() && files.is_empty() {
+        root = Some(
+            std::env::var(TELEMETRY_DIR_ENV)
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from(DEFAULT_TELEMETRY_DIR)),
+        );
+    }
+    (root, files)
+}
+
+/// Validates one loose Chrome-trace file with the shared validator.
+fn check_trace_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let events = validate_chrome_trace(&text)?;
+    Ok(format!("{events} trace events"))
 }
 
 fn read(dir: &Path, name: &str) -> Result<String, String> {
@@ -130,37 +156,14 @@ fn check_dir(dir: &Path) -> Result<String, String> {
 }
 
 fn main() {
-    let root = root_from_args();
-    let entries = match std::fs::read_dir(&root) {
-        Ok(entries) => entries,
-        Err(e) => {
-            eprintln!("telemetry_check: cannot read {}: {e}", root.display());
-            exit(1);
-        }
-    };
-    let mut dirs: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.join(META_FILE).is_file())
-        .collect();
-    dirs.sort();
-
-    if dirs.is_empty() {
-        eprintln!(
-            "telemetry_check: no artifact directories under {} \
-             (run a sweep with --telemetry first)",
-            root.display()
-        );
-        exit(1);
-    }
-
+    let (root, files) = targets_from_args();
     let mut failed = 0usize;
-    for dir in &dirs {
-        let name = dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| dir.display().to_string());
-        match check_dir(dir) {
+    let mut checked = 0usize;
+
+    for file in &files {
+        checked += 1;
+        let name = file.display();
+        match check_trace_file(file) {
             Ok(detail) => println!("ok   {name}  {detail}"),
             Err(reason) => {
                 println!("FAIL {name}  {reason}");
@@ -168,10 +171,50 @@ fn main() {
             }
         }
     }
+
+    if let Some(root) = root {
+        let entries = match std::fs::read_dir(&root) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("telemetry_check: cannot read {}: {e}", root.display());
+                exit(1);
+            }
+        };
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.join(META_FILE).is_file())
+            .collect();
+        dirs.sort();
+
+        if dirs.is_empty() {
+            eprintln!(
+                "telemetry_check: no artifact directories under {} \
+                 (run a sweep with --telemetry first)",
+                root.display()
+            );
+            exit(1);
+        }
+
+        for dir in &dirs {
+            checked += 1;
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| dir.display().to_string());
+            match check_dir(dir) {
+                Ok(detail) => println!("ok   {name}  {detail}"),
+                Err(reason) => {
+                    println!("FAIL {name}  {reason}");
+                    failed += 1;
+                }
+            }
+        }
+    }
+
     println!(
-        "{} artifact director{} checked, {failed} failed",
-        dirs.len(),
-        if dirs.len() == 1 { "y" } else { "ies" },
+        "{checked} artifact{} checked, {failed} failed",
+        if checked == 1 { "" } else { "s" },
     );
     if failed > 0 {
         exit(1);

@@ -242,6 +242,24 @@ pub fn render_report(opts: &ReportOptions) -> Result<String, String> {
                 sim_s,
             );
         }
+        // Per-run kernel throughput distribution, through the same log₂
+        // histogram `/v1/metrics` exposes (`ipsim_kernel_sim_mips`), so a
+        // runlog report and a live metrics scrape quote comparable
+        // percentiles.
+        let dist = ipsim_obs::Histogram::new();
+        let executed = rows.iter().filter(|r| r.sim_mips > 0.0).count();
+        for row in rows.iter().filter(|r| r.sim_mips > 0.0) {
+            dist.observe(row.sim_mips.round() as u64);
+        }
+        if executed > 0 {
+            let _ = writeln!(
+                out,
+                "sim-MIPS distribution: p50 {} · p90 {} · p99 {} (over {executed} executed runs)",
+                dist.percentile(50.0),
+                dist.percentile(90.0),
+                dist.percentile(99.0),
+            );
+        }
     }
 
     // --- cache economics (timing-dependent: skipped in stable) ------
@@ -267,6 +285,23 @@ pub fn render_report(opts: &ReportOptions) -> Result<String, String> {
                 sim_mean,
                 (sim_mean - hit_mean).max(0.0) * hits.len() as f64,
                 hits.len(),
+            );
+        }
+        // Corrupt entries the cache moved aside (`<key>.tsv.corrupt`):
+        // each one cost a re-simulation and is evidence worth inspecting.
+        let quarantined = std::fs::read_dir(&opts.cache_dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".corrupt"))
+                    .count()
+            })
+            .unwrap_or(0);
+        if quarantined > 0 {
+            let _ = writeln!(
+                out,
+                "quarantined entries: {quarantined} (*.corrupt files under {})",
+                opts.cache_dir.display(),
             );
         }
     }
@@ -454,8 +489,22 @@ mod tests {
         assert!(text.contains("shard 1/2"), "{text}");
         assert!(text.contains("hits: 2 · simulations: 2"), "{text}");
         assert!(text.contains("aggregate sim-MIPS: 30.00"), "{text}");
+        // Both executed rows report sim_mips 30, which lands in the
+        // [28, 31] log₂ bucket — percentiles quote its upper bound.
+        assert!(
+            text.contains("sim-MIPS distribution: p50 31 · p90 31 · p99 31 (over 2 executed runs)"),
+            "{text}"
+        );
+        // No corrupt entries: the quarantine line stays silent.
+        assert!(!text.contains("quarantined entries"), "{text}");
         // No cache entries on disk: metric columns degrade to dashes.
         assert!(text.contains("1c·DB·nl-tagged"), "{text}");
+
+        // A quarantined entry left by the cache surfaces in the report.
+        std::fs::create_dir_all(&o.cache_dir).unwrap();
+        std::fs::write(o.cache_dir.join("aaaa.tsv.corrupt"), "junk").unwrap();
+        let text = render_report(&o).unwrap();
+        assert!(text.contains("quarantined entries: 1"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

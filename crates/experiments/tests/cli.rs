@@ -22,6 +22,7 @@ const BINS: &[(&str, &str)] = &[
     ("fig11", env!("CARGO_BIN_EXE_fig11_ablations")),
     ("fig12", env!("CARGO_BIN_EXE_fig12_bandwidth")),
     ("fig13", env!("CARGO_BIN_EXE_fig13_latency")),
+    ("ops_report", env!("CARGO_BIN_EXE_ops_report")),
     ("pf_check", env!("CARGO_BIN_EXE_pf_check")),
     ("pf_detail", env!("CARGO_BIN_EXE_pf_detail")),
     ("sim_report", env!("CARGO_BIN_EXE_sim_report")),

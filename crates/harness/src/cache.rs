@@ -92,22 +92,26 @@ impl RunCache {
     /// Looks up `spec`; counts a hit or a miss. Corrupt entries are
     /// quarantined to `<key>.tsv.corrupt` and reported as misses.
     pub fn lookup(&self, spec: &RunSpec) -> Option<Summary> {
+        let _probe = ipsim_obs::spans().span("cache.probe");
         let path = self.entry_path(&spec.cache_key());
         let text = match fs::read_to_string(&path) {
             Ok(text) => text,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::obs::obs().cache_miss.inc();
                 return None;
             }
         };
         match parse_entry(&text) {
             Some(summary) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::obs().cache_hit.inc();
                 Some(summary)
             }
             None => {
                 self.quarantine(&path);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::obs::obs().cache_miss.inc();
                 None
             }
         }
@@ -118,6 +122,7 @@ impl RunCache {
     /// Failures are deliberately non-fatal: a read-only or full disk costs
     /// re-simulation next time, not the current results.
     pub fn store(&self, spec: &RunSpec, summary: &Summary) {
+        let _insert = ipsim_obs::spans().span("cache.insert");
         let key = spec.cache_key();
         let path = self.entry_path(&key);
         if fs::create_dir_all(&self.dir).is_err() {
@@ -135,6 +140,7 @@ impl RunCache {
     /// Moves a corrupt entry aside, preserving it for inspection.
     fn quarantine(&self, path: &Path) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        crate::obs::obs().cache_quarantined.inc();
         let mut quarantined = path.as_os_str().to_owned();
         quarantined.push(".corrupt");
         if fs::rename(path, PathBuf::from(quarantined)).is_err() {

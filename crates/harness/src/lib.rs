@@ -46,6 +46,7 @@ pub mod cache;
 pub mod figure;
 pub mod hash;
 pub mod manifest;
+pub mod obs;
 pub mod pool;
 pub mod progress;
 pub mod runlog;

@@ -133,6 +133,7 @@ fn run_one(
     telemetry: Option<&TelemetrySink>,
     slot: &mut SystemSlot,
 ) -> (Result<Summary, String>, RunRecord) {
+    let _run_span = ipsim_obs::spans().span("harness.run");
     let t0 = Instant::now();
     let key = spec.cache_key();
     let label = spec.label();
@@ -155,6 +156,9 @@ fn run_one(
                 iv_mpki: 0.0,
                 telemetry_events: 0,
             };
+            crate::obs::obs()
+                .run_wall
+                .observe((record.wall_s * 1e6) as u64);
             return (Ok(summary), record);
         }
     }
@@ -207,6 +211,16 @@ fn run_one(
         iv_mpki,
         telemetry_events,
     };
+    // Kernel-boundary distributions: one observation per executed run, so
+    // sim-MIPS percentiles are recoverable from a metrics snapshot.
+    let obs = crate::obs::obs();
+    obs.run_wall.observe((wall_s * 1e6) as u64);
+    if record.sim_mips > 0.0 {
+        obs.sim_mips.observe(record.sim_mips.round() as u64);
+    }
+    if record.decode_mips > 0.0 {
+        obs.decode_mips.observe(record.decode_mips.round() as u64);
+    }
     (result, record)
 }
 

@@ -197,6 +197,7 @@ struct JobPlan {
 }
 
 fn plan_jobs(figures: &[Figure], opts: &SweepOptions) -> JobPlan {
+    let _plan = ipsim_obs::spans().span("sweep.plan");
     let planned: Vec<Result<Vec<RunSpec>, String>> =
         figures.iter().map(|f| f.jobs(opts.lengths)).collect();
     let total_jobs: usize = planned.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum();
@@ -356,9 +357,12 @@ pub fn run_sweep(figures: &[Figure], opts: &SweepOptions) -> SweepReport {
             });
             continue;
         }
-        let outcome = match &plan.planned[i] {
-            Err(e) => Err(e.clone()),
-            Ok(_) => figure.output(opts.lengths, &resolve),
+        let outcome = {
+            let _render = ipsim_obs::spans().span("sweep.render");
+            match &plan.planned[i] {
+                Err(e) => Err(e.clone()),
+                Ok(_) => figure.output(opts.lengths, &resolve),
+            }
         };
         if let (Some(dir), Ok(text)) = (&opts.results_dir, &outcome) {
             let path = dir.join(format!("{}.txt", figure.name));
@@ -518,6 +522,7 @@ fn execute_phased(
     telemetry: Option<&TelemetrySink>,
     progress: &Progress,
 ) -> ExecReport {
+    let _execute = ipsim_obs::spans().span("sweep.execute");
     let mut captains: Vec<RunSpec> = Vec::new();
     let mut followers: Vec<RunSpec> = Vec::new();
     if traces.enabled() {

@@ -337,6 +337,7 @@ impl TraceStore {
         telemetry: Option<&TelemetryConfig>,
         slot: &mut SystemSlot,
     ) -> Option<TracedRun> {
+        let _replay = ipsim_obs::spans().span("trace.replay");
         let n_cores = spec.config.n_cores;
         let per_core_ops = spec.lengths.warm + spec.lengths.measure;
         // Zero-copy fast path: decode the whole stream set once into a
@@ -484,6 +485,7 @@ impl TraceStore {
         telemetry: Option<&TelemetryConfig>,
         slot: &mut SystemSlot,
     ) -> TracedRun {
+        let _capture = ipsim_obs::spans().span("trace.capture");
         let claimed = self.claims.lock().unwrap().insert(key.to_string());
         if !claimed || fs::create_dir_all(dir).is_err() {
             // Someone else is already writing this stream (or the store

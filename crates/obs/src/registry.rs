@@ -1,0 +1,172 @@
+//! Get-or-register metric registry.
+//!
+//! Registration takes the registry mutex once per (name, label-set) and
+//! hands back an `Arc`-backed handle; hot paths clone the handle up
+//! front and after that every increment/observe is a relaxed atomic op
+//! with no lock. The map is a `BTreeMap` keyed on name then sorted
+//! labels, so Prometheus rendering is deterministic without a sort pass.
+//!
+//! Metric naming follows `ipsim_<subsystem>_<what>_<unit>`, e.g.
+//! `ipsim_serve_request_micros` or `ipsim_harness_cache_probe_total` —
+//! the subsystem prefix keeps one process's serve, harness and kernel
+//! families apart in a single scrape.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::prom;
+
+/// A metric's identity: name plus sorted label pairs.
+pub(crate) type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// Monotonic counter handle; clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one. No-op while instrumentation is disabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while instrumentation is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level handle (queue depth, in-flight jobs); clones
+/// share the same cell.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the level. No-op while instrumentation is disabled.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds (possibly negative) `delta`. No-op while disabled.
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<Key, Counter>,
+    gauges: BTreeMap<Key, Gauge>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+/// A set of named metric families, rendering as one Prometheus page.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Families>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter for `(name, labels)`, registering it first if
+    /// needed. Label order does not matter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut fam = self.families.lock().unwrap();
+        fam.counters.entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Returns the gauge for `(name, labels)`, registering on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut fam = self.families.lock().unwrap();
+        fam.gauges.entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Returns the histogram for `(name, labels)`, registering on first
+    /// use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut fam = self.families.lock().unwrap();
+        fam.histograms.entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Renders every registered metric as Prometheus text exposition —
+    /// the `GET /v1/metrics` response body. Deterministic order: family
+    /// name, then sorted labels.
+    pub fn render_prometheus(&self) -> String {
+        let fam = self.families.lock().unwrap();
+        let mut out = String::new();
+        prom::render_counters(&mut out, &fam.counters);
+        prom::render_gauges(&mut out, &fam.gauges);
+        prom::render_histograms(&mut out, &fam.histograms);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let r = Registry::new();
+        r.counter("ipsim_test_total", &[("kind", "a")]).add(2);
+        r.counter("ipsim_test_total", &[("kind", "a")]).inc();
+        assert_eq!(r.counter("ipsim_test_total", &[("kind", "a")]).get(), 3);
+        assert_eq!(r.counter("ipsim_test_total", &[("kind", "b")]).get(), 0);
+    }
+
+    #[test]
+    fn label_order_is_normalised() {
+        let r = Registry::new();
+        r.counter("ipsim_test_total", &[("a", "1"), ("b", "2")])
+            .inc();
+        assert_eq!(
+            r.counter("ipsim_test_total", &[("b", "2"), ("a", "1")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn gauge_tracks_levels() {
+        let r = Registry::new();
+        let g = r.gauge("ipsim_test_depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(r.gauge("ipsim_test_depth", &[]).get(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! The span exporter writes the same Chrome `trace_event` envelope as
+//! ipsim-telemetry, proven by running the export through
+//! `ipsim_telemetry::sink::validate_chrome_trace` — the shared validator
+//! `telemetry_check` applies to span files on disk. No divergent JSON
+//! readers: if this test passes, the smoke job's validation path accepts
+//! the daemon's `spans.trace.json`.
+
+use ipsim_obs::SpanRecorder;
+use ipsim_telemetry::sink::validate_chrome_trace;
+
+#[test]
+fn span_export_passes_the_telemetry_validator() {
+    let rec = SpanRecorder::new(64);
+    {
+        let _outer = rec.span("serve.request");
+        let _inner = rec.span("serve.execute");
+    }
+    rec.record("serve.queue_wait", 3, 40, None);
+    rec.record("odd name \"quoted\"\\slash", 0, 1, Some(1));
+    let mut buf = Vec::new();
+    rec.write_chrome_trace(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let n = validate_chrome_trace(&text).expect("obs export is a valid chrome trace");
+    assert_eq!(n, 4);
+}
+
+#[test]
+fn empty_recorder_exports_an_empty_valid_trace() {
+    let rec = SpanRecorder::new(4);
+    let mut buf = Vec::new();
+    rec.write_chrome_trace(&mut buf).unwrap();
+    let n = validate_chrome_trace(&String::from_utf8(buf).unwrap()).unwrap();
+    assert_eq!(n, 0);
+}

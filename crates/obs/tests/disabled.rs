@@ -1,0 +1,45 @@
+//! The disabled path: after `set_enabled(false)` every instrument call
+//! must record nothing. Lives in its own integration test binary (own
+//! process) because it flips the process-global switch that the
+//! enabled-path tests rely on.
+
+use ipsim_obs::{Registry, SpanRecorder};
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    assert!(ipsim_obs::enabled(), "instrumentation defaults to on");
+    let r = Registry::new();
+    let rec = SpanRecorder::new(8);
+    let counter = r.counter("ipsim_test_total", &[]);
+    let gauge = r.gauge("ipsim_test_depth", &[]);
+    let hist = r.histogram("ipsim_test_micros", &[]);
+    counter.inc();
+    hist.observe(10);
+
+    ipsim_obs::set_enabled(false);
+    counter.add(100);
+    gauge.set(42);
+    hist.observe(99);
+    {
+        let g = rec.span("ghost");
+        assert_eq!(g.id(), 0, "inert guard has no id");
+    }
+    assert_eq!(rec.record("ghost", 0, 1, None), 0);
+
+    assert_eq!(counter.get(), 1, "counter froze while disabled");
+    assert_eq!(gauge.get(), 0, "gauge froze while disabled");
+    assert_eq!(hist.count(), 1, "histogram froze while disabled");
+    assert!(
+        rec.completed().is_empty(),
+        "no spans recorded while disabled"
+    );
+    assert_eq!(rec.dropped(), 0);
+
+    // Pre-disable state still renders.
+    let page = r.render_prometheus();
+    assert!(page.contains("ipsim_test_total 1"));
+
+    ipsim_obs::set_enabled(true);
+    counter.inc();
+    assert_eq!(counter.get(), 2, "re-enabling resumes recording");
+}

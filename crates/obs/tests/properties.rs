@@ -1,0 +1,124 @@
+//! Property tests for the observability primitives: histogram accounting
+//! exactness, the percentile-within-one-bucket guarantee against a sorted
+//! reference, and span nesting validity under concurrent recording.
+
+use std::sync::Arc;
+use std::thread;
+
+use ipsim_obs::hist::{bucket_index, bucket_upper};
+use ipsim_obs::{Histogram, SpanRecorder};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over a sorted slice — the reference the
+/// histogram estimate is compared against.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+proptest! {
+    /// Every observation lands in exactly one bucket: the bucket sum and
+    /// the count always equal the number of observations, and the sum of
+    /// values is exact.
+    #[test]
+    fn bucket_sum_equals_observation_count(values in prop::collection::vec(0u64..1 << 48, 0..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let bucket_sum: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(bucket_sum, values.len() as u64);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    /// The histogram's nearest-rank estimate falls in the same bucket as
+    /// the exact order statistic computed from a sorted copy — i.e. the
+    /// estimate is within one bucket (≤25% relative error) of the truth.
+    #[test]
+    fn percentile_within_one_bucket_of_sorted_reference(
+        values in prop::collection::vec(0u64..u64::MAX, 1..300),
+        p in 0.0f64..100.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, p);
+        let estimate = h.percentile(p);
+        prop_assert_eq!(
+            bucket_index(estimate),
+            bucket_index(exact),
+            "p{} estimate {} not in exact value {}'s bucket",
+            p,
+            estimate,
+            exact
+        );
+        prop_assert_eq!(estimate, bucket_upper(bucket_index(exact)));
+        prop_assert!(estimate >= exact);
+    }
+}
+
+/// Concurrent RAII recording keeps nesting valid: every recorded parent
+/// link points to a span on the same thread whose interval contains the
+/// child's, and no spans are lost below the ring capacity.
+#[test]
+fn concurrent_span_nesting_stays_valid() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 40;
+    let rec = Arc::new(SpanRecorder::new(THREADS * ITERS * 3 + 16));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    let outer = rec.span(&format!("outer.{t}"));
+                    let _ = outer.id();
+                    {
+                        let _mid = rec.span("mid");
+                        if i % 2 == 0 {
+                            let _leaf = rec.span("leaf");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let spans = rec.completed();
+    assert_eq!(rec.dropped(), 0);
+    assert_eq!(
+        spans.len(),
+        THREADS * ITERS * 2 + THREADS * ITERS / 2,
+        "every guard recorded exactly once"
+    );
+    let by_id: std::collections::HashMap<u64, _> = spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids are unique");
+    for s in &spans {
+        let Some(parent) = s.parent else {
+            assert!(
+                s.name.starts_with("outer."),
+                "only outer spans may be roots, got {}",
+                s.name
+            );
+            continue;
+        };
+        let p = by_id
+            .get(&parent)
+            .unwrap_or_else(|| panic!("span {} has unknown parent {parent}", s.id));
+        assert_eq!(p.tid, s.tid, "parent on a different thread");
+        assert!(
+            p.start_micros <= s.start_micros,
+            "child starts before parent"
+        );
+        assert!(
+            s.start_micros + s.dur_micros <= p.start_micros + p.dur_micros,
+            "child {} ends after parent {}",
+            s.name,
+            p.name
+        );
+    }
+}

@@ -108,7 +108,22 @@ fn main() {
     }
     let queued = handle.service().queue_len();
     eprintln!("ipsim_serve: draining ({queued} queued jobs stay journaled)");
+    let state_dir = handle.service().config.dir.clone();
     handle.join();
+    // Export the operational span timeline next to the journal — the
+    // same Chrome trace_event format the sim telemetry sink writes, so
+    // `telemetry_check` validates it and one viewer merges both.
+    let span_path = state_dir.join("spans.trace.json");
+    match std::fs::File::create(&span_path) {
+        Ok(mut file) => {
+            if let Err(e) = ipsim_obs::spans().write_chrome_trace(&mut file) {
+                eprintln!("warning: writing {}: {e}", span_path.display());
+            } else {
+                eprintln!("ipsim_serve: spans exported to {}", span_path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: creating {}: {e}", span_path.display()),
+    }
     eprintln!("ipsim_serve: drained");
     std::process::exit(130);
 }

@@ -150,6 +150,14 @@ fn main() {
     if let Ok(stats) = client::request(&addr, "GET", "/v1/stats", &[], None) {
         println!("  daemon stats: {}", stats.body);
     }
+    // Daemon-side view of the same traffic, scraped from `/v1/metrics`:
+    // client percentiles include the network and the poll loop, the
+    // daemon's own histograms isolate parse→respond and queue→done.
+    match client::request(&addr, "GET", "/v1/metrics", &[], None) {
+        Ok(metrics) if metrics.status == 200 => print_daemon_percentiles(&metrics.body),
+        Ok(metrics) => eprintln!("warning: /v1/metrics returned HTTP {}", metrics.status),
+        Err(e) => eprintln!("warning: /v1/metrics scrape failed: {e}"),
+    }
     // Machine-readable line for EXPERIMENTS.md.
     println!(
         "tsv\t{}\t{}\t{:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.0}\t{:.0}\t{:.0}",
@@ -187,6 +195,46 @@ fn submit_with_backoff(addr: &str, client_id: &str, spec: &str) -> Result<Respon
 
 fn job_id(body: &Json) -> Option<String> {
     body.get("id").and_then(Json::as_str).map(str::to_string)
+}
+
+/// Prints the daemon's own latency histograms (in ms, to line up with the
+/// client-side rows above) from one Prometheus exposition scrape.
+fn print_daemon_percentiles(text: &str) {
+    let exposition = match ipsim_obs::parse_text(text) {
+        Ok(exposition) => exposition,
+        Err(e) => {
+            eprintln!("warning: /v1/metrics did not parse: {e}");
+            return;
+        }
+    };
+    type Row = (
+        &'static str,
+        &'static str,
+        &'static [(&'static str, &'static str)],
+    );
+    let rows: [Row; 3] = [
+        (
+            "daemon jobs",
+            "ipsim_serve_request_micros",
+            &[("endpoint", "jobs")],
+        ),
+        ("daemon queue", "ipsim_serve_queue_wait_micros", &[]),
+        ("daemon exec", "ipsim_serve_job_execute_micros", &[]),
+    ];
+    for (name, family, want) in rows {
+        let buckets = exposition.histogram_buckets(family, want);
+        let count = buckets.last().map_or(0.0, |&(_, n)| n);
+        if count <= 0.0 {
+            continue;
+        }
+        let ms = |p: f64| ipsim_obs::histogram_percentile(&buckets, p) / 1e3;
+        println!(
+            "  {name:<11} p50 {:>8.1} ms   p95 {:>8.1} ms   p99 {:>8.1} ms   ({count:.0} samples)",
+            ms(50.0),
+            ms(95.0),
+            ms(99.0),
+        );
+    }
 }
 
 fn print_percentiles(name: &str, samples: &mut [f64]) {

@@ -19,7 +19,9 @@
 //! * [`ratelimit`] — per-client token buckets.
 //! * [`state`] — job table, bounded queue, dedup/coalescing, workers,
 //!   recovery.
-//! * [`server`] — the accept loop and the five `/v1` endpoints.
+//! * [`server`] — the accept loop and the six `/v1` endpoints.
+//! * [`metrics`] — the daemon's [`ipsim_obs`] metric handles backing
+//!   `GET /v1/metrics` and the request spans.
 //! * [`client`] — a tiny blocking client (load generator, tests,
 //!   scripting).
 
@@ -29,11 +31,13 @@
 pub mod client;
 pub mod http;
 pub mod journal;
+pub mod metrics;
 pub mod ratelimit;
 pub mod server;
 pub mod state;
 
 pub use journal::{Event, Journal, RunResult};
+pub use metrics::ServeMetrics;
 pub use ratelimit::RateLimiter;
 pub use server::{start, ServerHandle};
 pub use state::{Job, JobState, ServeConfig, Service, SubmitError, SubmitOutcome};

@@ -6,7 +6,8 @@
 //! GET  /v1/jobs/{id}         state + done/total progress
 //! GET  /v1/jobs/{id}/result  terminal results (+ ?format=tsv)
 //! GET  /v1/healthz           liveness
-//! GET  /v1/stats             counters, queue depth, drain flag
+//! GET  /v1/stats             counters, queue depth, latency percentiles
+//! GET  /v1/metrics           Prometheus text exposition (scrapeable)
 //! ```
 //!
 //! Submissions answer `202` (queued), `200` (dedup — completed from the
@@ -26,6 +27,7 @@ use ipsim_harness::wire::{JobSpec, TSV_HEADER};
 use ipsim_harness::Summary;
 
 use crate::http::{self, error_body, json_escape, ParseError, Request};
+use crate::metrics::ENDPOINTS;
 use crate::state::{Job, Service, SubmitError};
 
 /// A running server: accept loop + workers, with a handle to drain it.
@@ -108,33 +110,76 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
     }
 }
 
-/// Serves one connection: one request, one response, close.
+/// Serves one connection: one request, one response, close. The whole
+/// exchange is a `serve.request` span with `serve.parse` /
+/// `serve.route` / `serve.respond` children, and lands one sample in
+/// `ipsim_serve_request_micros{endpoint}`.
 fn handle_connection(mut stream: TcpStream, peer: SocketAddr, service: &Arc<Service>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let request = match http::read_request(&mut stream) {
-        Ok(request) => request,
-        Err(ParseError::Bad(e)) => {
-            respond(&mut stream, 400, &error_body(&e));
-            return;
-        }
-        Err(ParseError::TooLarge(e)) => {
-            respond(&mut stream, 413, &error_body(&e));
-            return;
-        }
-        Err(ParseError::Io(_)) => return,
+    let spans = ipsim_obs::spans();
+    let request_span = spans.span("serve.request");
+    let started = spans.now_micros();
+    let parsed = {
+        let _parse = spans.span("serve.parse");
+        http::read_request(&mut stream)
     };
-    let (status, body) = route(&request, peer, service);
-    respond(&mut stream, status, &body);
+    let (endpoint, status, body) = match parsed {
+        Ok(request) => {
+            let endpoint = endpoint_name(&request);
+            let (status, body) = {
+                let _route = spans.span("serve.route");
+                route(&request, peer, service)
+            };
+            (endpoint, status, body)
+        }
+        Err(ParseError::Bad(e)) => ("invalid", 400, error_body(&e)),
+        Err(ParseError::TooLarge(e)) => ("invalid", 413, error_body(&e)),
+        Err(ParseError::Io(_)) => {
+            drop(request_span);
+            service
+                .obs
+                .observe_request("invalid", spans.now_micros().saturating_sub(started));
+            return;
+        }
+    };
+    {
+        let _respond = spans.span("serve.respond");
+        respond(&mut stream, status, endpoint, &body);
+    }
+    drop(request_span);
+    service
+        .obs
+        .observe_request(endpoint, spans.now_micros().saturating_sub(started));
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+/// The normalised endpoint label for metrics — one of
+/// [`ENDPOINTS`](crate::metrics::ENDPOINTS).
+fn endpoint_name(request: &Request) -> &'static str {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => "healthz",
+        ("GET", ["v1", "stats"]) => "stats",
+        ("GET", ["v1", "metrics"]) => "metrics",
+        ("POST", ["v1", "jobs"]) => "jobs",
+        ("GET", ["v1", "jobs", _]) => "job_status",
+        ("GET", ["v1", "jobs", _, "result"]) => "job_result",
+        _ => "other",
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, endpoint: &str, body: &str) {
     let extra: &[(&str, &str)] = if status == 429 {
         &[("Retry-After", "1")]
     } else {
         &[]
     };
-    let _ = http::write_response(stream, status, "application/json", extra, body);
+    let content_type = if endpoint == "metrics" && status == 200 {
+        "text/plain; version=0.0.4; charset=utf-8"
+    } else {
+        "application/json"
+    };
+    let _ = http::write_response(stream, status, content_type, extra, body);
 }
 
 /// Routes one request to its endpoint.
@@ -149,6 +194,7 @@ fn route(request: &Request, peer: SocketAddr, service: &Arc<Service>) -> (u16, S
             ),
         ),
         ("GET", ["v1", "stats"]) => (200, stats_body(service)),
+        ("GET", ["v1", "metrics"]) => (200, ipsim_obs::metrics().render_prometheus()),
         ("POST", ["v1", "jobs"]) => submit(request, peer, service),
         ("GET", ["v1", "jobs", id]) => match service.with_job(id, status_body) {
             Some(body) => (200, body),
@@ -171,6 +217,7 @@ fn submit(request: &Request, peer: SocketAddr, service: &Arc<Service>) -> (u16, 
             .stats
             .rejected_rate_limited
             .fetch_add(1, Ordering::Relaxed);
+        service.obs.rejected_rate_limited.inc();
         return (429, error_body("rate limited"));
     }
     let body = match request.body_utf8() {
@@ -293,15 +340,35 @@ fn result(request: &Request, id: &str, service: &Arc<Service>) -> (u16, String) 
     )
 }
 
-/// `GET /v1/stats`: counters + live gauges.
+/// `GET /v1/stats`: counters + live gauges + per-endpoint latency
+/// percentiles (daemon-side, from the obs histograms — only endpoints
+/// that have served at least one request appear).
 fn stats_body(service: &Arc<Service>) -> String {
     let s = &service.stats;
+    let latency: Vec<String> = ENDPOINTS
+        .iter()
+        .filter_map(|&endpoint| {
+            let hist = service.obs.request_histogram(endpoint)?;
+            let snap = hist.snapshot();
+            if snap.count == 0 {
+                return None;
+            }
+            Some(format!(
+                "\"{endpoint}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                snap.count,
+                snap.percentile(50.0),
+                snap.percentile(90.0),
+                snap.percentile(99.0),
+            ))
+        })
+        .collect();
     format!(
         "{{\"submitted\":{},\"completed\":{},\"failed\":{},\
          \"dedup_cache\":{},\"dedup_inflight\":{},\
          \"rejected_queue_full\":{},\"rejected_rate_limited\":{},\
          \"recovered\":{},\"journal_skipped\":{},\
-         \"queue_depth\":{},\"jobs\":{},\"workers\":{},\"draining\":{}}}",
+         \"queue_depth\":{},\"jobs\":{},\"workers\":{},\"draining\":{},\
+         \"latency_micros\":{{{}}}}}",
         s.submitted.load(Ordering::Relaxed),
         s.completed.load(Ordering::Relaxed),
         s.failed.load(Ordering::Relaxed),
@@ -315,5 +382,6 @@ fn stats_body(service: &Arc<Service>) -> String {
         service.job_count(),
         service.config.workers,
         service.draining(),
+        latency.join(","),
     )
 }

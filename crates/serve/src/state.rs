@@ -29,6 +29,7 @@ use ipsim_harness::{RunCache, RunSpec, TelemetrySink, TraceStore};
 use ipsim_telemetry::TelemetryConfig;
 
 use crate::journal::{Event, Journal, RunResult};
+use crate::metrics::ServeMetrics;
 use crate::ratelimit::RateLimiter;
 
 /// Everything configurable about a serving daemon.
@@ -138,6 +139,14 @@ pub struct Job {
     pub results: Vec<RunResult>,
     /// Failure reason when `state` is [`JobState::Failed`].
     pub error: Option<String>,
+    /// When the job entered the queue, in [`ipsim_obs::spans`]
+    /// microseconds (0 for recovered or cache-completed jobs) — the
+    /// worker turns it into the queue-wait span and histogram sample.
+    pub enqueued_micros: u64,
+    /// Id of the submitting request's span (0 when none), so the
+    /// worker-side queue-wait/execute spans parent onto it in the
+    /// exported timeline.
+    pub span: u64,
 }
 
 /// Why a submission was not accepted.
@@ -206,6 +215,8 @@ pub struct Service {
     pub limiter: RateLimiter,
     /// Service counters.
     pub stats: Stats,
+    /// Operational metric handles (global-registry backed).
+    pub obs: ServeMetrics,
     journal: Journal,
     inner: Mutex<Inner>,
     queue_cv: Condvar,
@@ -255,6 +266,8 @@ impl Service {
                             dedup: None,
                             results: Vec::new(),
                             error: None,
+                            enqueued_micros: 0,
+                            span: 0,
                         },
                     );
                 }
@@ -322,6 +335,8 @@ impl Service {
             .map_err(|e| format!("opening journal: {e}"))?;
 
         let stats = Stats::default();
+        let obs = ServeMetrics::new();
+        obs.queue_depth.set(queue.len() as i64);
         stats.recovered.store(queue.len() as u64, Ordering::Relaxed);
         stats
             .journal_skipped
@@ -338,6 +353,7 @@ impl Service {
         Ok(Arc::new(Service {
             limiter: RateLimiter::new(config.rate_capacity, config.rate_refill),
             stats,
+            obs,
             journal,
             inner: Mutex::new(Inner {
                 jobs,
@@ -373,6 +389,7 @@ impl Service {
     /// the client), everything else is decided here.
     pub fn submit(&self, client: &str, spec: JobSpec) -> Result<SubmitOutcome, SubmitError> {
         if self.shutdown.load(Ordering::SeqCst) {
+            self.obs.rejected_draining.inc();
             return Err(SubmitError::Draining);
         }
         let specs = spec.to_run_specs().map_err(SubmitError::Invalid)?;
@@ -384,6 +401,7 @@ impl Service {
             let state = inner.jobs[&existing].state;
             drop(inner);
             self.stats.dedup_inflight.fetch_add(1, Ordering::Relaxed);
+            self.obs.dedup_inflight.inc();
             let _ = self.journal.append(&Event::Dup {
                 job: existing.clone(),
                 kind: "inflight".to_string(),
@@ -420,6 +438,8 @@ impl Service {
                 dedup: Some("cache"),
                 results: results.clone(),
                 error: None,
+                enqueued_micros: 0,
+                span: 0,
             };
             self.append_or_fail(&Event::Submit {
                 job: id.clone(),
@@ -439,6 +459,8 @@ impl Service {
             drop(inner);
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.stats.dedup_cache.fetch_add(1, Ordering::Relaxed);
+            self.obs.submitted.inc();
+            self.obs.dedup_cache.inc();
             return Ok(SubmitOutcome {
                 job_id: id,
                 state: JobState::Done,
@@ -451,9 +473,11 @@ impl Service {
             self.stats
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected_queue_full.inc();
             return Err(SubmitError::QueueFull);
         }
         let id = self.new_job_id();
+        let spans = ipsim_obs::spans();
         let job = Job {
             id: id.clone(),
             jkey: jkey.clone(),
@@ -465,6 +489,8 @@ impl Service {
             dedup: None,
             results: Vec::new(),
             error: None,
+            enqueued_micros: spans.now_micros(),
+            span: spans.current().unwrap_or(0),
         };
         // Journal first (fsynced): once the client sees the ack, the job
         // survives any crash.
@@ -479,6 +505,8 @@ impl Service {
         inner.queue.push_back(id.clone());
         drop(inner);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.obs.submitted.inc();
+        self.obs.queue_depth.add(1);
         self.queue_cv.notify_one();
         Ok(SubmitOutcome {
             job_id: id,
@@ -547,7 +575,7 @@ impl Service {
                     if let Some(id) = inner.queue.pop_front() {
                         let job = inner.jobs.get_mut(&id).expect("queued job exists");
                         job.state = JobState::Running;
-                        break (id, job.spec.clone());
+                        break (id, job.spec.clone(), job.enqueued_micros, job.span);
                     }
                     let (guard, _) = self
                         .queue_cv
@@ -556,9 +584,32 @@ impl Service {
                     inner = guard;
                 }
             };
-            let (id, spec) = claimed;
+            let (id, spec, enqueued, parent) = claimed;
+            let spans = ipsim_obs::spans();
+            let claimed_at = spans.now_micros();
+            self.obs.queue_depth.add(-1);
+            if enqueued > 0 {
+                let wait = claimed_at.saturating_sub(enqueued);
+                self.obs.queue_wait.observe(wait);
+                spans.record(
+                    "serve.queue_wait",
+                    enqueued,
+                    wait,
+                    (parent > 0).then_some(parent),
+                );
+            }
             let _ = self.journal.append(&Event::Start { job: id.clone() });
+            self.obs.inflight_jobs.add(1);
             self.execute_job(&id, &spec);
+            self.obs.inflight_jobs.add(-1);
+            let done_at = spans.now_micros();
+            self.obs.execute.observe(done_at.saturating_sub(claimed_at));
+            spans.record(
+                "serve.job_execute",
+                claimed_at,
+                done_at.saturating_sub(claimed_at),
+                (parent > 0).then_some(parent),
+            );
         }
     }
 
@@ -670,6 +721,7 @@ impl Service {
         }
         drop(inner);
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.obs.jobs_done.inc();
     }
 
     fn finish_failed(&self, id: &str, error: &str) {
@@ -688,6 +740,7 @@ impl Service {
         }
         drop(inner);
         self.stats.failed.fetch_add(1, Ordering::Relaxed);
+        self.obs.jobs_failed.inc();
     }
 }
 

@@ -223,6 +223,8 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, run: &TelemetryRun) -> io::Result
 /// [`write_chrome_trace`] guarantees: a `traceEvents` array whose every
 /// element has a string `name`, a known `ph`, a numeric `pid`, and — for
 /// instant and counter events — a numeric `ts` plus an object `args`.
+/// Complete events (`ph:"X"`, written by the ipsim-obs span exporter
+/// into the same envelope) additionally need a numeric `dur`.
 ///
 /// Returns the number of trace events on success.
 ///
@@ -249,10 +251,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
             .ok_or(format!("event {i} ({name}): missing pid"))?;
         match ph {
             "M" => {}
-            "i" | "C" => {
+            "i" | "C" | "X" => {
                 ev.get("ts")
                     .and_then(Json::as_num)
                     .ok_or(format!("event {i} ({name}): missing ts"))?;
+                if ph == "X" {
+                    ev.get("dur")
+                        .and_then(Json::as_num)
+                        .ok_or(format!("event {i} ({name}): missing dur"))?;
+                }
                 if !matches!(ev.get("args"), Some(Json::Obj(_))) {
                     return Err(format!("event {i} ({name}): missing args object"));
                 }
@@ -589,6 +596,17 @@ mod tests {
         // 2 process metadata + 4 instants + 2 counters per sample row.
         assert_eq!(n, 2 + 4 + 2 * 2);
         assert!(validate_chrome_trace(&text[..text.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn chrome_validator_accepts_complete_events() {
+        // The shape the ipsim-obs span exporter writes (ph:"X").
+        let ok = r#"{"traceEvents":[{"name":"serve.request","cat":"obs","ph":"X","ts":12,"dur":340,"pid":1,"tid":2,"args":{"id":1,"parent":0}}],"displayTimeUnit":"ns"}"#;
+        assert_eq!(validate_chrome_trace(ok).unwrap(), 1);
+        let no_dur = r#"{"traceEvents":[{"name":"s","ph":"X","ts":1,"pid":1,"args":{}}]}"#;
+        assert!(validate_chrome_trace(no_dur).unwrap_err().contains("dur"));
+        let no_ts = r#"{"traceEvents":[{"name":"s","ph":"X","dur":1,"pid":1,"args":{}}]}"#;
+        assert!(validate_chrome_trace(no_ts).unwrap_err().contains("ts"));
     }
 
     #[test]
